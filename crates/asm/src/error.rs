@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Error produced while assembling a program.
+///
+/// Carries the 1-based source line the problem was found on (0 when the
+/// error is not attributable to a single line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// The 1-based source line of the error, or 0 if global.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The human-readable problem description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm error: {}", self.message)
+        } else {
+            write!(f, "asm error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "bad register");
+        assert_eq!(e.to_string(), "asm error at line 7: bad register");
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "bad register");
+        let g = AsmError::new(0, "no text section");
+        assert_eq!(g.to_string(), "asm error: no text section");
+    }
+}

@@ -1,0 +1,177 @@
+use std::collections::HashMap;
+
+use instrep_isa::abi;
+
+/// Symbol table mapping label names to absolute addresses.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    map: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    pub(crate) fn insert(&mut self, name: &str, addr: u32) -> bool {
+        self.map.insert(name.to_string(), addr).is_none()
+    }
+
+    /// Looks up a symbol's address.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of symbols defined.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no symbols are defined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(name, address)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The name of the symbol at exactly `addr`, preferring function
+    /// symbols is not attempted; any match is returned.
+    pub fn name_at(&self, addr: u32) -> Option<&str> {
+        self.map.iter().find(|(_, a)| **a == addr).map(|(n, _)| n.as_str())
+    }
+}
+
+/// Static metadata for one function, recorded from `.func`/`.endfunc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncMeta {
+    /// Function name.
+    pub name: String,
+    /// Address of the first instruction.
+    pub entry: u32,
+    /// Address one past the last instruction.
+    pub end: u32,
+    /// Number of declared parameters.
+    pub arity: u8,
+}
+
+impl FuncMeta {
+    /// Static size of the function in instructions.
+    pub fn size_insns(&self) -> u32 {
+        (self.end - self.entry) / instrep_isa::INSN_BYTES
+    }
+
+    /// Whether `pc` falls inside this function's body.
+    pub fn contains(&self, pc: u32) -> bool {
+        (self.entry..self.end).contains(&pc)
+    }
+}
+
+/// An assembled executable: text and data images plus symbol and function
+/// metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// Encoded instruction words, loaded at [`abi::TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Data segment bytes, loaded at [`abi::DATA_BASE`]. Includes both
+    /// initialized data and `.space` (zero) regions.
+    pub data: Vec<u8>,
+    /// Absolute address ranges of bytes written by explicit initializers
+    /// (`.word`/`.half`/`.byte`/`.ascii*`), merged and sorted. The
+    /// analyses treat reads of these as *global init data*; `.space`
+    /// bytes are BSS-like and start out uninitialized.
+    pub init_ranges: Vec<std::ops::Range<u32>>,
+    /// Entry-point address (`__start` if defined).
+    pub entry: u32,
+    /// Label addresses.
+    pub symbols: SymbolTable,
+    /// Function metadata from `.func` directives, in source order.
+    pub funcs: Vec<FuncMeta>,
+}
+
+impl Image {
+    /// First address past the data image.
+    pub fn data_end(&self) -> u32 {
+        abi::DATA_BASE + self.data.len() as u32
+    }
+
+    /// First address past the text image.
+    pub fn text_end(&self) -> u32 {
+        abi::TEXT_BASE + (self.text.len() as u32) * instrep_isa::INSN_BYTES
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn func_at(&self, pc: u32) -> Option<&FuncMeta> {
+        self.funcs.iter().find(|f| f.contains(pc))
+    }
+
+    /// Whether the byte at `addr` was written by an explicit data
+    /// initializer (versus `.space` / unmapped).
+    pub fn is_initialized(&self, addr: u32) -> bool {
+        // Ranges are sorted by start and non-overlapping.
+        self.init_ranges.binary_search_by(|r| {
+            if addr < r.start {
+                std::cmp::Ordering::Greater
+            } else if addr >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_table_basics() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert!(t.insert("a", 4));
+        assert!(!t.insert("a", 8)); // duplicate
+        assert_eq!(t.get("a"), Some(8));
+        assert_eq!(t.get("b"), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name_at(8), Some("a"));
+        assert_eq!(t.name_at(4), None);
+    }
+
+    #[test]
+    fn func_meta_geometry() {
+        let f = FuncMeta { name: "f".into(), entry: 0x40_0010, end: 0x40_0020, arity: 2 };
+        assert_eq!(f.size_insns(), 4);
+        assert!(f.contains(0x40_0010));
+        assert!(f.contains(0x40_001c));
+        assert!(!f.contains(0x40_0020));
+    }
+
+    #[test]
+    fn initialized_ranges() {
+        let img = Image {
+            init_ranges: vec![10..20, 30..34],
+            ..Image::default()
+        };
+        assert!(!img.is_initialized(9));
+        assert!(img.is_initialized(10));
+        assert!(img.is_initialized(19));
+        assert!(!img.is_initialized(20));
+        assert!(img.is_initialized(33));
+        assert!(!img.is_initialized(34));
+    }
+
+    #[test]
+    fn image_bounds() {
+        let img = Image {
+            text: vec![0; 3],
+            data: vec![0; 10],
+            ..Image::default()
+        };
+        assert_eq!(img.text_end(), abi::TEXT_BASE + 12);
+        assert_eq!(img.data_end(), abi::DATA_BASE + 10);
+    }
+}

@@ -1,0 +1,481 @@
+use instrep_isa::Reg;
+
+use crate::error::AsmError;
+
+/// Assembly section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Section {
+    Text,
+    Data,
+}
+
+/// A value expression in a data directive or immediate position:
+/// a constant, or a symbol plus constant offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Expr {
+    Imm(i64),
+    Sym(String, i64),
+}
+
+/// A relocation operator applied to a symbol expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Reloc {
+    /// Full 32-bit value (only valid where a 32-bit field exists).
+    None,
+    /// Upper 16 bits (`%hi`), paired with `%lo` via `ori`.
+    Hi,
+    /// Lower 16 bits (`%lo`), zero-extended semantics.
+    Lo,
+    /// Offset from the global pointer (`%gprel`).
+    GpRel,
+}
+
+/// One instruction operand as parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Operand {
+    Reg(Reg),
+    /// Immediate or symbolic value with an optional relocation operator.
+    Val(Reloc, Expr),
+    /// `off(base)` memory reference.
+    Mem { off: Expr, base: Reg },
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stmt {
+    Label(String),
+    Section(Section),
+    Word(Vec<Expr>),
+    Half(Vec<i64>),
+    Byte(Vec<i64>),
+    Ascii(Vec<u8>),
+    Asciiz(Vec<u8>),
+    Space(u32),
+    Align(u32),
+    Func { name: String, arity: u8 },
+    EndFunc,
+    Insn { mnemonic: String, operands: Vec<Operand> },
+}
+
+/// A statement with its source line for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Item {
+    pub line: u32,
+    pub stmt: Stmt,
+}
+
+fn err(line: u32, msg: impl Into<String>) -> AsmError {
+    AsmError::new(line, msg)
+}
+
+/// Splits a statement body on top-level commas (quotes and parentheses
+/// protect commas inside them).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => escaped = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '(' if !in_str && !in_char => depth += 1,
+            ')' if !in_str && !in_char => depth = depth.saturating_sub(1),
+            ',' if !in_str && !in_char && depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() || !out.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Strips `#` / `//` comments outside string and character literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if escaped {
+            escaped = false;
+            i += 1;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => escaped = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '#' if !in_str && !in_char => return &line[..i],
+            '/' if !in_str && !in_char && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Parses an integer literal: decimal, `0x` hex, `0b` binary, `'c'` char,
+/// with optional leading `-`.
+pub(crate) fn parse_int(s: &str, line: u32) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad hex literal `{s}`")))?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).map_err(|_| err(line, format!("bad binary literal `{s}`")))?
+    } else if body.starts_with('\'') {
+        let inner = body
+            .strip_prefix('\'')
+            .and_then(|b| b.strip_suffix('\''))
+            .ok_or_else(|| err(line, format!("bad char literal `{s}`")))?;
+        let bytes = unescape(inner, line)?;
+        if bytes.len() != 1 {
+            return Err(err(line, format!("char literal `{s}` must be one byte")));
+        }
+        i64::from(bytes[0])
+    } else {
+        body.parse::<i64>().map_err(|_| err(line, format!("bad integer literal `{s}`")))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `sym`, `sym+N`, `sym-N`, or a bare integer into an [`Expr`].
+fn parse_expr(s: &str, line: u32) -> Result<Expr, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    let first = s.chars().next().unwrap();
+    if first.is_ascii_digit() || first == '-' || first == '\'' {
+        return Ok(Expr::Imm(parse_int(s, line)?));
+    }
+    // Symbol with optional +/- offset.
+    if let Some(pos) = s.find(['+', '-']) {
+        let (name, off) = s.split_at(pos);
+        let name = name.trim();
+        if !is_ident(name) {
+            return Err(err(line, format!("bad symbol `{name}`")));
+        }
+        return Ok(Expr::Sym(name.to_string(), parse_int(off, line)?));
+    }
+    if !is_ident(s) {
+        return Err(err(line, format!("bad symbol `{s}`")));
+    }
+    Ok(Expr::Sym(s.to_string(), 0))
+}
+
+/// Parses one instruction operand.
+fn parse_operand(s: &str, line: u32) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty operand"));
+    }
+    if s.starts_with('$') {
+        return Ok(Operand::Reg(
+            s.parse::<Reg>().map_err(|e| err(line, e.to_string()))?,
+        ));
+    }
+    // Relocation operators.
+    for (prefix, reloc) in
+        [("%hi(", Reloc::Hi), ("%lo(", Reloc::Lo), ("%gprel(", Reloc::GpRel)]
+    {
+        if let Some(rest) = s.strip_prefix(prefix) {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
+            return Ok(Operand::Val(reloc, parse_expr(inner, line)?));
+        }
+    }
+    // off(base) memory reference.
+    if let Some(open) = s.find('(') {
+        if s.ends_with(')') {
+            let off_str = s[..open].trim();
+            let base_str = s[open + 1..s.len() - 1].trim();
+            let off = if off_str.is_empty() { Expr::Imm(0) } else { parse_expr(off_str, line)? };
+            let base =
+                base_str.parse::<Reg>().map_err(|e| err(line, e.to_string()))?;
+            return Ok(Operand::Mem { off, base });
+        }
+    }
+    Ok(Operand::Val(Reloc::None, parse_expr(s, line)?))
+}
+
+/// Decodes the escapes in a string/char literal body.
+fn unescape(s: &str, line: u32) -> Result<Vec<u8>, AsmError> {
+    let mut out = Vec::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        let esc = chars.next().ok_or_else(|| err(line, "dangling escape"))?;
+        out.push(match esc {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '\'' => b'\'',
+            '"' => b'"',
+            other => return Err(err(line, format!("unknown escape `\\{other}`"))),
+        });
+    }
+    Ok(out)
+}
+
+fn parse_string_literal(s: &str, line: u32) -> Result<Vec<u8>, AsmError> {
+    let inner = s
+        .trim()
+        .strip_prefix('"')
+        .and_then(|b| b.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected string literal, got `{s}`")))?;
+    unescape(inner, line)
+}
+
+fn parse_int_list(body: &str, line: u32) -> Result<Vec<i64>, AsmError> {
+    split_operands(body).into_iter().map(|p| parse_int(p, line)).collect()
+}
+
+fn parse_directive(dir: &str, body: &str, line: u32) -> Result<Option<Stmt>, AsmError> {
+    let stmt = match dir {
+        ".text" => Stmt::Section(Section::Text),
+        ".data" => Stmt::Section(Section::Data),
+        ".word" => Stmt::Word(
+            split_operands(body)
+                .into_iter()
+                .map(|p| parse_expr(p, line))
+                .collect::<Result<_, _>>()?,
+        ),
+        ".half" => Stmt::Half(parse_int_list(body, line)?),
+        ".byte" => Stmt::Byte(parse_int_list(body, line)?),
+        ".ascii" => Stmt::Ascii(parse_string_literal(body, line)?),
+        ".asciiz" => {
+            let mut bytes = parse_string_literal(body, line)?;
+            bytes.push(0);
+            Stmt::Asciiz(bytes)
+        }
+        ".space" => {
+            let n = parse_int(body, line)?;
+            if !(0..=(1 << 30)).contains(&n) {
+                return Err(err(line, format!(".space size {n} out of range")));
+            }
+            Stmt::Space(n as u32)
+        }
+        ".align" => {
+            let n = parse_int(body, line)?;
+            if !(0..=16).contains(&n) {
+                return Err(err(line, format!(".align {n} out of range")));
+            }
+            Stmt::Align(n as u32)
+        }
+        ".globl" | ".global" | ".ent" | ".end" | ".set" => return Ok(None), // accepted, ignored
+        ".func" => {
+            let parts = split_operands(body);
+            if parts.len() != 2 {
+                return Err(err(line, ".func expects `name, arity`"));
+            }
+            if !is_ident(parts[0]) {
+                return Err(err(line, format!("bad function name `{}`", parts[0])));
+            }
+            let arity = parse_int(parts[1], line)?;
+            if !(0..=16).contains(&arity) {
+                return Err(err(line, format!("arity {arity} out of range")));
+            }
+            Stmt::Func { name: parts[0].to_string(), arity: arity as u8 }
+        }
+        ".endfunc" => Stmt::EndFunc,
+        other => return Err(err(line, format!("unknown directive `{other}`"))),
+    };
+    Ok(Some(stmt))
+}
+
+/// Parses source text into a list of items.
+pub(crate) fn parse(src: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = (idx + 1) as u32;
+        let mut rest = strip_comment(raw).trim();
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if !is_ident(head) {
+                break;
+            }
+            items.push(Item { line, stmt: Stmt::Label(head.to_string()) });
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (head, body) = match rest.find(char::is_whitespace) {
+            Some(pos) => (&rest[..pos], rest[pos..].trim()),
+            None => (rest, ""),
+        };
+        if head.starts_with('.') {
+            if let Some(stmt) = parse_directive(head, body, line)? {
+                items.push(Item { line, stmt });
+            }
+        } else {
+            let operands = if body.is_empty() {
+                Vec::new()
+            } else {
+                split_operands(body)
+                    .into_iter()
+                    .map(|p| parse_operand(p, line))
+                    .collect::<Result<_, _>>()?
+            };
+            items.push(Item {
+                line,
+                stmt: Stmt::Insn { mnemonic: head.to_ascii_lowercase(), operands },
+            });
+        }
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_comments() {
+        let items = parse("a: b: add $v0, $a0, $a1 # sum\n// whole-line\n").unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].stmt, Stmt::Label("a".into()));
+        assert_eq!(items[1].stmt, Stmt::Label("b".into()));
+        match &items[2].stmt {
+            Stmt::Insn { mnemonic, operands } => {
+                assert_eq!(mnemonic, "add");
+                assert_eq!(operands.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives() {
+        let src = r#"
+            .data
+            .word 1, -2, 0x10, sym, sym+8
+            .byte 'a', '\n', 255
+            .half 1000
+            .asciiz "hi\0\\"
+            .space 16
+            .align 2
+            .globl main
+        "#;
+        let items = parse(src).unwrap();
+        let kinds: Vec<_> = items.iter().map(|i| &i.stmt).collect();
+        assert!(matches!(kinds[0], Stmt::Section(Section::Data)));
+        match kinds[1] {
+            Stmt::Word(es) => {
+                assert_eq!(es[0], Expr::Imm(1));
+                assert_eq!(es[1], Expr::Imm(-2));
+                assert_eq!(es[2], Expr::Imm(16));
+                assert_eq!(es[3], Expr::Sym("sym".into(), 0));
+                assert_eq!(es[4], Expr::Sym("sym".into(), 8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match kinds[2] {
+            Stmt::Byte(bs) => assert_eq!(bs, &[i64::from(b'a'), 10, 255]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match kinds[4] {
+            Stmt::Asciiz(bs) => assert_eq!(bs, &[b'h', b'i', 0, b'\\', 0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(kinds[5], Stmt::Space(16)));
+        assert!(matches!(kinds[6], Stmt::Align(2)));
+        assert_eq!(items.len(), 7); // .globl dropped
+    }
+
+    #[test]
+    fn operand_forms() {
+        let items = parse("lw $t0, -8($sp)\nlui $t1, %hi(tab)\naddi $t2, $gp, %gprel(x)").unwrap();
+        match &items[0].stmt {
+            Stmt::Insn { operands, .. } => {
+                assert_eq!(operands[0], Operand::Reg(Reg::T0));
+                assert_eq!(operands[1], Operand::Mem { off: Expr::Imm(-8), base: Reg::SP });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &items[1].stmt {
+            Stmt::Insn { operands, .. } => {
+                assert_eq!(operands[1], Operand::Val(Reloc::Hi, Expr::Sym("tab".into(), 0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &items[2].stmt {
+            Stmt::Insn { operands, .. } => {
+                assert_eq!(operands[2], Operand::Val(Reloc::GpRel, Expr::Sym("x".into(), 0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn func_directives() {
+        let items = parse(".func foo, 3\n.endfunc").unwrap();
+        assert_eq!(items[0].stmt, Stmt::Func { name: "foo".into(), arity: 3 });
+        assert_eq!(items[1].stmt, Stmt::EndFunc);
+        assert!(parse(".func foo").is_err());
+        assert!(parse(".func foo, 99").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("lw $t0, (").is_err());
+        assert!(parse("add $bogus, $a0, $a1").is_err());
+        assert!(parse(".word 0x").is_err());
+        assert!(parse(".wat 3").is_err());
+        assert!(parse(".asciiz nope").is_err());
+        let e = parse("\n\nadd $t0, $zz, $t1").unwrap_err();
+        assert_eq!(e.line(), 3);
+    }
+
+    #[test]
+    fn char_and_negative_ints() {
+        assert_eq!(parse_int("'A'", 1).unwrap(), 65);
+        assert_eq!(parse_int("'\\n'", 1).unwrap(), 10);
+        assert_eq!(parse_int("-0x10", 1).unwrap(), -16);
+        assert_eq!(parse_int("0b101", 1).unwrap(), 5);
+        assert!(parse_int("''", 1).is_err());
+    }
+
+    #[test]
+    fn commas_in_strings_protected() {
+        let items = parse(r#".asciiz "a,b""#).unwrap();
+        match &items[0].stmt {
+            Stmt::Asciiz(bs) => assert_eq!(bs, &[b'a', b',', b'b', 0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property test: the textual form of any instruction (its `Display`)
+//! assembles back to the identical instruction — i.e. disassembly and
+//! assembly are inverses over the whole ISA.
+
+use instrep_asm::assemble;
+use instrep_isa::{
+    decode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+/// Instructions whose `Display` form is valid assembler input.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let alu = (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_reg())
+        .prop_map(|(i, rd, rs, rt)| Insn::alu(AluOp::ALL[i], rd, rs, rt));
+    let imm = (0usize..ImmOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(i, rt, rs, imm)| {
+            let op = ImmOp::ALL[i];
+            // Logical immediates print signed but assemble unsigned; keep
+            // them non-negative so text round-trips.
+            let imm = if op.sign_extends() { imm } else { imm & 0x7fff };
+            Insn::imm(op, rt, rs, imm)
+        },
+    );
+    let shift = (0usize..ShiftOp::ALL.len(), arb_reg(), arb_reg(), 0u8..32)
+        .prop_map(|(i, rd, rt, shamt)| Insn::Shift { op: ShiftOp::ALL[i], rd, rt, shamt });
+    let lui = (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Insn::Lui { rt, imm });
+    let mem = (0usize..MemOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(i, rt, base, off)| {
+            let op = match MemOp::ALL[i] {
+                MemOp::Store(MemWidth::ByteUnsigned) => MemOp::Store(MemWidth::Byte),
+                MemOp::Store(MemWidth::HalfUnsigned) => MemOp::Store(MemWidth::Half),
+                other => other,
+            };
+            Insn::Mem { op, rt, base, off }
+        },
+    );
+    let branch = (0usize..BranchOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(i, rs, rt, off)| {
+            let op = BranchOp::ALL[i];
+            let rt = if op.uses_rt() { rt } else { Reg::ZERO };
+            Insn::Branch { op, rs, rt, off }
+        },
+    );
+    let jump = (any::<bool>(), 0u32..=0x03ff_ffff)
+        .prop_map(|(link, target)| Insn::Jump { link, target });
+    let jr = arb_reg().prop_map(|rs| Insn::Jr { rs });
+    let jalr = (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs });
+    prop_oneof![
+        alu,
+        imm,
+        shift,
+        lui,
+        mem,
+        branch,
+        jump,
+        jr,
+        jalr,
+        Just(Insn::Syscall),
+        Just(Insn::Break),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_assembles_back(insns in proptest::collection::vec(arb_insn(), 1..40)) {
+        let mut src = String::from(".text\n");
+        for insn in &insns {
+            src.push_str(&insn.to_string());
+            src.push('\n');
+        }
+        let image = assemble(&src)
+            .unwrap_or_else(|e| panic!("assembly of disassembly failed: {e}\n{src}"));
+        prop_assert_eq!(image.text.len(), insns.len());
+        for (word, want) in image.text.iter().zip(&insns) {
+            prop_assert_eq!(decode(*word).expect("assembled word decodes"), *want);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md §8 calls out:
+//!
+//! * reuse-buffer geometry (size × associativity) against Table 10's
+//!   8K/4-way point;
+//! * the tracker's 2000-instance buffer cap against smaller caps
+//!   (quantifying the Figure 3 observation that many instructions need
+//!   hundreds of tracked instances);
+//! * a last-value-only tracker, the degenerate cap=1 point used by
+//!   last-value prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instrep_core::{RepetitionTracker, ReuseBuffer, ReuseConfig, TrackerConfig};
+use instrep_sim::{Machine, Trace};
+use instrep_workloads::{by_name, Scale};
+
+fn record(name: &str, max: u64) -> (instrep_asm::Image, Trace) {
+    let wl = by_name(name).expect("workload exists");
+    let image = wl.build().expect("builds");
+    let mut m = Machine::new(&image);
+    m.set_input(wl.input(Scale::Tiny, 7));
+    let trace = Trace::record(&mut m, max).unwrap();
+    (image, trace)
+}
+
+fn bench_reuse_geometry(c: &mut Criterion) {
+    let (_, rec) = record("ijpeg", 150_000);
+    let mut g = c.benchmark_group("ablation/reuse_geometry");
+    g.throughput(Throughput::Elements(rec.len() as u64));
+    for entries in [1024usize, 8192, 32768] {
+        for ways in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("{entries}x{ways}")),
+                &(entries, ways),
+                |b, &(entries, ways)| {
+                    b.iter(|| {
+                        let mut buf = ReuseBuffer::new(ReuseConfig { entries, ways });
+                        for ev in rec.events() {
+                            buf.observe(ev, false);
+                        }
+                        buf.stats().hits
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_tracker_cap(c: &mut Criterion) {
+    let (image, rec) = record("li", 150_000);
+    let mut g = c.benchmark_group("ablation/tracker_cap");
+    g.throughput(Throughput::Elements(rec.len() as u64));
+    for cap in [1usize, 16, 256, 2000] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut t = RepetitionTracker::new(
+                    TrackerConfig { max_instances: cap },
+                    image.text.len(),
+                );
+                let mut repeated = 0u64;
+                for ev in rec.events() {
+                    repeated += u64::from(t.observe(ev));
+                }
+                repeated
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reuse_geometry, bench_tracker_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Per-analysis overhead: each observer's cost on a recorded event
+//! trace, isolating tracker / global / function / local / reuse costs
+//! from simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use instrep_core::{
+    FunctionAnalysis, GlobalAnalysis, LocalAnalysis, RepetitionTracker, ReuseBuffer, ReuseConfig,
+    TrackerConfig,
+};
+use instrep_isa::abi::region_of;
+use instrep_sim::{Machine, Trace};
+use instrep_workloads::{by_name, Scale};
+
+struct Recorded {
+    image: instrep_asm::Image,
+    trace: Trace,
+}
+
+fn record(name: &str, max: u64) -> Recorded {
+    let wl = by_name(name).expect("workload exists");
+    let image = wl.build().expect("builds");
+    let mut m = Machine::new(&image);
+    m.set_input(wl.input(Scale::Tiny, 7));
+    let trace = Trace::record(&mut m, max).unwrap();
+    Recorded { image, trace }
+}
+
+fn bench_observers(c: &mut Criterion) {
+    let trace = record("vortex", 200_000);
+    let n = trace.trace.len() as u64;
+    let data_end = trace.image.data_end();
+
+    let mut g = c.benchmark_group("analyses");
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("tracker", |b| {
+        b.iter(|| {
+            let mut t = RepetitionTracker::new(TrackerConfig::default(), trace.image.text.len());
+            for ev in trace.trace.events() {
+                t.observe(ev);
+            }
+            t.dynamic_repeated()
+        })
+    });
+
+    g.bench_function("global", |b| {
+        b.iter(|| {
+            let mut a = GlobalAnalysis::new(&trace.image);
+            for ev in trace.trace.events() {
+                a.observe(ev, false, true);
+            }
+            a.counts().total()
+        })
+    });
+
+    g.bench_function("function", |b| {
+        b.iter(|| {
+            let mut a = FunctionAnalysis::new(&trace.image);
+            for ev in trace.trace.events() {
+                let region = ev.mem.map(|m| region_of(m.addr, data_end, u32::MAX / 2));
+                a.observe(ev, true, region);
+            }
+            a.total_calls()
+        })
+    });
+
+    g.bench_function("local", |b| {
+        b.iter(|| {
+            let mut a = LocalAnalysis::new(&trace.image);
+            for ev in trace.trace.events() {
+                let region = ev.mem.map(|m| region_of(m.addr, data_end, u32::MAX / 2));
+                a.observe(ev, false, true, region);
+            }
+            a.counts().total()
+        })
+    });
+
+    g.bench_function("reuse_buffer", |b| {
+        b.iter(|| {
+            let mut buf = ReuseBuffer::new(ReuseConfig::paper());
+            for ev in trace.trace.events() {
+                buf.observe(ev, false);
+            }
+            buf.stats().hits
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    use instrep_core::{analyze, AnalysisConfig};
+    let wl = by_name("compress").expect("compress exists");
+    let image = wl.build().expect("builds");
+    let input = wl.input(Scale::Tiny, 7);
+    let cfg = AnalysisConfig { window: 200_000, ..AnalysisConfig::default() };
+
+    let mut g = c.benchmark_group("analyses");
+    g.throughput(Throughput::Elements(200_000));
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| analyze(&image, input.clone(), &cfg).unwrap().dynamic_repeated)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_observers, bench_full_pipeline
+);
+criterion_main!(benches);

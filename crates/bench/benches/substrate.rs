@@ -1,0 +1,100 @@
+//! Substrate microbenchmarks: simulator, assembler, and compiler
+//! throughput. These bound how large an analysis window the machine can
+//! afford (DESIGN.md §3's scaling substitution).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use instrep_asm::assemble;
+use instrep_minicc::{build, compile};
+use instrep_sim::Machine;
+
+/// A compute-heavy MiniC program used for throughput measurement.
+const HOT_LOOP: &str = r#"
+    int tab[64];
+    int main() {
+        int i;
+        for (i = 0; i < 64; i++) tab[i] = i * i;
+        int acc = 0;
+        int n;
+        for (n = 0; n < 20000; n++) {
+            acc = (acc + tab[n & 63]) ^ (n << 1);
+        }
+        return acc & 0xff;
+    }
+"#;
+
+fn bench_sim_speed(c: &mut Criterion) {
+    let image = build(HOT_LOOP).expect("program builds");
+    // Count the exact instruction total once.
+    let mut probe = Machine::new(&image);
+    probe.run(u64::MAX, |_| {}).unwrap();
+    let insns = probe.icount();
+
+    let mut g = c.benchmark_group("substrate/sim");
+    g.throughput(Throughput::Elements(insns));
+    g.bench_function("interpret", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&image);
+            m.run(u64::MAX, |_| {}).unwrap();
+            m.icount()
+        })
+    });
+    g.bench_function("interpret_with_observer", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&image);
+            let mut outs = 0u64;
+            m.run(u64::MAX, |ev| {
+                outs += u64::from(ev.out.is_some());
+            })
+            .unwrap();
+            outs
+        })
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    // A sizeable assembly module: the compiled hot loop plus runtime.
+    let asm_text = {
+        let mut t = compile(HOT_LOOP).expect("compiles");
+        t.push_str(instrep_minicc::runtime::RUNTIME_ASM);
+        t
+    };
+    let mut g = c.benchmark_group("substrate/asm");
+    g.throughput(Throughput::Bytes(asm_text.len() as u64));
+    g.bench_function("assemble", |b| b.iter(|| assemble(&asm_text).unwrap().text.len()));
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    // The biggest real source in the repository: the li interpreter.
+    let wl = instrep_workloads::by_name("li").expect("li exists");
+    let mut src = String::from(instrep_workloads::PRELUDE);
+    src.push_str(wl.source);
+    let mut g = c.benchmark_group("substrate/minicc");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("compile_li", |b| b.iter(|| compile(&src).unwrap().len()));
+    g.bench_function("build_li", |b| b.iter(|| build(&src).unwrap().text.len()));
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    use instrep_sim::Memory;
+    let mut g = c.benchmark_group("substrate/memory");
+    g.bench_function("store_load_word", |b| {
+        let mut m = Memory::new();
+        let mut addr = 0x1000_0000u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(4) & 0x1fff_fffc | 0x1000_0000;
+            m.store_u32(addr, addr);
+            m.load_u32(addr)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_speed, bench_assembler, bench_compiler, bench_memory
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! One bench per paper table and figure: each measures the end-to-end
+//! regeneration of that result (simulation + analyses + rendering) on a
+//! representative workload at bench scale.
+//!
+//! `cargo bench -p instrep-bench --bench tables` therefore re-derives
+//! every experiment of the paper; the printed table text is checked
+//! non-empty so a silent regression cannot pass as a fast bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instrep_core::report::{self, Named};
+use instrep_core::{analyze, AnalysisConfig, WorkloadReport};
+use instrep_workloads::{by_name, Scale};
+
+fn make_report(workload: &str) -> (String, WorkloadReport) {
+    let wl = by_name(workload).expect("workload exists");
+    let image = wl.build().expect("builds");
+    let cfg = AnalysisConfig { skip: 10_000, window: 150_000, ..AnalysisConfig::default() };
+    let r = analyze(&image, wl.input(Scale::Tiny, 1998), &cfg).expect("analyzes");
+    (wl.name.to_string(), r)
+}
+
+/// Benches one experiment: the pipeline run plus that table's rendering.
+fn bench_experiment(
+    c: &mut Criterion,
+    id: &str,
+    workload: &str,
+    render: fn(&[Named<'_>]) -> String,
+) {
+    c.bench_function(&format!("repro/{id}"), |b| {
+        b.iter(|| {
+            let (name, r) = make_report(workload);
+            let text = render(&[(name.as_str(), &r)]);
+            assert!(!text.is_empty());
+            text.len()
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    // Tables.
+    bench_experiment(c, "table1", "go", report::table1);
+    bench_experiment(c, "table2", "m88ksim", report::table2);
+    bench_experiment(c, "table3", "compress", report::table3);
+    bench_experiment(c, "table4", "ijpeg", report::table4);
+    bench_experiment(c, "table5_6_7", "vortex", report::tables5_6_7);
+    bench_experiment(c, "table8", "li", report::table8);
+    bench_experiment(c, "table9", "perl", report::table9);
+    bench_experiment(c, "table10", "gcc", report::table10);
+    // Figures.
+    bench_experiment(c, "figure1", "go", report::figure1);
+    bench_experiment(c, "figure3", "li", report::figure3);
+    bench_experiment(c, "figure4", "compress", report::figure4);
+    bench_experiment(c, "figure5", "m88ksim", report::figure5);
+    bench_experiment(c, "figure6", "vortex", report::figure6);
+    // Figure 2 is the paper's worked definition example; its executable
+    // form is the tracker's `paper_figure_2_example` unit test.
+}
+
+criterion_group!(
+    name = table_benches;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+);
+criterion_main!(table_benches);

@@ -1,0 +1,4 @@
+//! Benchmark-only crate; all content lives in `benches/`.
+//!
+//! Run `cargo bench -p instrep-bench` to regenerate the paper's tables
+//! and figures at benchmark scale and to measure substrate throughput.

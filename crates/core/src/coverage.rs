@@ -1,0 +1,149 @@
+//! Cumulative-coverage curves (paper Figures 1 and 4).
+//!
+//! Both figures ask the same question of a weighted item set: after
+//! sorting items by contribution (descending), what fraction of the items
+//! accounts for what fraction of the total?
+
+/// A cumulative coverage curve over a set of weighted items.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::Coverage;
+///
+/// // Four static instructions contributing 90, 5, 4, 1 repetitions.
+/// let cov = Coverage::new(vec![5, 90, 1, 4]);
+/// // The top 25% of instructions cover 90% of the repetition.
+/// assert_eq!(cov.coverage_at(0.25), 0.9);
+/// // 90% coverage needs only 25% of the instructions.
+/// assert_eq!(cov.items_needed(0.9), 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// Weights sorted descending.
+    sorted: Vec<u64>,
+    total: u64,
+}
+
+impl Coverage {
+    /// Builds a curve from item weights (zero-weight items are kept: they
+    /// count toward the item denominator).
+    pub fn new(mut weights: Vec<u64>) -> Coverage {
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        let total = weights.iter().sum();
+        Coverage { sorted: weights, total }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the curve has no items.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of total weight covered by the heaviest
+    /// `item_fraction` (in `[0, 1]`) of items.
+    pub fn coverage_at(&self, item_fraction: f64) -> f64 {
+        if self.total == 0 || self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = ((item_fraction * self.sorted.len() as f64).round() as usize)
+            .min(self.sorted.len());
+        let sum: u64 = self.sorted[..k].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Smallest fraction of items (heaviest first) whose weight reaches
+    /// `weight_fraction` of the total. Returns 1.0 if unreachable.
+    pub fn items_needed(&self, weight_fraction: f64) -> f64 {
+        if self.total == 0 || self.sorted.is_empty() {
+            return 1.0;
+        }
+        let target = weight_fraction * self.total as f64;
+        let mut acc = 0u64;
+        for (i, w) in self.sorted.iter().enumerate() {
+            acc += w;
+            if acc as f64 >= target {
+                return (i + 1) as f64 / self.sorted.len() as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Samples the curve at `n` evenly spaced item fractions, returning
+    /// `(item_fraction, weight_fraction)` points suitable for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        (1..=n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x, self.coverage_at(x))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<u64> for Coverage {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Coverage {
+        Coverage::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concentrated_weight() {
+        let c = Coverage::new(vec![1, 1, 1, 97]);
+        assert_eq!(c.coverage_at(0.25), 0.97);
+        assert_eq!(c.items_needed(0.97), 0.25);
+        assert_eq!(c.items_needed(0.98), 0.5);
+        assert_eq!(c.coverage_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_weight() {
+        let c = Coverage::new(vec![10; 10]);
+        assert!((c.coverage_at(0.5) - 0.5).abs() < 1e-9);
+        assert!((c.items_needed(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let c = Coverage::new(vec![]);
+        assert_eq!(c.coverage_at(0.5), 0.0);
+        assert_eq!(c.items_needed(0.5), 1.0);
+        assert!(c.is_empty());
+        let z = Coverage::new(vec![0, 0]);
+        assert_eq!(z.coverage_at(1.0), 0.0);
+        assert_eq!(z.total(), 0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c: Coverage = [3u64, 1, 4, 1, 5, 9, 2, 6].into_iter().collect();
+        let pts = c.points(8);
+        assert_eq!(pts.len(), 8);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn zero_weight_items_count_in_denominator() {
+        let c = Coverage::new(vec![100, 0, 0, 0]);
+        assert_eq!(c.coverage_at(0.25), 1.0);
+        assert_eq!(c.items_needed(1.0), 0.25);
+        assert_eq!(c.len(), 4);
+    }
+}

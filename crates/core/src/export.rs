@@ -1,0 +1,202 @@
+//! Machine-readable (CSV) export of analysis results, for plotting and
+//! downstream processing. Two long-form files cover every number the
+//! text tables print:
+//!
+//! * [`csv_summary`] — one row per benchmark with the headline scalars
+//!   (Tables 1, 2, 4, 8, 10 and the extension metrics);
+//! * [`csv_breakdowns`] — long-form `(bench, analysis, category, metric,
+//!   value)` rows covering Tables 3 and 5–7, the figures' coverage
+//!   curves, and the instruction-class extension.
+
+use std::fmt::Write as _;
+
+use crate::classes::InsnClass;
+use crate::global::GlobalTag;
+use crate::local::LocalCat;
+use crate::report::Named;
+
+/// Quotes a CSV field if needed (commas/quotes in benchmark names).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row per benchmark: headline scalars.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::{analyze, AnalysisConfig, export};
+///
+/// let image = instrep_minicc::build(
+///     "int main() { int i; int s = 0; for (i = 0; i < 50; i++) s += i & 3; return s; }",
+/// )?;
+/// let r = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+/// let csv = export::csv_summary(&[("demo", &r)]);
+/// assert!(csv.starts_with("bench,"));
+/// assert!(csv.lines().count() == 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn csv_summary(reports: &[Named<'_>]) -> String {
+    let mut s = String::from(
+        "bench,dynamic_total,dynamic_repeated,repetition_rate,\
+         static_total,static_executed,static_repeated,\
+         unique_repeatable,avg_repeats,\
+         funcs_called,dynamic_calls,all_arg_rate,no_arg_rate,\
+         pure_rate,pure_all_arg_rate,\
+         reuse_hit_rate,reuse_capture_rate,\
+         lvp_hit_rate,lvp_output_only_share,stride_hit_rate,prologue_top5_coverage\n",
+    );
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.6},{},{},{},{},{:.3},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            field(name),
+            r.dynamic_total,
+            r.dynamic_repeated,
+            r.repetition_rate(),
+            r.static_total,
+            r.static_executed,
+            r.static_repeated,
+            r.unique_repeatable,
+            r.avg_repeats,
+            r.funcs_called,
+            r.dynamic_calls,
+            r.all_arg_rate,
+            r.no_arg_rate,
+            r.pure_rate,
+            r.pure_all_arg_rate,
+            r.reuse.hit_rate(),
+            r.reuse.repeated_capture_rate(),
+            r.predict.hit_rate(),
+            r.predict.output_only_share(),
+            r.stride.hit_rate(),
+            r.prologue_coverage,
+        );
+    }
+    s
+}
+
+/// Long-form breakdown rows: `bench,analysis,category,metric,value`.
+///
+/// Analyses exported: `global` (Table 3), `local` (Tables 5–7),
+/// `class` (extension), `static_coverage` / `instance_coverage`
+/// (Figures 1 and 4, at 9 item-fraction points), `instance_histogram`
+/// (Figure 3), `argset_coverage` (Figure 5), `load_value_coverage`
+/// (Figure 6).
+pub fn csv_breakdowns(reports: &[Named<'_>]) -> String {
+    let mut s = String::from("bench,analysis,category,metric,value\n");
+    let mut row = |bench: &str, analysis: &str, cat: &str, metric: &str, value: f64| {
+        let _ = writeln!(s, "{},{analysis},{},{metric},{value:.6}", field(bench), field(cat));
+    };
+    for (name, r) in reports {
+        for tag in GlobalTag::ALL {
+            row(name, "global", tag.label(), "overall_share", r.global.overall_share(tag));
+            row(name, "global", tag.label(), "repeated_share", r.global.repeated_share(tag));
+            row(name, "global", tag.label(), "propensity", r.global.propensity(tag));
+        }
+        for cat in LocalCat::ALL {
+            row(name, "local", cat.label(), "overall_share", r.local.overall_share(cat));
+            row(name, "local", cat.label(), "repeated_share", r.local.repeated_share(cat));
+            row(name, "local", cat.label(), "propensity", r.local.propensity(cat));
+        }
+        for class in InsnClass::ALL {
+            row(name, "class", class.label(), "overall_share", r.classes.overall_share(class));
+            row(name, "class", class.label(), "propensity", r.classes.propensity(class));
+        }
+        for i in 1..=9 {
+            let x = f64::from(i) / 10.0;
+            let cat = format!("{}%", i * 10);
+            row(name, "static_coverage", &cat, "coverage_at", r.static_coverage.coverage_at(x));
+            row(
+                name,
+                "instance_coverage",
+                &cat,
+                "coverage_at",
+                r.instance_coverage.coverage_at(x),
+            );
+        }
+        let buckets = ["1", "2-10", "11-100", "101-1000", "1001+"];
+        for (b, label) in buckets.iter().enumerate() {
+            row(name, "instance_histogram", label, "repetition_share", r.instance_histogram[b]);
+        }
+        for (k, v) in r.argset_coverage.iter().enumerate() {
+            row(name, "argset_coverage", &format!("k={}", k + 1), "coverage", *v);
+        }
+        for (k, v) in r.load_value_coverage.iter().enumerate() {
+            row(name, "load_value_coverage", &format!("k={}", k + 1), "coverage", *v);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze, AnalysisConfig};
+
+    fn sample() -> crate::pipeline::WorkloadReport {
+        let image = instrep_minicc::build(
+            r#"
+            int f(int x) { return x * 3; }
+            int main() {
+                int i; int s = 0;
+                for (i = 0; i < 60; i++) s += f(i & 3);
+                return s & 0xff;
+            }
+            "#,
+        )
+        .unwrap();
+        analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn summary_csv_is_rectangular() {
+        let r = sample();
+        let csv = csv_summary(&[("a,b", &r), ("plain", &r)]);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        assert_eq!(header_cols, 21);
+        // Quoted benchmark name survives as one field.
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("\"a,b\""));
+        for line in csv.lines().skip(1) {
+            // Naive count works for our numeric fields; the quoted name
+            // adds exactly one comma inside quotes.
+            let extra = usize::from(line.starts_with('"'));
+            assert_eq!(line.split(',').count(), header_cols + extra, "{line}");
+        }
+    }
+
+    #[test]
+    fn breakdown_csv_covers_all_analyses() {
+        let r = sample();
+        let csv = csv_breakdowns(&[("demo", &r)]);
+        for needle in [
+            ",global,", ",local,", ",class,", ",static_coverage,", ",instance_coverage,",
+            ",instance_histogram,", ",argset_coverage,", ",load_value_coverage,",
+        ] {
+            assert!(csv.contains(needle), "missing {needle}");
+        }
+        // Shares parse as floats in [0, 1].
+        for line in csv.lines().skip(1) {
+            let v: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&v) || v > 1.0, "bad value in {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_rows_sum_to_one() {
+        let r = sample();
+        let csv = csv_breakdowns(&[("demo", &r)]);
+        let sum: f64 = csv
+            .lines()
+            .filter(|l| l.contains(",instance_histogram,"))
+            .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+    }
+}

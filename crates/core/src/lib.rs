@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! Instruction-repetition analyses — the reproduction of Sodani & Sohi,
+//! *An Empirical Analysis of Instruction Repetition* (ASPLOS 1998).
+//!
+//! The crate consumes the event stream of the [`instrep_sim`] functional
+//! simulator and produces every measurement the paper reports:
+//!
+//! * [`RepetitionTracker`] — the core definition: a dynamic instruction is
+//!   *repeated* when an earlier instance of the same static instruction
+//!   had the same inputs and outputs (Tables 1–2, Figures 1–4).
+//! * [`GlobalAnalysis`] — dataflow tagging by ultimate value source:
+//!   external input ≻ global init data ≻ program internals ≻ uninit
+//!   (Table 3).
+//! * [`FunctionAnalysis`] — per-call argument-tuple repetition and
+//!   side-effect/implicit-input freedom (Tables 4 and 8, Figure 5).
+//! * [`LocalAnalysis`] — within-function categorization: prologue,
+//!   epilogue, global address calculation, SP arithmetic, returns, and
+//!   the argument/return-value/global/heap/internal source slices
+//!   (Tables 5–7 and 9, Figure 6).
+//! * [`ReuseBuffer`] — the 8K-entry 4-way reuse buffer (Table 10).
+//! * [`analyze`] — a one-pass pipeline wiring all of the above, with the
+//!   paper's skip-then-measure methodology.
+//! * [`report`] — text renderers matching the paper's table layouts.
+//!
+//! # Examples
+//!
+//! ```
+//! use instrep_core::{analyze, AnalysisConfig};
+//!
+//! let image = instrep_minicc::build(r#"
+//!     int main() {
+//!         int i; int s = 0;
+//!         for (i = 0; i < 1000; i++) s += i & 7;
+//!         return s & 0xff;
+//!     }
+//! "#)?;
+//! let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+//! println!("repetition rate: {:.1}%", report.repetition_rate() * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod classes;
+mod coverage;
+pub mod export;
+mod function;
+mod global;
+mod local;
+mod pipeline;
+mod predict;
+pub mod report;
+mod reuse;
+mod tracker;
+
+pub use classes::{ClassAnalysis, ClassCounts, InsnClass};
+pub use coverage::Coverage;
+pub use function::{FuncStats, FunctionAnalysis};
+pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
+pub use local::{LocalAnalysis, LocalCat, LocalCounts};
+pub use pipeline::{analyze, steady_state_check, AnalysisConfig, WorkloadReport};
+pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

@@ -1,0 +1,526 @@
+//! Local (within-function) analysis (paper §5.3; Tables 5–7 and 9,
+//! Figure 6).
+//!
+//! Each dynamic instruction is binned into one of ten categories, using
+//! two classification criteria:
+//!
+//! * **task-based** (checked first): `prologue`, `epilogue`,
+//!   `glb_addr_calc`, `return`, and `SP` arithmetic;
+//! * **source-based**: the supersede rule
+//!   `arguments ≻ return values ≻ global/heap ≻ function internals`
+//!   over per-register value tags that are re-established at every call
+//!   boundary, exactly as in the paper: argument registers are tagged
+//!   *argument* on entry, `$v0` is tagged *return value* after a call
+//!   returns, loads from the data segment re-tag as *global*, loads from
+//!   the heap as *heap*, and stack memory preserves the tag of the value
+//!   spilled into it.
+//!
+//! Prologue/epilogue detection follows the paper: on function entry all
+//! registers except the argument registers are marked frame-uninitialized;
+//! stores of such registers to the stack are prologue (and their slots
+//! remembered), loads from remembered slots are epilogue, and stack
+//! allocation/deallocation instructions join the respective category.
+
+use std::collections::HashMap;
+
+use instrep_asm::Image;
+use instrep_isa::abi::{self, Region};
+use instrep_isa::{ImmOp, Insn, Reg};
+use instrep_sim::{CtrlEffect, Event};
+
+/// The ten local-analysis categories, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LocalCat {
+    /// Callee-saved register saves and stack allocation.
+    Prologue = 0,
+    /// Restores of saved registers and stack deallocation.
+    Epilogue = 1,
+    /// Slices originating from immediates inside the function.
+    FuncInternal = 2,
+    /// Global-variable address formation (gp-relative or immediate).
+    GlbAddrCalc = 3,
+    /// Function returns (`jr $ra`).
+    Return = 4,
+    /// Arithmetic on the stack pointer (other than frame alloc/dealloc).
+    Sp = 5,
+    /// Slices originating from values returned by callees.
+    ReturnValue = 6,
+    /// Slices originating from function arguments.
+    Argument = 7,
+    /// Slices originating from data-segment loads.
+    Global = 8,
+    /// Slices originating from heap loads.
+    Heap = 9,
+}
+
+impl LocalCat {
+    /// All categories in reporting order (paper Tables 5–7 rows).
+    pub const ALL: [LocalCat; 10] = [
+        LocalCat::Prologue,
+        LocalCat::Epilogue,
+        LocalCat::FuncInternal,
+        LocalCat::GlbAddrCalc,
+        LocalCat::Return,
+        LocalCat::Sp,
+        LocalCat::ReturnValue,
+        LocalCat::Argument,
+        LocalCat::Global,
+        LocalCat::Heap,
+    ];
+
+    /// Row label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalCat::Prologue => "prologue",
+            LocalCat::Epilogue => "epilogue",
+            LocalCat::FuncInternal => "function internals",
+            LocalCat::GlbAddrCalc => "glb_addr_calc",
+            LocalCat::Return => "return",
+            LocalCat::Sp => "SP",
+            LocalCat::ReturnValue => "return values",
+            LocalCat::Argument => "arguments",
+            LocalCat::Global => "global",
+            LocalCat::Heap => "heap",
+        }
+    }
+}
+
+/// Value-source tag, ordered by supersede priority (higher wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+enum SrcTag {
+    FnInternal = 0,
+    Heap = 1,
+    Global = 2,
+    ReturnValue = 3,
+    Argument = 4,
+}
+
+impl SrcTag {
+    fn to_cat(self) -> LocalCat {
+        match self {
+            SrcTag::FnInternal => LocalCat::FuncInternal,
+            SrcTag::Heap => LocalCat::Heap,
+            SrcTag::Global => LocalCat::Global,
+            SrcTag::ReturnValue => LocalCat::ReturnValue,
+            SrcTag::Argument => LocalCat::Argument,
+        }
+    }
+}
+
+/// Per-category counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalCounts {
+    /// Dynamic instructions per category.
+    pub overall: [u64; 10],
+    /// Repeated dynamic instructions per category.
+    pub repeated: [u64; 10],
+}
+
+impl LocalCounts {
+    /// Total instructions counted.
+    pub fn total(&self) -> u64 {
+        self.overall.iter().sum()
+    }
+
+    /// Table 5: category share of all dynamic instructions.
+    pub fn overall_share(&self, cat: LocalCat) -> f64 {
+        ratio(self.overall[cat as usize], self.total())
+    }
+
+    /// Table 6: category share of all repeated instructions.
+    pub fn repeated_share(&self, cat: LocalCat) -> f64 {
+        ratio(self.repeated[cat as usize], self.repeated.iter().sum())
+    }
+
+    /// Table 7: fraction of the category's instructions that repeated.
+    pub fn propensity(&self, cat: LocalCat) -> f64 {
+        ratio(self.repeated[cat as usize], self.overall[cat as usize])
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Cap on distinct values profiled per global/heap load (Figure 6).
+const MAX_LOAD_VALUES: usize = 4096;
+
+/// Value profile of one static global/heap load instruction.
+#[derive(Debug, Clone, Default)]
+struct LoadProfile {
+    values: HashMap<u32, u64>,
+}
+
+/// One call-stack frame of the local analysis.
+#[derive(Debug, Clone)]
+struct LocalFrame {
+    /// Index into the image's function metadata, if known.
+    func: Option<usize>,
+    /// Registers not yet written in this frame (prologue-save candidates).
+    unwritten: u32,
+    /// Stack addresses written by prologue saves.
+    saved_slots: Vec<u32>,
+}
+
+/// The local (within-function) categorization analysis.
+#[derive(Debug)]
+pub struct LocalAnalysis {
+    /// Per-register source tags.
+    tags: [SrcTag; 32],
+    /// Per-register flag: value is a pure global-address-calculation
+    /// product (derived only from gp / data-segment immediates).
+    gaddr: u32,
+    /// Shadow tags for stack words (spills preserve provenance).
+    stack_tags: HashMap<u32, SrcTag>,
+    frames: Vec<LocalFrame>,
+    counts: LocalCounts,
+    /// Prologue+epilogue repetition per function (paper Table 9).
+    pe_repeats: Vec<u64>,
+    pe_total: u64,
+    /// Figure 6 value profiles per static load index.
+    load_profiles: HashMap<u32, LoadProfile>,
+    /// Names/sizes from image metadata, for reports.
+    func_names: Vec<(String, u32)>,
+    /// Declared arity per function.
+    arities: Vec<u8>,
+    by_entry: HashMap<u32, usize>,
+}
+
+impl LocalAnalysis {
+    /// Creates the analysis for a loaded image.
+    pub fn new(image: &Image) -> LocalAnalysis {
+        let mut by_entry = HashMap::new();
+        let mut func_names = Vec::with_capacity(image.funcs.len());
+        let mut arities = Vec::with_capacity(image.funcs.len());
+        for (i, meta) in image.funcs.iter().enumerate() {
+            by_entry.insert(meta.entry, i);
+            func_names.push((meta.name.clone(), meta.size_insns()));
+            arities.push(meta.arity);
+        }
+        LocalAnalysis {
+            tags: [SrcTag::FnInternal; 32],
+            gaddr: 0,
+            stack_tags: HashMap::new(),
+            frames: vec![LocalFrame { func: None, unwritten: 0, saved_slots: Vec::new() }],
+            counts: LocalCounts::default(),
+            pe_repeats: vec![0; image.funcs.len()],
+            pe_total: 0,
+            load_profiles: HashMap::new(),
+            func_names,
+            arities,
+            by_entry,
+        }
+    }
+
+    fn tag(&self, r: Reg) -> SrcTag {
+        if r == Reg::ZERO {
+            SrcTag::FnInternal
+        } else {
+            self.tags[r.number() as usize]
+        }
+    }
+
+    fn set_tag(&mut self, r: Reg, t: SrcTag) {
+        if r != Reg::ZERO {
+            self.tags[r.number() as usize] = t;
+        }
+    }
+
+    fn is_gaddr(&self, r: Reg) -> bool {
+        r == Reg::GP || (self.gaddr >> r.number()) & 1 == 1
+    }
+
+    fn set_gaddr(&mut self, r: Reg, v: bool) {
+        if r == Reg::ZERO {
+            return;
+        }
+        if v {
+            self.gaddr |= 1 << r.number();
+        } else {
+            self.gaddr &= !(1 << r.number());
+        }
+    }
+
+    /// Observes one retired instruction, classifying it and updating tag
+    /// and frame state. `region` classifies a memory access's address;
+    /// `repeated` is the tracker verdict; statistics accumulate only when
+    /// `counting`.
+    pub fn observe(&mut self, ev: &Event, repeated: bool, counting: bool, region: Option<Region>) {
+        let cat = self.classify(ev, region);
+
+        // -- statistics --
+        if counting {
+            self.counts.overall[cat as usize] += 1;
+            if repeated {
+                self.counts.repeated[cat as usize] += 1;
+            }
+            if matches!(cat, LocalCat::Prologue | LocalCat::Epilogue) && repeated {
+                self.pe_total += 1;
+                if let Some(fi) = self.frames.last().and_then(|f| f.func) {
+                    self.pe_repeats[fi] += 1;
+                }
+            }
+            if matches!(cat, LocalCat::Global | LocalCat::Heap) {
+                if let Some(mem) = ev.mem {
+                    if mem.is_load && matches!(region, Some(Region::Data | Region::Heap)) {
+                        let profile = self.load_profiles.entry(ev.index).or_default();
+                        if profile.values.len() < MAX_LOAD_VALUES
+                            || profile.values.contains_key(&mem.value)
+                        {
+                            *profile.values.entry(mem.value).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // -- state propagation --
+        self.propagate(ev, region);
+    }
+
+    /// Determines the instruction's category (task-based first, then
+    /// source tags) *before* state is updated.
+    fn classify(&mut self, ev: &Event, region: Option<Region>) -> LocalCat {
+        match ev.insn {
+            // Returns.
+            Insn::Jr { rs } if rs == Reg::RA => return LocalCat::Return,
+            // Stack allocation / deallocation.
+            Insn::Imm { op: ImmOp::Addi, rt, rs, imm } if rt == Reg::SP && rs == Reg::SP => {
+                return if imm < 0 { LocalCat::Prologue } else { LocalCat::Epilogue };
+            }
+            // Prologue saves: store of a not-yet-written register to the
+            // stack.
+            Insn::Mem { op, rt, base, .. } if !op.is_load() => {
+                if let Some(mem) = ev.mem {
+                    if region == Some(Region::Stack) {
+                        let frame = self.frames.last_mut().expect("frame stack never empty");
+                        if (frame.unwritten >> rt.number()) & 1 == 1 && base == Reg::SP {
+                            frame.saved_slots.push(mem.addr);
+                            return LocalCat::Prologue;
+                        }
+                    }
+                }
+            }
+            // Epilogue restores: load from a remembered save slot.
+            Insn::Mem { op, base, .. } if op.is_load() => {
+                if let Some(mem) = ev.mem {
+                    if region == Some(Region::Stack) && base == Reg::SP {
+                        let frame = self.frames.last().expect("frame stack never empty");
+                        if frame.saved_slots.contains(&mem.addr) {
+                            return LocalCat::Epilogue;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Global address calculation: instructions deriving a value
+        // purely from gp or data-segment address immediates.
+        match ev.insn {
+            Insn::Lui { .. } => {
+                if (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome()) {
+                    return LocalCat::GlbAddrCalc;
+                }
+                return LocalCat::FuncInternal;
+            }
+            Insn::Imm { rs, .. } if self.is_gaddr(rs) => return LocalCat::GlbAddrCalc,
+            Insn::Alu { rs, rt, .. }
+                if (self.is_gaddr(rs) || rs == Reg::ZERO)
+                    && (self.is_gaddr(rt) || rt == Reg::ZERO)
+                    && (self.is_gaddr(rs) || self.is_gaddr(rt)) =>
+            {
+                return LocalCat::GlbAddrCalc;
+            }
+            _ => {}
+        }
+
+        // SP arithmetic (frame alloc/dealloc already handled above).
+        let uses = ev.insn.uses();
+        if !ev.insn.is_load() && !ev.insn.is_store()
+            && uses.into_iter().flatten().any(|r| r == Reg::SP) {
+                return LocalCat::Sp;
+            }
+
+        // Source-based classification.
+        let mut tag = SrcTag::FnInternal;
+        for r in uses.into_iter().flatten() {
+            if r != Reg::SP {
+                tag = tag.max(self.tag(r));
+            }
+        }
+        if let Some(mem) = ev.mem {
+            if mem.is_load {
+                tag = tag.max(self.data_tag(mem.addr, region));
+            }
+        }
+        tag.to_cat()
+    }
+
+    /// The source tag of loaded data: region-based re-tagging for global
+    /// and heap data, provenance-preserving for the stack.
+    fn data_tag(&self, addr: u32, region: Option<Region>) -> SrcTag {
+        match region {
+            Some(Region::Data) => SrcTag::Global,
+            Some(Region::Heap) => SrcTag::Heap,
+            Some(Region::Stack) => {
+                self.stack_tags.get(&(addr & !3)).copied().unwrap_or(SrcTag::FnInternal)
+            }
+            _ => SrcTag::FnInternal,
+        }
+    }
+
+    fn propagate(&mut self, ev: &Event, region: Option<Region>) {
+        // Result tag.
+        if let Some(dst) = ev.insn.def() {
+            let new_tag = match ev.insn {
+                Insn::Jump { link: true, .. } | Insn::Jalr { .. } => SrcTag::FnInternal,
+                Insn::Lui { .. } => SrcTag::FnInternal,
+                Insn::Mem { op, .. } if op.is_load() => {
+                    let addr = ev.mem.map(|m| m.addr).unwrap_or(0);
+                    self.data_tag(addr, region)
+                }
+                _ => {
+                    let mut t = SrcTag::FnInternal;
+                    for r in ev.insn.uses().into_iter().flatten() {
+                        if r != Reg::SP {
+                            t = t.max(self.tag(r));
+                        }
+                    }
+                    t
+                }
+            };
+            self.set_tag(dst, new_tag);
+
+            // gaddr flag propagation.
+            let g = match ev.insn {
+                Insn::Lui { .. } => {
+                    (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome())
+                }
+                Insn::Imm { rs, .. } => self.is_gaddr(rs),
+                Insn::Alu { rs, rt, .. } => {
+                    (self.is_gaddr(rs) || rs == Reg::ZERO)
+                        && (self.is_gaddr(rt) || rt == Reg::ZERO)
+                        && (self.is_gaddr(rs) || self.is_gaddr(rt))
+                }
+                _ => false,
+            };
+            self.set_gaddr(dst, g);
+
+            // Mark register written in this frame.
+            let frame = self.frames.last_mut().expect("frame stack never empty");
+            frame.unwritten &= !(1 << dst.number());
+        }
+
+        // Stack stores preserve provenance.
+        if let Some(mem) = ev.mem {
+            if !mem.is_load && region == Some(Region::Stack) {
+                if let Insn::Mem { rt, .. } = ev.insn {
+                    let t = self.tag(rt);
+                    self.stack_tags.insert(mem.addr & !3, t);
+                }
+            }
+        }
+
+        // Call/return boundaries.
+        match ev.ctrl {
+            Some(CtrlEffect::Call { target, sp, .. }) => {
+                let func = self.by_entry.get(&target).copied();
+                let arity =
+                    func.map(|fi| usize::from(self.image_arity(fi))).unwrap_or(4).min(8);
+                // Tag argument registers.
+                for i in 0..arity.min(4) {
+                    self.set_tag(Reg::arg(i).expect("register argument"), SrcTag::Argument);
+                }
+                // Tag incoming stack-argument slots.
+                for i in 4..arity {
+                    let slot = sp.wrapping_add(16 + 4 * (i as u32 - 4));
+                    self.stack_tags.insert(slot & !3, SrcTag::Argument);
+                }
+                // All registers except the argument registers start
+                // frame-uninitialized (prologue-save candidates).
+                let mut unwritten = u32::MAX;
+                unwritten &= !(1 << Reg::ZERO.number());
+                unwritten &= !(1 << Reg::SP.number());
+                unwritten &= !(1 << Reg::GP.number());
+                for i in 0..arity.min(4) {
+                    unwritten &= !(1 << Reg::arg(i).expect("register argument").number());
+                }
+                self.frames.push(LocalFrame { func, unwritten, saved_slots: Vec::new() });
+            }
+            Some(CtrlEffect::Return { .. }) => {
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    self.frames.push(LocalFrame {
+                        func: None,
+                        unwritten: 0,
+                        saved_slots: Vec::new(),
+                    });
+                }
+                // The caller sees the callee's result as a return value.
+                self.set_tag(Reg::V0, SrcTag::ReturnValue);
+                self.set_tag(Reg::V1, SrcTag::ReturnValue);
+            }
+            Some(CtrlEffect::Syscall { .. }) => {
+                self.set_tag(Reg::V0, SrcTag::ReturnValue);
+            }
+            _ => {}
+        }
+    }
+
+    fn image_arity(&self, fi: usize) -> u8 {
+        self.arities.get(fi).copied().unwrap_or(4)
+    }
+
+    /// Accumulated category counters.
+    pub fn counts(&self) -> &LocalCounts {
+        &self.counts
+    }
+
+    /// Top contributors to prologue+epilogue repetition (paper Table 9):
+    /// `(name, static size in instructions, repeated P/E instructions)`,
+    /// sorted descending, plus the fraction of all P/E repetition the
+    /// first `k` cover.
+    pub fn prologue_report(&self, k: usize) -> (Vec<(String, u32, u64)>, f64) {
+        let mut rows: Vec<(String, u32, u64)> = self
+            .func_names
+            .iter()
+            .zip(&self.pe_repeats)
+            .filter(|(_, &reps)| reps > 0)
+            .map(|((name, size), &reps)| (name.clone(), *size, reps))
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+        rows.truncate(k);
+        let covered: u64 = rows.iter().map(|r| r.2).sum();
+        (rows, ratio(covered, self.pe_total))
+    }
+
+    /// Figure 6: fraction of global+heap load repetition covered by each
+    /// load's `k` most frequent values, for `k` in `1..=max_k`. A load
+    /// instance repeating value `v` counts as covered when `v` is among
+    /// that static load's top `k` values.
+    pub fn load_value_coverage(&self, max_k: usize) -> Vec<f64> {
+        (1..=max_k)
+            .map(|k| {
+                let mut covered = 0u64;
+                let mut total = 0u64;
+                for p in self.load_profiles.values() {
+                    let mut counts: Vec<u64> = p.values.values().copied().collect();
+                    counts.sort_unstable_by(|a, b| b.cmp(a));
+                    covered += counts.iter().take(k).map(|c| c.saturating_sub(1)).sum::<u64>();
+                    total += counts.iter().map(|c| c.saturating_sub(1)).sum::<u64>();
+                }
+                ratio(covered, total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,371 @@
+//! One-pass analysis pipeline: runs a program on the simulator with every
+//! analysis attached, mirroring the paper's methodology (skip the
+//! initialization phase, then measure a fixed window).
+//!
+//! During the skip phase all analyses still *propagate state* (dataflow
+//! tags, call stacks, shadow memory) but accumulate no statistics, so the
+//! measured window has correct provenance for every value it observes.
+
+use instrep_asm::Image;
+use instrep_sim::{Machine, RunOutcome, SimError};
+
+use crate::classes::{ClassAnalysis, ClassCounts};
+use crate::coverage::Coverage;
+use crate::function::FunctionAnalysis;
+use crate::global::{GlobalAnalysis, GlobalCounts};
+use crate::local::{LocalAnalysis, LocalCounts};
+use crate::predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+use crate::tracker::{RepetitionTracker, TrackerConfig};
+
+/// Configuration for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Repetition-tracker configuration (instance buffer size).
+    pub tracker: TrackerConfig,
+    /// Reuse-buffer geometry (Table 10).
+    pub reuse: ReuseConfig,
+    /// Instructions to execute before measurement begins (the paper
+    /// skipped 0.5–2.5 billion; scale to the workload).
+    pub skip: u64,
+    /// Maximum instructions to measure after the skip.
+    pub window: u64,
+    /// `k` for the top-k reports (Table 9, Figures 5 and 6).
+    pub top_k: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            tracker: TrackerConfig::default(),
+            reuse: ReuseConfig::paper(),
+            skip: 0,
+            window: u64::MAX,
+            top_k: 5,
+        }
+    }
+}
+
+/// Everything the paper reports for one benchmark, produced by a single
+/// simulation pass. See `DESIGN.md` for the experiment-by-experiment map.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// Whether the program ran to completion inside the window.
+    pub outcome: RunOutcome,
+    /// Dynamic instructions measured (Table 1, *Total*).
+    pub dynamic_total: u64,
+    /// Measured instructions classified repeated (Table 1, *Repeat %*).
+    pub dynamic_repeated: u64,
+    /// Static instructions in the text segment (Table 1, *Total*).
+    pub static_total: usize,
+    /// Static instructions executed in the window (Table 1, *Executed*).
+    pub static_executed: usize,
+    /// Executed static instructions with repetition (Table 1, *Repeated*).
+    pub static_repeated: usize,
+    /// Unique repeatable instances (Table 2, *Count*).
+    pub unique_repeatable: u64,
+    /// Average repeats per unique repeatable instance (Table 2).
+    pub avg_repeats: f64,
+    /// Figure 1: coverage of dynamic repetition by repeated static
+    /// instructions (heaviest first).
+    pub static_coverage: Coverage,
+    /// Figure 3: repetition share by unique-repeatable-instance bucket.
+    pub instance_histogram: [f64; 5],
+    /// Figure 4: coverage of repetition by unique repeatable instances.
+    pub instance_coverage: Coverage,
+    /// Table 3: global source analysis counters.
+    pub global: GlobalCounts,
+    /// Static functions called (Table 4).
+    pub funcs_called: usize,
+    /// Dynamic calls (Table 4).
+    pub dynamic_calls: u64,
+    /// Fraction of calls with all arguments repeated (Table 4).
+    pub all_arg_rate: f64,
+    /// Fraction of calls with no argument repeated (Table 4).
+    pub no_arg_rate: f64,
+    /// Fraction of calls that were side-effect- and implicit-input-free
+    /// (Table 8, column 2).
+    pub pure_rate: f64,
+    /// Fraction of all-arg-repeated calls that were pure (Table 8,
+    /// column 3).
+    pub pure_all_arg_rate: f64,
+    /// Figure 5: all-arg repetition covered by top-k argument sets,
+    /// `k = 1..=top_k`.
+    pub argset_coverage: Vec<f64>,
+    /// Tables 5–7: local category counters.
+    pub local: LocalCounts,
+    /// Table 9: top prologue/epilogue contributors
+    /// `(name, static size, repeated P/E instructions)` and the fraction
+    /// of all P/E repetition they cover.
+    pub prologue_top: Vec<(String, u32, u64)>,
+    /// Table 9 coverage column.
+    pub prologue_coverage: f64,
+    /// Figure 6: global+heap load repetition covered by each load's
+    /// top-k values, `k = 1..=top_k`.
+    pub load_value_coverage: Vec<f64>,
+    /// Table 10: reuse-buffer statistics.
+    pub reuse: ReuseStats,
+    /// Extension: per-instruction-class breakdown (the total analysis
+    /// the paper's §2 defers).
+    pub classes: ClassCounts,
+    /// Extension: unbounded last-value-predictor statistics (the §7
+    /// value-prediction comparison point).
+    pub predict: PredictStats,
+    /// Extension: unbounded two-delta stride-predictor statistics.
+    pub stride: StrideStats,
+}
+
+impl WorkloadReport {
+    /// Fraction of measured dynamic instructions repeated.
+    pub fn repetition_rate(&self) -> f64 {
+        if self.dynamic_total == 0 {
+            0.0
+        } else {
+            self.dynamic_repeated as f64 / self.dynamic_total as f64
+        }
+    }
+
+    /// Fraction of static instructions executed.
+    pub fn static_executed_rate(&self) -> f64 {
+        if self.static_total == 0 {
+            0.0
+        } else {
+            self.static_executed as f64 / self.static_total as f64
+        }
+    }
+
+    /// Fraction of executed static instructions that repeated.
+    pub fn static_repeated_rate(&self) -> f64 {
+        if self.static_executed == 0 {
+            0.0
+        } else {
+            self.static_repeated as f64 / self.static_executed as f64
+        }
+    }
+}
+
+/// Runs every analysis over one program in a single simulation pass.
+///
+/// # Errors
+///
+/// Propagates simulator traps ([`SimError`]); a trap indicates a workload
+/// or compiler bug, not a property of the analyses.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::{analyze, AnalysisConfig};
+/// use instrep_minicc::build;
+///
+/// let image = build(r#"
+///     int sq(int x) { return x * x; }
+///     int main() {
+///         int i; int s = 0;
+///         for (i = 0; i < 100; i++) s += sq(i % 10);
+///         return s;
+///     }
+/// "#)?;
+/// let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+/// assert!(report.repetition_rate() > 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+) -> Result<WorkloadReport, SimError> {
+    let mut machine = Machine::new(image);
+    machine.set_input(input);
+
+    let mut tracker = RepetitionTracker::new(cfg.tracker, image.text.len());
+    let mut global = GlobalAnalysis::new(image);
+    let mut function = FunctionAnalysis::new(image);
+    let mut local = LocalAnalysis::new(image);
+    let mut reuse = ReuseBuffer::new(cfg.reuse);
+    let mut classes = ClassAnalysis::new();
+    let mut predict = LastValuePredictor::new();
+    let mut stride = StridePredictor::new();
+
+    // Skip phase: propagate analysis state without counting. The tracker
+    // is idle during the skip (buffering starts with measurement, as in
+    // the paper).
+    // Region classification: the simulator traps accesses between the
+    // real heap break and the stack region, so any surviving address in
+    // (data_end, STACK_REGION_BASE) is heap — pass the stack base as the
+    // effective break.
+    let pseudo_brk = instrep_isa::abi::STACK_REGION_BASE;
+    let mut outcome = RunOutcome::MaxedOut;
+    if cfg.skip > 0 {
+        outcome = machine.run(cfg.skip, |ev| {
+            let region = ev.mem.map(|m| {
+                instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk)
+            });
+            global.observe(ev, false, false);
+            function.observe(ev, false, region);
+            local.observe(ev, false, false, region);
+        })?;
+    }
+
+    // Measurement window.
+    if machine.exit_code().is_none() {
+        outcome = machine.run(cfg.window, |ev| {
+            let region = ev.mem.map(|m| {
+                instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk)
+            });
+            let repeated = tracker.observe(ev);
+            global.observe(ev, repeated, true);
+            function.observe(ev, true, region);
+            local.observe(ev, repeated, true, region);
+            reuse.observe(ev, repeated);
+            classes.observe(ev, repeated, true);
+            predict.observe(ev, repeated);
+            stride.observe(ev);
+        })?;
+    }
+
+    let static_coverage = tracker
+        .static_stats()
+        .iter()
+        .filter(|s| s.repeated > 0)
+        .map(|s| s.repeated)
+        .collect();
+    let instance_coverage = Coverage::new(tracker.instance_repeat_counts());
+    let (prologue_top, prologue_coverage) = local.prologue_report(cfg.top_k);
+
+    Ok(WorkloadReport {
+        outcome,
+        dynamic_total: tracker.dynamic_total(),
+        dynamic_repeated: tracker.dynamic_repeated(),
+        static_total: tracker.static_total(),
+        static_executed: tracker.static_executed(),
+        static_repeated: tracker.static_repeated(),
+        unique_repeatable: tracker.unique_repeatable_instances(),
+        avg_repeats: tracker.avg_repeats(),
+        static_coverage,
+        instance_histogram: tracker.instance_histogram(),
+        instance_coverage,
+        global: *global.counts(),
+        funcs_called: function.static_called(),
+        dynamic_calls: function.total_calls(),
+        all_arg_rate: function.all_arg_rate(),
+        no_arg_rate: function.no_arg_rate(),
+        pure_rate: function.pure_rate(),
+        pure_all_arg_rate: function.pure_all_arg_rate(),
+        argset_coverage: function.top_argset_coverage(cfg.top_k),
+        local: *local.counts(),
+        prologue_top,
+        prologue_coverage,
+        load_value_coverage: local.load_value_coverage(cfg.top_k),
+        reuse: *reuse.stats(),
+        classes: *classes.counts(),
+        predict: *predict.stats(),
+        stride: *stride.stats(),
+    })
+}
+
+/// The paper's §3 steady-state verification: runs the overall local
+/// analysis at two window sizes and returns the largest absolute
+/// difference in category shares. Small values indicate the short window
+/// measures a steady-state region.
+///
+/// # Errors
+///
+/// Propagates simulator traps.
+pub fn steady_state_check(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+    factor: u64,
+) -> Result<f64, SimError> {
+    let short = analyze(image, input.clone(), cfg)?;
+    let mut long_cfg = *cfg;
+    long_cfg.window = cfg.window.saturating_mul(factor);
+    let long = analyze(image, input, &long_cfg)?;
+    let mut max_dev: f64 = 0.0;
+    for cat in crate::local::LocalCat::ALL {
+        let dev = (short.local.overall_share(cat) - long.local.overall_share(cat)).abs();
+        max_dev = max_dev.max(dev);
+    }
+    Ok(max_dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_minicc::build;
+
+    fn small_image() -> Image {
+        build(
+            r#"
+            int tab[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+            int lookup(int i) { return tab[i & 15]; }
+            int main() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 500; i++) s += lookup(i & 7);
+                return s & 0xff;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_analysis() {
+        let image = small_image();
+        let report = analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap();
+        assert!(matches!(report.outcome, RunOutcome::Exited(_)));
+        assert!(report.dynamic_total > 1000);
+        // A tight loop calling a pure-ish lookup repeats heavily.
+        assert!(report.repetition_rate() > 0.6, "rate = {}", report.repetition_rate());
+        assert!(report.dynamic_calls >= 500);
+        // lookup(i & 7) cycles through 8 tuples: heavy all-arg repetition.
+        assert!(report.all_arg_rate > 0.9);
+        // Counters are consistent.
+        assert_eq!(report.global.total(), report.dynamic_total);
+        assert_eq!(report.local.total(), report.dynamic_total);
+        assert_eq!(report.reuse.total, report.dynamic_total);
+        assert_eq!(report.static_coverage.total(), report.dynamic_repeated);
+        assert_eq!(report.instance_coverage.total(), report.dynamic_repeated);
+        let h: f64 = report.instance_histogram.iter().sum();
+        assert!((h - 1.0).abs() < 1e-9);
+        // The reuse buffer captures a large share of such a small loop.
+        assert!(report.reuse.repeated_capture_rate() > 0.5);
+        // Prologue/epilogue exist (lookup is called from main).
+        use crate::local::LocalCat;
+        assert!(report.local.overall[LocalCat::Prologue as usize] > 0);
+        assert!(report.local.overall[LocalCat::Return as usize] >= 500);
+    }
+
+    #[test]
+    fn skip_phase_excludes_startup() {
+        let image = small_image();
+        let full = analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap();
+        let skipped = analyze(
+            &image,
+            Vec::new(),
+            &AnalysisConfig { skip: 1000, ..AnalysisConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(skipped.dynamic_total + 1000, full.dynamic_total);
+        // Repetition persists in the steady-state region.
+        assert!(skipped.repetition_rate() > 0.6);
+    }
+
+    #[test]
+    fn window_truncates() {
+        let image = small_image();
+        let cfg = AnalysisConfig { window: 2000, ..AnalysisConfig::default() };
+        let report = analyze(&image, Vec::new(), &cfg).unwrap();
+        assert_eq!(report.outcome, RunOutcome::MaxedOut);
+        assert_eq!(report.dynamic_total, 2000);
+    }
+
+    #[test]
+    fn steady_state_is_stable_for_uniform_loop() {
+        let image = small_image();
+        let cfg = AnalysisConfig { skip: 2000, window: 4000, ..AnalysisConfig::default() };
+        let dev = steady_state_check(&image, Vec::new(), &cfg, 4).unwrap();
+        assert!(dev < 0.15, "deviation {dev}");
+    }
+}

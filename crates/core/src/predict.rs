@@ -1,0 +1,256 @@
+//! Last-value predictor — the value-prediction comparison point for the
+//! paper's §7 discussion.
+//!
+//! Where the reuse buffer (Table 10) requires the *inputs* to match
+//! before supplying a result non-speculatively, a last-value predictor
+//! (Lipasti & Shen) speculates that an instruction will produce the same
+//! *output* as its previous instance, inputs unseen. Comparing the two
+//! hit rates on the same trace quantifies the paper's point that
+//! repetition characteristics should inform both mechanisms.
+
+use std::collections::HashMap;
+
+use instrep_sim::Event;
+
+/// Statistics from the predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictStats {
+    /// Instructions with a register result observed.
+    pub predictable: u64,
+    /// Correct last-value predictions.
+    pub correct: u64,
+    /// Correct predictions whose instruction the tracker also classified
+    /// repeated (input-and-output match).
+    pub correct_and_repeated: u64,
+}
+
+impl PredictStats {
+    /// Last-value hit rate over result-producing instructions.
+    pub fn hit_rate(&self) -> f64 {
+        if self.predictable == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictable as f64
+        }
+    }
+
+    /// Fraction of correct predictions that were *not* full repetitions:
+    /// output repeated while inputs changed — the value-locality surplus
+    /// a predictor exploits and a reuse buffer cannot.
+    pub fn output_only_share(&self) -> f64 {
+        if self.correct == 0 {
+            0.0
+        } else {
+            (self.correct - self.correct_and_repeated) as f64 / self.correct as f64
+        }
+    }
+}
+
+/// An unbounded per-static-instruction last-value table.
+///
+/// Unbounded capacity makes this the *upper bound* for any finite
+/// last-value predictor, the cleanest comparison against Table 10.
+#[derive(Debug, Default)]
+pub struct LastValuePredictor {
+    last: HashMap<u32, u32>,
+    stats: PredictStats,
+}
+
+impl LastValuePredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> LastValuePredictor {
+        LastValuePredictor::default()
+    }
+
+    /// Observes one retired instruction; returns whether the last-value
+    /// prediction would have been correct. Instructions without a
+    /// register result are not predicted.
+    pub fn observe(&mut self, ev: &Event, repeated: bool) -> bool {
+        let Some(out) = ev.out else { return false };
+        self.stats.predictable += 1;
+        let hit = match self.last.insert(ev.index, out) {
+            Some(prev) => prev == out,
+            None => false,
+        };
+        if hit {
+            self.stats.correct += 1;
+            if repeated {
+                self.stats.correct_and_repeated += 1;
+            }
+        }
+        hit
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PredictStats {
+        &self.stats
+    }
+}
+
+/// Statistics from the stride predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrideStats {
+    /// Instructions with a register result observed.
+    pub predictable: u64,
+    /// Correct stride predictions.
+    pub correct: u64,
+}
+
+impl StrideStats {
+    /// Stride hit rate over result-producing instructions.
+    pub fn hit_rate(&self) -> f64 {
+        if self.predictable == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictable as f64
+        }
+    }
+}
+
+/// An unbounded two-delta stride predictor (Wang & Franklin's hybrid
+/// component): predicts `last + stride`, updating the stride only after
+/// it has been observed twice in a row, which filters one-off jumps.
+///
+/// Together with [`LastValuePredictor`] this brackets the §7 discussion:
+/// last-value captures constancy, stride captures arithmetic sequences
+/// (loop counters, addresses) that never *repeat* under the paper's
+/// definition at all.
+#[derive(Debug, Default)]
+pub struct StridePredictor {
+    /// Per static instruction: (last value, confirmed stride, candidate
+    /// stride).
+    table: HashMap<u32, (u32, u32, u32)>,
+    stats: StrideStats,
+}
+
+impl StridePredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> StridePredictor {
+        StridePredictor::default()
+    }
+
+    /// Observes one retired instruction; returns whether the stride
+    /// prediction would have been correct.
+    pub fn observe(&mut self, ev: &Event) -> bool {
+        let Some(out) = ev.out else { return false };
+        self.stats.predictable += 1;
+        let hit = match self.table.get_mut(&ev.index) {
+            None => {
+                self.table.insert(ev.index, (out, 0, 0));
+                false
+            }
+            Some((last, stride, candidate)) => {
+                let predicted = last.wrapping_add(*stride);
+                let hit = predicted == out;
+                let new_delta = out.wrapping_sub(*last);
+                if new_delta == *candidate {
+                    *stride = new_delta;
+                } else {
+                    *candidate = new_delta;
+                }
+                *last = out;
+                hit
+            }
+        };
+        if hit {
+            self.stats.correct += 1;
+        }
+        hit
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &StrideStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_isa::{AluOp, Insn, Reg};
+
+    fn ev(index: u32, in1: u32, out: Option<u32>) -> Event {
+        Event {
+            pc: 0x40_0000 + index * 4,
+            index,
+            insn: Insn::alu(AluOp::Add, Reg::V0, Reg::A0, Reg::A1),
+            in1,
+            in2: 0,
+            out,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    #[test]
+    fn predicts_stable_outputs() {
+        let mut p = LastValuePredictor::new();
+        assert!(!p.observe(&ev(0, 1, Some(7)), false)); // cold
+        assert!(p.observe(&ev(0, 1, Some(7)), true)); // same in+out
+        assert!(p.observe(&ev(0, 2, Some(7)), false)); // same OUT, new inputs
+        assert!(!p.observe(&ev(0, 2, Some(9)), false)); // output changed
+        let s = p.stats();
+        assert_eq!(s.predictable, 4);
+        assert_eq!(s.correct, 2);
+        assert_eq!(s.correct_and_repeated, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert!((s.output_only_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_resultless_instructions() {
+        let mut p = LastValuePredictor::new();
+        assert!(!p.observe(&ev(0, 1, None), false));
+        assert_eq!(p.stats().predictable, 0);
+    }
+
+    #[test]
+    fn per_static_isolation() {
+        let mut p = LastValuePredictor::new();
+        p.observe(&ev(0, 1, Some(5)), false);
+        assert!(!p.observe(&ev(1, 1, Some(5)), false)); // different pc
+        assert!(p.observe(&ev(1, 1, Some(5)), true));
+    }
+
+    #[test]
+    fn stride_predicts_arithmetic_sequences() {
+        let mut p = StridePredictor::new();
+        // Loop counter 10, 13, 16, 19, ...: two observations confirm the
+        // stride, after which every value hits.
+        let mut hits = 0;
+        for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
+            hits += u32::from(p.observe(&ev(0, i as u32, Some(v))));
+        }
+        // First value is cold; second has stride 0; third confirms the
+        // candidate stride; values from the fourth onward all hit.
+        assert_eq!(hits, 7, "stats: {:?}", p.stats());
+        // A last-value predictor scores zero on the same stream.
+        let mut lvp = LastValuePredictor::new();
+        let mut lvp_hits = 0;
+        for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
+            lvp_hits += u32::from(lvp.observe(&ev(0, i as u32, Some(v)), false));
+        }
+        assert_eq!(lvp_hits, 0);
+    }
+
+    #[test]
+    fn stride_zero_degenerates_to_last_value() {
+        let mut p = StridePredictor::new();
+        assert!(!p.observe(&ev(0, 0, Some(7))));
+        assert!(p.observe(&ev(0, 0, Some(7))));
+        assert!(p.observe(&ev(0, 0, Some(7))));
+        assert!((p.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_off_jump_does_not_destroy_stride() {
+        let mut p = StridePredictor::new();
+        for v in [0u32, 1, 2, 3] {
+            p.observe(&ev(0, 0, Some(v)));
+        }
+        // Jump, then resume the old stride from the new base: the
+        // confirmed stride (1) survives the single disturbance.
+        assert!(!p.observe(&ev(0, 0, Some(100))));
+        assert!(p.observe(&ev(0, 0, Some(101))));
+    }
+}

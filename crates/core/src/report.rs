@@ -1,0 +1,424 @@
+//! Text rendering of the paper's tables and figures.
+//!
+//! Every function takes `(benchmark name, report)` pairs and returns a
+//! plain-text table with benchmarks as columns, in the layout of the
+//! paper. The `instrep-repro` binary prints these; tests assert on their
+//! structure.
+
+use std::fmt::Write as _;
+
+use crate::classes::InsnClass;
+use crate::global::GlobalTag;
+use crate::local::LocalCat;
+use crate::pipeline::WorkloadReport;
+
+/// A named report, as rendered into table columns.
+pub type Named<'a> = (&'a str, &'a WorkloadReport);
+
+fn header(title: &str, names: &[&str], first_col: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = write!(s, "{first_col:<22}");
+    for n in names {
+        let _ = write!(s, "{n:>10}");
+    }
+    s.push('\n');
+    let _ = writeln!(s, "{}", "-".repeat(22 + 10 * names.len()));
+    s
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+/// Table 1: dynamic/static repetition summary.
+pub fn table1(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 1: benchmarks, dynamic instructions (total, % repeated), static instructions"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12}{:>14}{:>10}{:>10}{:>10}{:>10}",
+        "bench", "dyn total", "rep %", "static", "exec %", "rep %"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(66));
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>14}{:>10}{:>10}{:>10}{:>10}",
+            name,
+            r.dynamic_total,
+            pct(r.repetition_rate()),
+            r.static_total,
+            pct(r.static_executed_rate()),
+            pct(r.static_repeated_rate()),
+        );
+    }
+    s
+}
+
+/// Figure 1: static instructions needed for 50/75/90/99% of repetition.
+pub fn figure1(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = header(
+        "Figure 1: % of repeated static instructions covering X% of dynamic repetition",
+        &names,
+        "coverage target",
+    );
+    for target in [0.5, 0.75, 0.9, 0.99] {
+        let _ = write!(s, "{:<22}", format!("{:.0}%", target * 100.0));
+        for (_, r) in reports {
+            let _ = write!(s, "{:>10}", pct(r.static_coverage.items_needed(target)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 2: unique repeatable instances and average repeats.
+pub fn table2(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: unique repeatable instances");
+    let _ = writeln!(s, "{:<12}{:>14}{:>14}", "bench", "count", "avg repeats");
+    let _ = writeln!(s, "{}", "-".repeat(40));
+    for (name, r) in reports {
+        let _ =
+            writeln!(s, "{:<12}{:>14}{:>14.0}", name, r.unique_repeatable, r.avg_repeats);
+    }
+    s
+}
+
+/// Figure 3: repetition share by unique-repeatable-instance bucket.
+pub fn figure3(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = header(
+        "Figure 3: % of repetition from static instructions with N unique repeatable instances",
+        &names,
+        "N instances",
+    );
+    let labels = ["1", "2-10", "11-100", "101-1000", "1001+"];
+    for (b, label) in labels.iter().enumerate() {
+        let _ = write!(s, "{label:<22}");
+        for (_, r) in reports {
+            let _ = write!(s, "{:>10}", pct(r.instance_histogram[b]));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Figure 4: instances needed for 50/75/90% of repetition.
+pub fn figure4(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = header(
+        "Figure 4: % of unique repeatable instances covering X% of repetition",
+        &names,
+        "coverage target",
+    );
+    for target in [0.5, 0.75, 0.9] {
+        let _ = write!(s, "{:<22}", format!("{:.0}%", target * 100.0));
+        for (_, r) in reports {
+            let _ = write!(s, "{:>10}", pct(r.instance_coverage.items_needed(target)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 3: global source analysis (overall / repeated / propensity).
+pub fn table3(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = String::new();
+    for (section, f) in [
+        ("Overall (% of all dynamic instructions)", 0),
+        ("Repeated (% of all repeated instructions)", 1),
+        ("Propensity (% of category repeated)", 2),
+    ] {
+        s.push_str(&header(&format!("Table 3 — {section}"), &names, "category"));
+        for tag in GlobalTag::ALL {
+            let _ = write!(s, "{:<22}", tag.label());
+            for (_, r) in reports {
+                let v = match f {
+                    0 => r.global.overall_share(tag),
+                    1 => r.global.repeated_share(tag),
+                    _ => r.global.propensity(tag),
+                };
+                let _ = write!(s, "{:>10}", pct(v));
+            }
+            s.push('\n');
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 4: function-level argument repetition.
+pub fn table4(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 4: function-level analysis");
+    let _ = writeln!(
+        s,
+        "{:<12}{:>8}{:>14}{:>14}{:>14}",
+        "bench", "funcs", "dyn calls", "all-arg rep%", "no-arg rep%"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(62));
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>8}{:>14}{:>14}{:>14}",
+            name,
+            r.funcs_called,
+            r.dynamic_calls,
+            pct(r.all_arg_rate),
+            pct(r.no_arg_rate),
+        );
+    }
+    s
+}
+
+/// Tables 5, 6, 7: local analysis.
+pub fn tables5_6_7(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = String::new();
+    for (title, f) in [
+        ("Table 5 — overall local analysis (% of all dynamic instructions)", 0),
+        ("Table 6 — contribution to repetition (% of repeated instructions)", 1),
+        ("Table 7 — propensity (% of category repeated)", 2),
+    ] {
+        s.push_str(&header(title, &names, "category"));
+        for cat in LocalCat::ALL {
+            let _ = write!(s, "{:<22}", cat.label());
+            for (_, r) in reports {
+                let v = match f {
+                    0 => r.local.overall_share(cat),
+                    1 => r.local.repeated_share(cat),
+                    _ => r.local.propensity(cat),
+                };
+                let _ = write!(s, "{:>10}", pct(v));
+            }
+            s.push('\n');
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 8: memoizable (side-effect- and implicit-input-free) calls.
+pub fn table8(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 8: dynamic calls without side effects or implicit inputs");
+    let _ = writeln!(s, "{:<12}{:>16}{:>24}", "bench", "% of all calls", "% of all-arg-rep calls");
+    let _ = writeln!(s, "{}", "-".repeat(52));
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>16}{:>24}",
+            name,
+            pct(r.pure_rate),
+            pct(r.pure_all_arg_rate)
+        );
+    }
+    s
+}
+
+/// Figure 5: all-arg repetition covered by the top-k argument sets.
+pub fn figure5(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = header(
+        "Figure 5: % of all-argument repetition covered by k most frequent argument sets",
+        &names,
+        "k",
+    );
+    let k_max = reports.iter().map(|(_, r)| r.argset_coverage.len()).max().unwrap_or(0);
+    for k in 0..k_max {
+        let _ = write!(s, "{:<22}", k + 1);
+        for (_, r) in reports {
+            let v = r.argset_coverage.get(k).copied().unwrap_or(0.0);
+            let _ = write!(s, "{:>10}", pct(v));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 9: top prologue/epilogue contributors per benchmark.
+pub fn table9(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 9: top-5 contributors to prologue+epilogue repetition");
+    for (name, r) in reports {
+        let _ = writeln!(s, "{name}:");
+        for (func, size, reps) in &r.prologue_top {
+            let _ = writeln!(s, "    {func:<28} size {size:>5} insns   {reps:>10} reps");
+        }
+        let _ = writeln!(s, "    coverage of all P/E repetition: {}%", pct(r.prologue_coverage));
+    }
+    s
+}
+
+/// Figure 6: global+heap load repetition covered by top-k values.
+pub fn figure6(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = header(
+        "Figure 6: % of global+heap load repetition covered by k most frequent values",
+        &names,
+        "k",
+    );
+    let k_max = reports.iter().map(|(_, r)| r.load_value_coverage.len()).max().unwrap_or(0);
+    for k in 0..k_max {
+        let _ = write!(s, "{:<22}", k + 1);
+        for (_, r) in reports {
+            let v = r.load_value_coverage.get(k).copied().unwrap_or(0.0);
+            let _ = write!(s, "{:>10}", pct(v));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 10: repetition captured by the reuse buffer.
+pub fn table10(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 10: repetition captured by 8K-entry 4-way reuse buffer");
+    let _ = writeln!(s, "{:<12}{:>16}{:>20}", "bench", "% of all inst", "% of repeated inst");
+    let _ = writeln!(s, "{}", "-".repeat(48));
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>16}{:>20}",
+            name,
+            pct(r.reuse.hit_rate()),
+            pct(r.reuse.repeated_capture_rate())
+        );
+    }
+    s
+}
+
+/// Extension table: per-instruction-class totals and propensities (the
+/// total-analysis breakdown the paper's §2 defers).
+pub fn ext_classes(reports: &[Named<'_>]) -> String {
+    let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
+    let mut s = String::new();
+    for (section, f) in
+        [("share of dynamic instructions", 0), ("propensity to repeat", 1)]
+    {
+        s.push_str(&header(
+            &format!("Extension — instruction classes ({section})"),
+            &names,
+            "class",
+        ));
+        for class in InsnClass::ALL {
+            let _ = write!(s, "{:<22}", class.label());
+            for (_, r) in reports {
+                let v = if f == 0 {
+                    r.classes.overall_share(class)
+                } else {
+                    r.classes.propensity(class)
+                };
+                let _ = write!(s, "{:>10}", pct(v));
+            }
+            s.push('\n');
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Extension table: last-value prediction vs. reuse (paper §7).
+pub fn ext_predict(reports: &[Named<'_>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: unbounded value predictors vs 8K reuse buffer");
+    let _ = writeln!(
+        s,
+        "{:<12}{:>14}{:>18}{:>14}{:>14}",
+        "bench", "LVP hit %", "output-only %", "stride hit %", "reuse hit %"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(72));
+    for (name, r) in reports {
+        let _ = writeln!(
+            s,
+            "{:<12}{:>14}{:>18}{:>14}{:>14}",
+            name,
+            pct(r.predict.hit_rate()),
+            pct(r.predict.output_only_share()),
+            pct(r.stride.hit_rate()),
+            pct(r.reuse.hit_rate()),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze, AnalysisConfig};
+
+    fn sample() -> WorkloadReport {
+        let image = instrep_minicc::build(
+            r#"
+            int f(int x) { return x + 1; }
+            int main() {
+                int i; int s = 0;
+                for (i = 0; i < 50; i++) s += f(i & 3);
+                return s;
+            }
+            "#,
+        )
+        .unwrap();
+        analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn all_tables_render() {
+        let r = sample();
+        let reports = [("demo", &r)];
+        for table in [
+            table1(&reports),
+            figure1(&reports),
+            table2(&reports),
+            figure3(&reports),
+            figure4(&reports),
+            table3(&reports),
+            table4(&reports),
+            tables5_6_7(&reports),
+            table8(&reports),
+            figure5(&reports),
+            table9(&reports),
+            figure6(&reports),
+            table10(&reports),
+            ext_classes(&reports),
+            ext_predict(&reports),
+        ] {
+            assert!(table.contains("demo"), "missing benchmark name in:\n{table}");
+            assert!(table.len() > 40);
+        }
+    }
+
+    #[test]
+    fn table1_numbers_present() {
+        let r = sample();
+        let t = table1(&[("demo", &r)]);
+        assert!(t.contains(&r.dynamic_total.to_string()));
+        assert!(t.contains(&r.static_total.to_string()));
+    }
+
+    #[test]
+    fn table3_sections() {
+        let r = sample();
+        let t = table3(&[("demo", &r)]);
+        assert!(t.contains("Overall"));
+        assert!(t.contains("Repeated"));
+        assert!(t.contains("Propensity"));
+        assert!(t.contains("global init data"));
+    }
+
+    #[test]
+    fn local_tables_have_all_categories() {
+        let r = sample();
+        let t = tables5_6_7(&[("demo", &r)]);
+        for cat in LocalCat::ALL {
+            assert!(t.contains(cat.label()), "missing {}", cat.label());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests checking the analyses against naive reference models.
+
+use std::collections::{HashMap, HashSet};
+
+use instrep_core::{
+    Coverage, LastValuePredictor, RepetitionTracker, ReuseBuffer, ReuseConfig, TrackerConfig,
+};
+use instrep_isa::{AluOp, Insn, Reg};
+use instrep_sim::Event;
+use proptest::prelude::*;
+
+fn ev(index: u32, in1: u32, in2: u32, out: u32) -> Event {
+    Event {
+        pc: 0x40_0000 + index * 4,
+        index,
+        insn: Insn::alu(AluOp::Add, Reg::V0, Reg::A0, Reg::A1),
+        in1,
+        in2,
+        out: Some(out),
+        mem: None,
+        ctrl: None,
+    }
+}
+
+/// Small value domains force collisions (repetitions) to actually occur.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0u32..6, 0u32..4, 0u32..4, 0u32..4), 1..400)
+        .prop_map(|v| v.into_iter().map(|(i, a, b, o)| ev(i, a, b, o)).collect())
+}
+
+proptest! {
+    #[test]
+    fn tracker_matches_naive_model(events in arb_events()) {
+        let statics = 8;
+        let mut tracker = RepetitionTracker::new(TrackerConfig::default(), statics);
+        // Reference: per static instruction, the set of seen instances.
+        let mut seen: Vec<HashSet<(u32, u32, u32)>> = vec![HashSet::new(); statics];
+        let mut repeated_total = 0u64;
+        for e in &events {
+            let key = (e.in1, e.in2, e.out.unwrap());
+            let expect = !seen[e.index as usize].insert(key);
+            let got = tracker.observe(e);
+            prop_assert_eq!(got, expect);
+            repeated_total += u64::from(expect);
+        }
+        prop_assert_eq!(tracker.dynamic_total(), events.len() as u64);
+        prop_assert_eq!(tracker.dynamic_repeated(), repeated_total);
+        // Unique repeatable instances == distinct keys seen at least twice.
+        let mut counts: HashMap<(u32, (u32, u32, u32)), u64> = HashMap::new();
+        for e in &events {
+            *counts.entry((e.index, (e.in1, e.in2, e.out.unwrap()))).or_insert(0) += 1;
+        }
+        let uris = counts.values().filter(|&&c| c >= 2).count() as u64;
+        prop_assert_eq!(tracker.unique_repeatable_instances(), uris);
+        // Coverage over instances must total the repeated count.
+        let cov = Coverage::new(tracker.instance_repeat_counts());
+        prop_assert_eq!(cov.total(), tracker.dynamic_repeated());
+    }
+
+    #[test]
+    fn capped_tracker_is_conservative(events in arb_events(), cap in 1usize..4) {
+        // A smaller buffer can only classify FEWER instructions repeated.
+        let mut full = RepetitionTracker::new(TrackerConfig::default(), 8);
+        let mut capped = RepetitionTracker::new(TrackerConfig { max_instances: cap }, 8);
+        for e in &events {
+            let f = full.observe(e);
+            let c = capped.observe(e);
+            prop_assert!(!c || f, "capped tracker found repetition the full one missed");
+        }
+        prop_assert!(capped.dynamic_repeated() <= full.dynamic_repeated());
+    }
+
+    #[test]
+    fn fully_associative_reuse_buffer_matches_reference(events in arb_events()) {
+        // With one set the buffer is fully associative; with capacity
+        // beyond the working set it never evicts, so a hit occurs exactly
+        // when (pc, inputs) was seen and its last outcome matches.
+        let mut buf = ReuseBuffer::new(ReuseConfig { entries: 4096, ways: 4096 });
+        let mut model: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        for e in &events {
+            let key = (e.pc, e.in1, e.in2);
+            let out = e.out.unwrap();
+            let expect = model.get(&key) == Some(&out);
+            let got = buf.observe(e, false);
+            prop_assert_eq!(got, expect);
+            model.insert(key, out);
+        }
+    }
+
+    #[test]
+    fn last_value_predictor_matches_reference(events in arb_events()) {
+        let mut p = LastValuePredictor::new();
+        let mut last: HashMap<u32, u32> = HashMap::new();
+        for e in &events {
+            let out = e.out.unwrap();
+            let expect = last.get(&e.index) == Some(&out);
+            prop_assert_eq!(p.observe(e, false), expect);
+            last.insert(e.index, out);
+        }
+        prop_assert_eq!(p.stats().predictable, events.len() as u64);
+    }
+
+    #[test]
+    fn coverage_is_sound(weights in proptest::collection::vec(0u64..1000, 1..100)) {
+        let cov = Coverage::new(weights.clone());
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(cov.total(), total);
+        // coverage_at is monotone in the item fraction.
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let c = cov.coverage_at(i as f64 / 10.0);
+            prop_assert!(c + 1e-12 >= prev);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+        }
+        // items_needed inverts coverage_at within rounding.
+        if total > 0 {
+            for target in [0.25, 0.5, 0.9] {
+                let frac = cov.items_needed(target);
+                prop_assert!(cov.coverage_at(frac) >= target - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! ABI and machine-layout constants shared by the toolchain and simulator.
+//!
+//! The address-space layout mirrors classic MIPS user programs:
+//!
+//! ```text
+//! 0x0040_0000  text segment (instructions)
+//! 0x1000_0000  data segment (globals); gp = data + 0x8000
+//! heap         grows upward from the page after the initialized data
+//! 0x7fff_f000  stack top, grows downward
+//! ```
+
+use crate::reg::Reg;
+
+/// Base address of the text (instruction) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Base address of the data (globals) segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Offset of the global pointer within the data segment. Placing `gp` at
+/// `DATA_BASE + 0x8000` lets a signed 16-bit displacement address the
+/// first 64 KiB of globals in a single instruction.
+pub const GP_OFFSET: u32 = 0x8000;
+
+/// Initial value of the `$gp` register.
+pub const GP_INIT: u32 = DATA_BASE + GP_OFFSET;
+
+/// Initial value of the `$sp` register (stack grows down).
+pub const STACK_TOP: u32 = 0x7fff_f000;
+
+/// Addresses at or above this value belong to the stack region.
+pub const STACK_REGION_BASE: u32 = 0x7000_0000;
+
+/// Register carrying the syscall number.
+pub const SYSCALL_NUM_REG: Reg = Reg::V0;
+
+/// Register receiving a syscall's result.
+pub const SYSCALL_RET_REG: Reg = Reg::V0;
+
+/// Syscall numbers accepted by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// `exit(a0)` — terminate the program with an exit code.
+    Exit,
+    /// `read(a0=fd, a1=buf, a2=len) -> v0` — read external input bytes.
+    Read,
+    /// `write(a0=fd, a1=buf, a2=len) -> v0` — write output bytes.
+    Write,
+    /// `sbrk(a0=delta) -> v0` — grow the heap, returning the old break.
+    Sbrk,
+}
+
+impl Syscall {
+    /// Decodes a syscall number from `$v0`.
+    pub fn from_number(n: u32) -> Option<Syscall> {
+        match n {
+            0 => Some(Syscall::Exit),
+            1 => Some(Syscall::Read),
+            2 => Some(Syscall::Write),
+            3 => Some(Syscall::Sbrk),
+            _ => None,
+        }
+    }
+
+    /// The number a program loads into `$v0` to request this call.
+    pub fn number(self) -> u32 {
+        match self {
+            Syscall::Exit => 0,
+            Syscall::Read => 1,
+            Syscall::Write => 2,
+            Syscall::Sbrk => 3,
+        }
+    }
+}
+
+/// The memory region an address falls in, as seen by the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Text segment (instructions).
+    Text,
+    /// Initialized or zero-initialized global data.
+    Data,
+    /// Heap, allocated through `sbrk`.
+    Heap,
+    /// Stack frames.
+    Stack,
+    /// Anything else (unmapped).
+    Other,
+}
+
+/// Classifies an address into a [`Region`] given the current heap break.
+///
+/// `data_end` is the first address past the static data image; addresses in
+/// `[DATA_BASE, data_end)` are [`Region::Data`], `[data_end, brk)` is
+/// [`Region::Heap`].
+///
+/// # Examples
+///
+/// ```
+/// use instrep_isa::abi::{region_of, Region, DATA_BASE, STACK_TOP};
+///
+/// let data_end = DATA_BASE + 0x1000;
+/// let brk = data_end + 0x2000;
+/// assert_eq!(region_of(DATA_BASE + 4, data_end, brk), Region::Data);
+/// assert_eq!(region_of(data_end + 8, data_end, brk), Region::Heap);
+/// assert_eq!(region_of(STACK_TOP - 64, data_end, brk), Region::Stack);
+/// ```
+pub fn region_of(addr: u32, data_end: u32, brk: u32) -> Region {
+    if addr >= STACK_REGION_BASE {
+        Region::Stack
+    } else if addr >= DATA_BASE {
+        if addr < data_end {
+            Region::Data
+        } else if addr < brk {
+            Region::Heap
+        } else {
+            Region::Other
+        }
+    } else if addr >= TEXT_BASE {
+        Region::Text
+    } else {
+        Region::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_numbers_round_trip() {
+        for s in [Syscall::Exit, Syscall::Read, Syscall::Write, Syscall::Sbrk] {
+            assert_eq!(Syscall::from_number(s.number()), Some(s));
+        }
+        assert_eq!(Syscall::from_number(99), None);
+    }
+
+    #[test]
+    fn regions() {
+        let data_end = DATA_BASE + 0x100;
+        let brk = DATA_BASE + 0x2000;
+        assert_eq!(region_of(TEXT_BASE, data_end, brk), Region::Text);
+        assert_eq!(region_of(DATA_BASE, data_end, brk), Region::Data);
+        assert_eq!(region_of(data_end, data_end, brk), Region::Heap);
+        assert_eq!(region_of(brk, data_end, brk), Region::Other);
+        assert_eq!(region_of(STACK_TOP, data_end, brk), Region::Stack);
+        assert_eq!(region_of(0, data_end, brk), Region::Other);
+        assert_eq!(region_of(STACK_REGION_BASE, data_end, brk), Region::Stack);
+    }
+
+    #[test]
+    fn gp_window_covers_first_64k() {
+        // gp-32768 == DATA_BASE and gp+32767 is the 64 KiB boundary.
+        assert_eq!(GP_INIT - 0x8000, DATA_BASE);
+    }
+}

@@ -1,0 +1,207 @@
+use std::fmt;
+
+use crate::encode::*;
+use crate::insn::Insn;
+use crate::op::{AluOp, BranchOp, ImmOp, MemOp, MemWidth, ShiftOp};
+use crate::reg::Reg;
+
+/// Error returned by [`decode`] for a word that is not a valid
+/// instruction encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The undecodable word.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction encoding {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not correspond to any SRV32
+/// instruction (unknown primary opcode, SPECIAL function code, or REGIMM
+/// code, or non-canonical field contents).
+///
+/// # Examples
+///
+/// ```
+/// use instrep_isa::{decode, encode, ImmOp, Insn, Reg};
+///
+/// let i = Insn::imm(ImmOp::Ori, Reg::T0, Reg::ZERO, 0x123);
+/// assert_eq!(decode(encode(&i))?, i);
+/// assert!(decode(0xffff_ffff).is_err());
+/// # Ok::<(), instrep_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let op = word >> 26;
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let shamt = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16 as i16;
+    let err = Err(DecodeError { word });
+
+    let insn = match op {
+        OP_SPECIAL => {
+            let funct = word & 0x3f;
+            let alu = |aop| Insn::Alu { op: aop, rd, rs, rt };
+            match funct {
+                FN_SLL => Insn::Shift { op: ShiftOp::Sll, rd, rt, shamt },
+                FN_SRL => Insn::Shift { op: ShiftOp::Srl, rd, rt, shamt },
+                FN_SRA => Insn::Shift { op: ShiftOp::Sra, rd, rt, shamt },
+                FN_SLLV => alu(AluOp::Sllv),
+                FN_SRLV => alu(AluOp::Srlv),
+                FN_SRAV => alu(AluOp::Srav),
+                FN_JR => Insn::Jr { rs },
+                FN_JALR => Insn::Jalr { rd, rs },
+                FN_SYSCALL => Insn::Syscall,
+                FN_BREAK => Insn::Break,
+                FN_MUL => alu(AluOp::Mul),
+                FN_DIV => alu(AluOp::Div),
+                FN_REM => alu(AluOp::Rem),
+                FN_DIVU => alu(AluOp::Divu),
+                FN_REMU => alu(AluOp::Remu),
+                FN_ADD => alu(AluOp::Add),
+                FN_SUB => alu(AluOp::Sub),
+                FN_AND => alu(AluOp::And),
+                FN_OR => alu(AluOp::Or),
+                FN_XOR => alu(AluOp::Xor),
+                FN_NOR => alu(AluOp::Nor),
+                FN_SLT => alu(AluOp::Slt),
+                FN_SLTU => alu(AluOp::Sltu),
+                _ => return err,
+            }
+        }
+        OP_REGIMM => {
+            let bop = match u32::from(rt.number()) {
+                RT_BLTZ => BranchOp::Bltz,
+                RT_BGEZ => BranchOp::Bgez,
+                _ => return err,
+            };
+            Insn::Branch { op: bop, rs, rt: Reg::ZERO, off: imm }
+        }
+        OP_J => Insn::Jump { link: false, target: word & 0x03ff_ffff },
+        OP_JAL => Insn::Jump { link: true, target: word & 0x03ff_ffff },
+        OP_BEQ => Insn::Branch { op: BranchOp::Beq, rs, rt, off: imm },
+        OP_BNE => Insn::Branch { op: BranchOp::Bne, rs, rt, off: imm },
+        OP_BLEZ => Insn::Branch { op: BranchOp::Blez, rs, rt: Reg::ZERO, off: imm },
+        OP_BGTZ => Insn::Branch { op: BranchOp::Bgtz, rs, rt: Reg::ZERO, off: imm },
+        OP_ADDI => Insn::imm(ImmOp::Addi, rt, rs, imm),
+        OP_SLTI => Insn::imm(ImmOp::Slti, rt, rs, imm),
+        OP_SLTIU => Insn::imm(ImmOp::Sltiu, rt, rs, imm),
+        OP_ANDI => Insn::imm(ImmOp::Andi, rt, rs, imm),
+        OP_ORI => Insn::imm(ImmOp::Ori, rt, rs, imm),
+        OP_XORI => Insn::imm(ImmOp::Xori, rt, rs, imm),
+        OP_LUI => Insn::Lui { rt, imm: imm as u16 },
+        OP_LB => mem(MemOp::Load(MemWidth::Byte), rt, rs, imm),
+        OP_LH => mem(MemOp::Load(MemWidth::Half), rt, rs, imm),
+        OP_LW => mem(MemOp::Load(MemWidth::Word), rt, rs, imm),
+        OP_LBU => mem(MemOp::Load(MemWidth::ByteUnsigned), rt, rs, imm),
+        OP_LHU => mem(MemOp::Load(MemWidth::HalfUnsigned), rt, rs, imm),
+        OP_SB => mem(MemOp::Store(MemWidth::Byte), rt, rs, imm),
+        OP_SH => mem(MemOp::Store(MemWidth::Half), rt, rs, imm),
+        OP_SW => mem(MemOp::Store(MemWidth::Word), rt, rs, imm),
+        _ => return err,
+    };
+    Ok(insn)
+}
+
+fn mem(op: MemOp, rt: Reg, base: Reg, off: i16) -> Insn {
+    Insn::Mem { op, rt, base, off }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn round_trip(insn: Insn) {
+        let w = encode(&insn);
+        assert_eq!(decode(w), Ok(insn), "word {w:#010x}");
+    }
+
+    #[test]
+    fn all_alu_ops_round_trip() {
+        for op in AluOp::ALL {
+            round_trip(Insn::alu(op, Reg::T3, Reg::S1, Reg::A2));
+        }
+    }
+
+    #[test]
+    fn all_imm_ops_round_trip() {
+        for op in ImmOp::ALL {
+            for imm in [-32768, -1, 0, 1, 42, 32767] {
+                round_trip(Insn::imm(op, Reg::V0, Reg::T9, imm));
+            }
+        }
+    }
+
+    #[test]
+    fn all_shift_ops_round_trip() {
+        for op in ShiftOp::ALL {
+            for shamt in [0u8, 1, 16, 31] {
+                round_trip(Insn::Shift { op, rd: Reg::T0, rt: Reg::T1, shamt });
+            }
+        }
+    }
+
+    #[test]
+    fn all_mem_ops_round_trip() {
+        for op in MemOp::ALL {
+            // Stores of sign-extending widths canonicalize; skip them.
+            if let MemOp::Store(MemWidth::ByteUnsigned | MemWidth::HalfUnsigned) = op {
+                continue;
+            }
+            round_trip(Insn::Mem { op, rt: Reg::A0, base: Reg::GP, off: -1234 });
+        }
+    }
+
+    #[test]
+    fn all_branches_round_trip() {
+        for op in BranchOp::ALL {
+            let rt = if op.uses_rt() { Reg::S5 } else { Reg::ZERO };
+            round_trip(Insn::Branch { op, rs: Reg::T2, rt, off: -7 });
+        }
+    }
+
+    #[test]
+    fn control_round_trip() {
+        round_trip(Insn::Jump { link: false, target: 0x03ff_ffff });
+        round_trip(Insn::Jump { link: true, target: 0 });
+        round_trip(Insn::Jr { rs: Reg::RA });
+        round_trip(Insn::Jalr { rd: Reg::RA, rs: Reg::T9 });
+        round_trip(Insn::Syscall);
+        round_trip(Insn::Break);
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        // Unknown primary opcode.
+        assert!(decode(0x3f << 26).is_err());
+        // Unknown SPECIAL funct.
+        assert!(decode(0x3f).is_err());
+        // Unknown REGIMM rt.
+        assert!(decode((OP_REGIMM << 26) | (5 << 16)).is_err());
+    }
+
+    #[test]
+    fn nop_is_sll_zero() {
+        assert_eq!(
+            decode(0),
+            Ok(Insn::Shift { op: ShiftOp::Sll, rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 })
+        );
+    }
+}

@@ -1,0 +1,166 @@
+use crate::insn::Insn;
+use crate::op::{AluOp, BranchOp, ImmOp, MemOp, MemWidth, ShiftOp};
+use crate::reg::Reg;
+
+// Primary opcodes (bits 31..26).
+pub(crate) const OP_SPECIAL: u32 = 0x00;
+pub(crate) const OP_REGIMM: u32 = 0x01;
+pub(crate) const OP_J: u32 = 0x02;
+pub(crate) const OP_JAL: u32 = 0x03;
+pub(crate) const OP_BEQ: u32 = 0x04;
+pub(crate) const OP_BNE: u32 = 0x05;
+pub(crate) const OP_BLEZ: u32 = 0x06;
+pub(crate) const OP_BGTZ: u32 = 0x07;
+pub(crate) const OP_ADDI: u32 = 0x08;
+pub(crate) const OP_SLTI: u32 = 0x0a;
+pub(crate) const OP_SLTIU: u32 = 0x0b;
+pub(crate) const OP_ANDI: u32 = 0x0c;
+pub(crate) const OP_ORI: u32 = 0x0d;
+pub(crate) const OP_XORI: u32 = 0x0e;
+pub(crate) const OP_LUI: u32 = 0x0f;
+pub(crate) const OP_LB: u32 = 0x20;
+pub(crate) const OP_LH: u32 = 0x21;
+pub(crate) const OP_LW: u32 = 0x23;
+pub(crate) const OP_LBU: u32 = 0x24;
+pub(crate) const OP_LHU: u32 = 0x25;
+pub(crate) const OP_SB: u32 = 0x28;
+pub(crate) const OP_SH: u32 = 0x29;
+pub(crate) const OP_SW: u32 = 0x2b;
+
+// SPECIAL function codes (bits 5..0).
+pub(crate) const FN_SLL: u32 = 0x00;
+pub(crate) const FN_SRL: u32 = 0x02;
+pub(crate) const FN_SRA: u32 = 0x03;
+pub(crate) const FN_SLLV: u32 = 0x04;
+pub(crate) const FN_SRLV: u32 = 0x06;
+pub(crate) const FN_SRAV: u32 = 0x07;
+pub(crate) const FN_JR: u32 = 0x08;
+pub(crate) const FN_JALR: u32 = 0x09;
+pub(crate) const FN_SYSCALL: u32 = 0x0c;
+pub(crate) const FN_BREAK: u32 = 0x0d;
+pub(crate) const FN_MUL: u32 = 0x18;
+pub(crate) const FN_DIV: u32 = 0x1a;
+pub(crate) const FN_REM: u32 = 0x1b;
+pub(crate) const FN_DIVU: u32 = 0x1c;
+pub(crate) const FN_REMU: u32 = 0x1d;
+pub(crate) const FN_ADD: u32 = 0x20;
+pub(crate) const FN_SUB: u32 = 0x22;
+pub(crate) const FN_AND: u32 = 0x24;
+pub(crate) const FN_OR: u32 = 0x25;
+pub(crate) const FN_XOR: u32 = 0x26;
+pub(crate) const FN_NOR: u32 = 0x27;
+pub(crate) const FN_SLT: u32 = 0x2a;
+pub(crate) const FN_SLTU: u32 = 0x2b;
+
+// REGIMM rt codes.
+pub(crate) const RT_BLTZ: u32 = 0x00;
+pub(crate) const RT_BGEZ: u32 = 0x01;
+
+pub(crate) fn alu_funct(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => FN_ADD,
+        AluOp::Sub => FN_SUB,
+        AluOp::And => FN_AND,
+        AluOp::Or => FN_OR,
+        AluOp::Xor => FN_XOR,
+        AluOp::Nor => FN_NOR,
+        AluOp::Slt => FN_SLT,
+        AluOp::Sltu => FN_SLTU,
+        AluOp::Sllv => FN_SLLV,
+        AluOp::Srlv => FN_SRLV,
+        AluOp::Srav => FN_SRAV,
+        AluOp::Mul => FN_MUL,
+        AluOp::Div => FN_DIV,
+        AluOp::Rem => FN_REM,
+        AluOp::Divu => FN_DIVU,
+        AluOp::Remu => FN_REMU,
+    }
+}
+
+pub(crate) fn imm_opcode(op: ImmOp) -> u32 {
+    match op {
+        ImmOp::Addi => OP_ADDI,
+        ImmOp::Slti => OP_SLTI,
+        ImmOp::Sltiu => OP_SLTIU,
+        ImmOp::Andi => OP_ANDI,
+        ImmOp::Ori => OP_ORI,
+        ImmOp::Xori => OP_XORI,
+    }
+}
+
+pub(crate) fn mem_opcode(op: MemOp) -> u32 {
+    match op {
+        MemOp::Load(MemWidth::Byte) => OP_LB,
+        MemOp::Load(MemWidth::ByteUnsigned) => OP_LBU,
+        MemOp::Load(MemWidth::Half) => OP_LH,
+        MemOp::Load(MemWidth::HalfUnsigned) => OP_LHU,
+        MemOp::Load(MemWidth::Word) => OP_LW,
+        MemOp::Store(MemWidth::Byte | MemWidth::ByteUnsigned) => OP_SB,
+        MemOp::Store(MemWidth::Half | MemWidth::HalfUnsigned) => OP_SH,
+        MemOp::Store(MemWidth::Word) => OP_SW,
+    }
+}
+
+fn r(op: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u32, funct: u32) -> u32 {
+    (op << 26)
+        | (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | (u32::from(rd.number()) << 11)
+        | ((shamt & 0x1f) << 6)
+        | (funct & 0x3f)
+}
+
+fn i(op: u32, rs: Reg, rt: Reg, imm: u32) -> u32 {
+    (op << 26)
+        | (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | (imm & 0xffff)
+}
+
+/// Encodes an instruction to its 32-bit binary form.
+///
+/// Every [`Insn`] has exactly one encoding; [`crate::decode`] inverts it.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_isa::{encode, decode, Insn, Reg};
+///
+/// let jr_ra = Insn::Jr { rs: Reg::RA };
+/// assert_eq!(decode(encode(&jr_ra)), Ok(jr_ra));
+/// ```
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Alu { op, rd, rs, rt } => r(OP_SPECIAL, rs, rt, rd, 0, alu_funct(op)),
+        Insn::Imm { op, rt, rs, imm } => i(imm_opcode(op), rs, rt, imm as u16 as u32),
+        Insn::Shift { op, rd, rt, shamt } => {
+            let funct = match op {
+                ShiftOp::Sll => FN_SLL,
+                ShiftOp::Srl => FN_SRL,
+                ShiftOp::Sra => FN_SRA,
+            };
+            r(OP_SPECIAL, Reg::ZERO, rt, rd, u32::from(shamt), funct)
+        }
+        Insn::Lui { rt, imm } => i(OP_LUI, Reg::ZERO, rt, u32::from(imm)),
+        Insn::Mem { op, rt, base, off } => i(mem_opcode(op), base, rt, off as u16 as u32),
+        Insn::Branch { op, rs, rt, off } => {
+            let off = off as u16 as u32;
+            match op {
+                BranchOp::Beq => i(OP_BEQ, rs, rt, off),
+                BranchOp::Bne => i(OP_BNE, rs, rt, off),
+                BranchOp::Blez => i(OP_BLEZ, rs, Reg::ZERO, off),
+                BranchOp::Bgtz => i(OP_BGTZ, rs, Reg::ZERO, off),
+                BranchOp::Bltz => i(OP_REGIMM, rs, Reg::from_field(RT_BLTZ), off),
+                BranchOp::Bgez => i(OP_REGIMM, rs, Reg::from_field(RT_BGEZ), off),
+            }
+        }
+        Insn::Jump { link, target } => {
+            let op = if link { OP_JAL } else { OP_J };
+            (op << 26) | (target & 0x03ff_ffff)
+        }
+        Insn::Jr { rs } => r(OP_SPECIAL, rs, Reg::ZERO, Reg::ZERO, 0, FN_JR),
+        Insn::Jalr { rd, rs } => r(OP_SPECIAL, rs, Reg::ZERO, rd, 0, FN_JALR),
+        Insn::Syscall => FN_SYSCALL,
+        Insn::Break => FN_BREAK,
+    }
+}

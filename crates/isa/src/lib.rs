@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! SRV32: a MIPS-like 32-bit load/store instruction set.
+//!
+//! This crate defines the architectural contract shared by the assembler
+//! (`instrep-asm`), the MiniC compiler (`instrep-minicc`), and the
+//! functional simulator (`instrep-sim`): the register file and its ABI
+//! roles, the instruction forms, and a fixed 32-bit binary encoding.
+//!
+//! The ISA deliberately mirrors MIPS-1 (the ISA used by the paper this
+//! repository reproduces) in every property the repetition analyses
+//! observe:
+//!
+//! * two-source / one-destination register instructions,
+//! * 16-bit immediates, so large constants are materialized by
+//!   [`Insn::Lui`]` + `[`ImmOp::Ori`] pairs,
+//! * a dedicated global pointer register ([`Reg::GP`]) used for
+//!   gp-relative global addressing,
+//! * MIPS-o32-style argument ([`Reg::A0`]..[`Reg::A3`]), return-value
+//!   ([`Reg::V0`]), and callee-saved ([`Reg::S0`]..[`Reg::S7`], [`Reg::FP`])
+//!   register roles.
+//!
+//! Unlike MIPS there are no branch delay slots and multiply/divide write a
+//! general register directly (no HI/LO); neither difference is visible to
+//! the analyses.
+//!
+//! # Examples
+//!
+//! ```
+//! use instrep_isa::{decode, encode, AluOp, Insn, Reg};
+//!
+//! let insn = Insn::alu(AluOp::Add, Reg::V0, Reg::A0, Reg::A1);
+//! let word = encode(&insn);
+//! assert_eq!(decode(word), Ok(insn));
+//! ```
+
+pub mod abi;
+mod decode;
+mod encode;
+mod insn;
+mod op;
+mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use insn::Insn;
+pub use op::{AluOp, BranchOp, ImmOp, MemOp, MemWidth, ShiftOp};
+pub use reg::{Reg, ParseRegError};
+
+/// Size of one instruction in bytes. All instructions are fixed-width.
+pub const INSN_BYTES: u32 = 4;

@@ -1,0 +1,482 @@
+use std::fmt;
+
+/// Three-register ALU operations (`op rd, rs, rt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rs + rt` (wrapping).
+    Add,
+    /// `rd = rs - rt` (wrapping).
+    Sub,
+    /// `rd = rs & rt`.
+    And,
+    /// `rd = rs | rt`.
+    Or,
+    /// `rd = rs ^ rt`.
+    Xor,
+    /// `rd = !(rs | rt)`.
+    Nor,
+    /// `rd = (rs as i32) < (rt as i32)`.
+    Slt,
+    /// `rd = rs < rt` (unsigned).
+    Sltu,
+    /// `rd = rt << (rs & 31)`.
+    Sllv,
+    /// `rd = rt >> (rs & 31)` (logical).
+    Srlv,
+    /// `rd = (rt as i32) >> (rs & 31)` (arithmetic).
+    Srav,
+    /// `rd = rs * rt` (wrapping, low 32 bits).
+    Mul,
+    /// `rd = (rs as i32) / (rt as i32)`; traps on division by zero.
+    Div,
+    /// `rd = (rs as i32) % (rt as i32)`; traps on division by zero.
+    Rem,
+    /// `rd = rs / rt` (unsigned); traps on division by zero.
+    Divu,
+    /// `rd = rs % rt` (unsigned); traps on division by zero.
+    Remu,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive testing.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Nor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sllv,
+        AluOp::Srlv,
+        AluOp::Srav,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Divu,
+        AluOp::Remu,
+    ];
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sllv => "sllv",
+            AluOp::Srlv => "srlv",
+            AluOp::Srav => "srav",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Divu => "divu",
+            AluOp::Remu => "remu",
+        }
+    }
+
+    /// Applies the operation to two operand values.
+    ///
+    /// Returns `None` for division or remainder by zero (the simulator
+    /// turns this into a trap).
+    pub fn apply(self, rs: u32, rt: u32) -> Option<u32> {
+        Some(match self {
+            AluOp::Add => rs.wrapping_add(rt),
+            AluOp::Sub => rs.wrapping_sub(rt),
+            AluOp::And => rs & rt,
+            AluOp::Or => rs | rt,
+            AluOp::Xor => rs ^ rt,
+            AluOp::Nor => !(rs | rt),
+            AluOp::Slt => ((rs as i32) < (rt as i32)) as u32,
+            AluOp::Sltu => (rs < rt) as u32,
+            AluOp::Sllv => rt << (rs & 31),
+            AluOp::Srlv => rt >> (rs & 31),
+            AluOp::Srav => ((rt as i32) >> (rs & 31)) as u32,
+            AluOp::Mul => rs.wrapping_mul(rt),
+            AluOp::Div => {
+                if rt == 0 {
+                    return None;
+                }
+                (rs as i32).wrapping_div(rt as i32) as u32
+            }
+            AluOp::Rem => {
+                if rt == 0 {
+                    return None;
+                }
+                (rs as i32).wrapping_rem(rt as i32) as u32
+            }
+            AluOp::Divu => {
+                if rt == 0 {
+                    return None;
+                }
+                rs / rt
+            }
+            AluOp::Remu => {
+                if rt == 0 {
+                    return None;
+                }
+                rs % rt
+            }
+        })
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Register-immediate operations (`op rt, rs, imm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmOp {
+    /// `rt = rs + sext(imm)` (wrapping; no overflow trap, like MIPS addiu).
+    Addi,
+    /// `rt = (rs as i32) < sext(imm)`.
+    Slti,
+    /// `rt = rs < sext(imm) as u32` (unsigned compare of sign-extended imm).
+    Sltiu,
+    /// `rt = rs & zext(imm)`.
+    Andi,
+    /// `rt = rs | zext(imm)`.
+    Ori,
+    /// `rt = rs ^ zext(imm)`.
+    Xori,
+}
+
+impl ImmOp {
+    /// All immediate operations, for exhaustive testing.
+    pub const ALL: [ImmOp; 6] = [
+        ImmOp::Addi,
+        ImmOp::Slti,
+        ImmOp::Sltiu,
+        ImmOp::Andi,
+        ImmOp::Ori,
+        ImmOp::Xori,
+    ];
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ImmOp::Addi => "addi",
+            ImmOp::Slti => "slti",
+            ImmOp::Sltiu => "sltiu",
+            ImmOp::Andi => "andi",
+            ImmOp::Ori => "ori",
+            ImmOp::Xori => "xori",
+        }
+    }
+
+    /// Whether the 16-bit immediate is sign-extended (versus zero-extended).
+    pub fn sign_extends(self) -> bool {
+        matches!(self, ImmOp::Addi | ImmOp::Slti | ImmOp::Sltiu)
+    }
+
+    /// The operand value the 16-bit immediate contributes.
+    pub fn extend(self, imm: i16) -> u32 {
+        if self.sign_extends() {
+            imm as i32 as u32
+        } else {
+            imm as u16 as u32
+        }
+    }
+
+    /// Applies the operation to a register value and a raw 16-bit immediate.
+    pub fn apply(self, rs: u32, imm: i16) -> u32 {
+        let v = self.extend(imm);
+        match self {
+            ImmOp::Addi => rs.wrapping_add(v),
+            ImmOp::Slti => ((rs as i32) < (v as i32)) as u32,
+            ImmOp::Sltiu => (rs < v) as u32,
+            ImmOp::Andi => rs & v,
+            ImmOp::Ori => rs | v,
+            ImmOp::Xori => rs ^ v,
+        }
+    }
+}
+
+impl fmt::Display for ImmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Constant-shift operations (`op rd, rt, shamt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical left shift.
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+}
+
+impl ShiftOp {
+    /// All shift operations, for exhaustive testing.
+    pub const ALL: [ShiftOp; 3] = [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra];
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+        }
+    }
+
+    /// Applies the shift to a value.
+    pub fn apply(self, rt: u32, shamt: u8) -> u32 {
+        let s = u32::from(shamt & 31);
+        match self {
+            ShiftOp::Sll => rt << s,
+            ShiftOp::Srl => rt >> s,
+            ShiftOp::Sra => ((rt as i32) >> s) as u32,
+        }
+    }
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Width and extension behaviour of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte, sign-extended on load.
+    Byte,
+    /// One byte, zero-extended on load.
+    ByteUnsigned,
+    /// Two bytes, sign-extended on load.
+    Half,
+    /// Two bytes, zero-extended on load.
+    HalfUnsigned,
+    /// Four bytes.
+    Word,
+}
+
+impl MemWidth {
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte | MemWidth::ByteUnsigned => 1,
+            MemWidth::Half | MemWidth::HalfUnsigned => 2,
+            MemWidth::Word => 4,
+        }
+    }
+
+    /// Extends a raw loaded value of this width to 32 bits.
+    pub fn extend(self, raw: u32) -> u32 {
+        match self {
+            MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+            MemWidth::ByteUnsigned => raw as u8 as u32,
+            MemWidth::Half => raw as u16 as i16 as i32 as u32,
+            MemWidth::HalfUnsigned => raw as u16 as u32,
+            MemWidth::Word => raw,
+        }
+    }
+}
+
+/// Memory operations (`op rt, off(base)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Load of the given width into `rt`.
+    Load(MemWidth),
+    /// Store of the given width from `rt`. Stores never use the
+    /// sign-extending widths; the assembler only emits `Byte`, `Half`,
+    /// `Word`.
+    Store(MemWidth),
+}
+
+impl MemOp {
+    /// All memory operations the assembler can emit.
+    pub const ALL: [MemOp; 8] = [
+        MemOp::Load(MemWidth::Byte),
+        MemOp::Load(MemWidth::ByteUnsigned),
+        MemOp::Load(MemWidth::Half),
+        MemOp::Load(MemWidth::HalfUnsigned),
+        MemOp::Load(MemWidth::Word),
+        MemOp::Store(MemWidth::Byte),
+        MemOp::Store(MemWidth::Half),
+        MemOp::Store(MemWidth::Word),
+    ];
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MemOp::Load(MemWidth::Byte) => "lb",
+            MemOp::Load(MemWidth::ByteUnsigned) => "lbu",
+            MemOp::Load(MemWidth::Half) => "lh",
+            MemOp::Load(MemWidth::HalfUnsigned) => "lhu",
+            MemOp::Load(MemWidth::Word) => "lw",
+            MemOp::Store(MemWidth::Byte | MemWidth::ByteUnsigned) => "sb",
+            MemOp::Store(MemWidth::Half | MemWidth::HalfUnsigned) => "sh",
+            MemOp::Store(MemWidth::Word) => "sw",
+        }
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(self) -> bool {
+        matches!(self, MemOp::Load(_))
+    }
+
+    /// The access width.
+    pub fn width(self) -> MemWidth {
+        match self {
+            MemOp::Load(w) | MemOp::Store(w) => w,
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Conditional branches. `Beq`/`Bne` compare two registers; the rest
+/// compare `rs` against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Taken when `rs == rt`.
+    Beq,
+    /// Taken when `rs != rt`.
+    Bne,
+    /// Taken when `rs <= 0` (signed).
+    Blez,
+    /// Taken when `rs > 0` (signed).
+    Bgtz,
+    /// Taken when `rs < 0` (signed).
+    Bltz,
+    /// Taken when `rs >= 0` (signed).
+    Bgez,
+}
+
+impl BranchOp {
+    /// All branch operations, for exhaustive testing.
+    pub const ALL: [BranchOp; 6] = [
+        BranchOp::Beq,
+        BranchOp::Bne,
+        BranchOp::Blez,
+        BranchOp::Bgtz,
+        BranchOp::Bltz,
+        BranchOp::Bgez,
+    ];
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchOp::Beq => "beq",
+            BranchOp::Bne => "bne",
+            BranchOp::Blez => "blez",
+            BranchOp::Bgtz => "bgtz",
+            BranchOp::Bltz => "bltz",
+            BranchOp::Bgez => "bgez",
+        }
+    }
+
+    /// Whether the branch reads a second register operand.
+    pub fn uses_rt(self) -> bool {
+        matches!(self, BranchOp::Beq | BranchOp::Bne)
+    }
+
+    /// Evaluates the branch condition.
+    pub fn taken(self, rs: u32, rt: u32) -> bool {
+        match self {
+            BranchOp::Beq => rs == rt,
+            BranchOp::Bne => rs != rt,
+            BranchOp::Blez => (rs as i32) <= 0,
+            BranchOp::Bgtz => (rs as i32) > 0,
+            BranchOp::Bltz => (rs as i32) < 0,
+            BranchOp::Bgez => (rs as i32) >= 0,
+        }
+    }
+}
+
+impl fmt::Display for BranchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), Some(0));
+        assert_eq!(AluOp::Sub.apply(0, 1), Some(u32::MAX));
+        assert_eq!(AluOp::Slt.apply((-1i32) as u32, 0), Some(1));
+        assert_eq!(AluOp::Sltu.apply((-1i32) as u32, 0), Some(0));
+        assert_eq!(AluOp::Nor.apply(0, 0), Some(u32::MAX));
+        assert_eq!(AluOp::Sllv.apply(33, 1), Some(2)); // shift amount masked
+        assert_eq!(AluOp::Srav.apply(1, 0x8000_0000), Some(0xc000_0000));
+        assert_eq!(AluOp::Div.apply(7, 0), None);
+        assert_eq!(AluOp::Rem.apply(7, 0), None);
+        assert_eq!(AluOp::Div.apply((-7i32) as u32, 2), Some((-3i32) as u32));
+        assert_eq!(AluOp::Rem.apply((-7i32) as u32, 2), Some((-1i32) as u32));
+        assert_eq!(AluOp::Divu.apply((-7i32) as u32, 2), Some(0x7fff_fffc));
+        // i32::MIN / -1 must not panic.
+        assert_eq!(
+            AluOp::Div.apply(0x8000_0000, u32::MAX),
+            Some(0x8000_0000)
+        );
+        assert_eq!(AluOp::Rem.apply(0x8000_0000, u32::MAX), Some(0));
+    }
+
+    #[test]
+    fn imm_extension() {
+        assert_eq!(ImmOp::Addi.apply(10, -1), 9);
+        assert_eq!(ImmOp::Ori.apply(0, -1), 0xffff); // zero-extended
+        assert_eq!(ImmOp::Andi.apply(0xffff_ffff, -1), 0xffff);
+        assert_eq!(ImmOp::Xori.apply(0xffff, -1), 0);
+        assert_eq!(ImmOp::Slti.apply(0, -5), 0);
+        assert_eq!(ImmOp::Slti.apply((-6i32) as u32, -5), 1);
+        // sltiu compares against the sign-EXTENDED immediate, unsigned.
+        assert_eq!(ImmOp::Sltiu.apply(5, -1), 1);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        assert_eq!(ShiftOp::Sll.apply(1, 31), 0x8000_0000);
+        assert_eq!(ShiftOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(ShiftOp::Sra.apply(0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(MemWidth::Byte.extend(0x80), 0xffff_ff80);
+        assert_eq!(MemWidth::ByteUnsigned.extend(0x80), 0x80);
+        assert_eq!(MemWidth::Half.extend(0x8000), 0xffff_8000);
+        assert_eq!(MemWidth::HalfUnsigned.extend(0x8000), 0x8000);
+        assert_eq!(MemWidth::Word.extend(0xdead_beef), 0xdead_beef);
+        assert!(MemOp::Load(MemWidth::Word).is_load());
+        assert!(!MemOp::Store(MemWidth::Byte).is_load());
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let neg = (-1i32) as u32;
+        assert!(BranchOp::Beq.taken(3, 3));
+        assert!(!BranchOp::Beq.taken(3, 4));
+        assert!(BranchOp::Bne.taken(3, 4));
+        assert!(BranchOp::Blez.taken(0, 0));
+        assert!(BranchOp::Blez.taken(neg, 0));
+        assert!(!BranchOp::Bgtz.taken(0, 0));
+        assert!(BranchOp::Bgtz.taken(1, 0));
+        assert!(BranchOp::Bltz.taken(neg, 0));
+        assert!(!BranchOp::Bltz.taken(0, 0));
+        assert!(BranchOp::Bgez.taken(0, 0));
+        assert!(!BranchOp::Bgez.taken(neg, 0));
+        assert!(BranchOp::Beq.uses_rt());
+        assert!(!BranchOp::Bgez.uses_rt());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: every constructible instruction encodes to a word that
+//! decodes back to itself, and decodable words re-encode to themselves.
+
+use instrep_isa::{
+    decode, encode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let alu = (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_reg())
+        .prop_map(|(i, rd, rs, rt)| Insn::alu(AluOp::ALL[i], rd, rs, rt));
+    let imm = (0usize..ImmOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>())
+        .prop_map(|(i, rt, rs, imm)| Insn::imm(ImmOp::ALL[i], rt, rs, imm));
+    let shift = (0usize..ShiftOp::ALL.len(), arb_reg(), arb_reg(), 0u8..32)
+        .prop_map(|(i, rd, rt, shamt)| Insn::Shift { op: ShiftOp::ALL[i], rd, rt, shamt });
+    let lui = (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Insn::Lui { rt, imm });
+    let mem = (0usize..MemOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(i, rt, base, off)| {
+            // Canonical store widths only (sb/sh encode as unsigned-free).
+            let op = match MemOp::ALL[i] {
+                MemOp::Store(MemWidth::ByteUnsigned) => MemOp::Store(MemWidth::Byte),
+                MemOp::Store(MemWidth::HalfUnsigned) => MemOp::Store(MemWidth::Half),
+                other => other,
+            };
+            Insn::Mem { op, rt, base, off }
+        },
+    );
+    let branch = (0usize..BranchOp::ALL.len(), arb_reg(), arb_reg(), any::<i16>()).prop_map(
+        |(i, rs, rt, off)| {
+            let op = BranchOp::ALL[i];
+            let rt = if op.uses_rt() { rt } else { Reg::ZERO };
+            Insn::Branch { op, rs, rt, off }
+        },
+    );
+    let jump =
+        (any::<bool>(), 0u32..=0x03ff_ffff).prop_map(|(link, target)| Insn::Jump { link, target });
+    let jr = arb_reg().prop_map(|rs| Insn::Jr { rs });
+    let jalr = (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs });
+
+    prop_oneof![
+        alu,
+        imm,
+        shift,
+        lui,
+        mem,
+        branch,
+        jump,
+        jr,
+        jalr,
+        Just(Insn::Syscall),
+        Just(Insn::Break),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(insn in arb_insn()) {
+        let word = encode(&insn);
+        prop_assert_eq!(decode(word), Ok(insn));
+    }
+
+    #[test]
+    fn decode_encode_round_trip(word in any::<u32>()) {
+        // Not every word decodes, but those that do must re-encode to a
+        // word that decodes to the same instruction (encodings may be
+        // non-canonical in ignored fields, so compare at the Insn level).
+        if let Ok(insn) = decode(word) {
+            let canonical = encode(&insn);
+            prop_assert_eq!(decode(canonical), Ok(insn));
+        }
+    }
+
+    #[test]
+    fn display_never_panics(insn in arb_insn()) {
+        let _ = insn.to_string();
+        let _ = format!("{insn:?}");
+    }
+
+    #[test]
+    fn def_and_uses_are_consistent(insn in arb_insn()) {
+        // An instruction never lists the same architectural operand slot
+        // twice as both absent and present: uses()[1].is_some() implies a
+        // two-operand form.
+        let uses = insn.uses();
+        if uses[0].is_none() {
+            prop_assert!(uses[1].is_none());
+        }
+    }
+}

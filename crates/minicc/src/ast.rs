@@ -1,0 +1,261 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! The parser builds this tree with unresolved names and `Type::Void`
+//! placeholders; semantic analysis (`sema`) resolves identifiers,
+//! assigns local slots, and fills in expression types in place.
+
+use crate::types::{StructDef, Type};
+
+/// Binary operators (no assignment; assignment is its own node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror the C operators directly
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether this operator yields a 0/1 boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not (yields 0/1).
+    Not,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of.
+    Addr,
+}
+
+/// Where a resolved identifier lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Index into the enclosing function's `locals`.
+    Local(usize),
+    /// A program global (by name).
+    Global,
+}
+
+/// An expression with its resolved type (filled by sema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression form.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Resolved type; `Type::Void` until sema runs.
+    pub ty: Type,
+}
+
+impl Expr {
+    /// Creates an expression with a placeholder type.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr { kind, line, ty: Type::Void }
+    }
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given in the variant docs
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i64),
+    /// String literal; index into [`Program::strings`].
+    Str(usize),
+    /// Identifier; `storage` is `None` until resolved by sema.
+    Ident { name: String, storage: Option<Storage> },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment, optionally compound (`lhs op= rhs`).
+    Assign { op: Option<BinOp>, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Pre/post increment/decrement.
+    IncDec { pre: bool, inc: bool, target: Box<Expr> },
+    /// Direct call to a named function.
+    Call { name: String, args: Vec<Expr> },
+    /// Array or pointer indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct member access (`.` or, when `arrow`, `->`).
+    Member { base: Box<Expr>, field: String, arrow: bool },
+    /// `sizeof(type)`; resolved to a constant by sema.
+    Sizeof(Type),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given in the variant docs
+pub enum Stmt {
+    /// Local declaration; `local` is the slot index assigned by sema.
+    Decl { name: String, ty: Type, init: Option<Expr>, local: usize, line: u32 },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
+    /// `while` loop.
+    While { cond: Expr, body: Box<Stmt> },
+    /// `for` loop (all three headers optional).
+    For { init: Option<Expr>, cond: Option<Expr>, step: Option<Expr>, body: Box<Stmt> },
+    /// `return`.
+    Return { value: Option<Expr>, line: u32 },
+    /// `break`.
+    Break { line: u32 },
+    /// `continue`.
+    Continue { line: u32 },
+    /// Braced block with its own scope.
+    Block(Vec<Stmt>),
+    /// Lone `;`.
+    Empty,
+}
+
+/// A local variable slot (parameters first, then declarations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalVar {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Whether the variable's address is taken (or it is an aggregate),
+    /// forcing it onto the stack rather than into a callee-saved register.
+    pub addressed: bool,
+    /// Whether this slot is a parameter.
+    pub is_param: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Number of parameters (the first `arity` entries of `locals`).
+    pub arity: usize,
+    /// All local slots, parameters first; filled by sema.
+    pub locals: Vec<LocalVar>,
+    /// Top-level statements of the function body.
+    pub body: Vec<Stmt>,
+    /// 1-based source line of the definition.
+    pub line: u32,
+}
+
+/// How a global is initialized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// No initializer (BSS-like, `.space`).
+    None,
+    /// Single constant value.
+    Scalar(i64),
+    /// `{ ... }` list for arrays (padded with zeros; but emitted as
+    /// initialized data for the whole object).
+    List(Vec<i64>),
+    /// String literal initializer for `char` arrays.
+    Str(Vec<u8>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Source name (also the assembly label).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Initializer, if any.
+    pub init: GlobalInit,
+    /// 1-based source line of the definition.
+    pub line: u32,
+}
+
+/// A complete parsed (and, after sema, analyzed) program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Struct definitions, in declaration order.
+    pub structs: Vec<StructDef>,
+    /// Global variables, in declaration order.
+    pub globals: Vec<Global>,
+    /// Function definitions, in declaration order.
+    pub funcs: Vec<Func>,
+    /// Interned string literals referenced by [`ExprKind::Str`].
+    pub strings: Vec<Vec<u8>>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a struct by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<(usize, &StructDef)> {
+        self.structs.iter().enumerate().find(|(_, s)| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::LogAnd.is_comparison());
+    }
+
+    #[test]
+    fn program_lookups() {
+        let mut p = Program::default();
+        p.globals.push(Global {
+            name: "g".into(),
+            ty: Type::Int,
+            init: GlobalInit::Scalar(1),
+            line: 1,
+        });
+        p.funcs.push(Func {
+            name: "f".into(),
+            ret: Type::Int,
+            arity: 0,
+            locals: vec![],
+            body: vec![],
+            line: 2,
+        });
+        assert!(p.global("g").is_some());
+        assert!(p.global("x").is_none());
+        assert!(p.func("f").is_some());
+        assert!(p.func("g").is_none());
+    }
+}

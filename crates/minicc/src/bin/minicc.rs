@@ -1,0 +1,135 @@
+//! `minicc`: command-line driver for the MiniC toolchain.
+//!
+//! ```text
+//! minicc run       prog.c [--input FILE] [--max-insns N]   compile + execute
+//! minicc emit-asm  prog.c                                  print generated assembly
+//! minicc disasm    prog.c                                  print assembled listing
+//! minicc check     prog.c                                  type-check only
+//! ```
+//!
+//! `run` feeds `--input` to the program's `read()` builtin, writes the
+//! program's `write()` output to stdout, and exits with the program's
+//! exit code.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use instrep_minicc::{build, check, compile};
+use instrep_sim::{Machine, RunOutcome};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: minicc <run|emit-asm|disasm|check> FILE.c [--input FILE] [--max-insns N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+
+    let mut input: Vec<u8> = Vec::new();
+    let mut max_insns: u64 = 2_000_000_000;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--input" => {
+                let Some(p) = args.get(i + 1) else { return usage() };
+                match std::fs::read(p) {
+                    Ok(bytes) => input = bytes,
+                    Err(e) => {
+                        eprintln!("minicc: cannot read input `{p}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--max-insns" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_insns = n;
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("minicc: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => match check(&src) {
+            Ok(program) => {
+                eprintln!(
+                    "ok: {} function(s), {} global(s), {} struct(s)",
+                    program.funcs.len(),
+                    program.globals.len(),
+                    program.structs.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "emit-asm" => match compile(&src) {
+            Ok(asm) => {
+                print!("{asm}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "disasm" => match build(&src) {
+            Ok(image) => {
+                print!("{}", instrep_asm::disassemble(&image));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            let image = match build(&src) {
+                Ok(image) => image,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut machine = Machine::new(&image);
+            machine.set_input(input);
+            match machine.run(max_insns, |_| {}) {
+                Ok(RunOutcome::Exited(code)) => {
+                    let _ = std::io::stdout().write_all(machine.output());
+                    eprintln!(
+                        "[{} instructions, exit {code}]",
+                        machine.icount()
+                    );
+                    ExitCode::from((code & 0xff) as u8)
+                }
+                Ok(RunOutcome::MaxedOut) => {
+                    eprintln!("{path}: exceeded {max_insns} instructions");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{path}: trap: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

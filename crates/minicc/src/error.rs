@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Error produced while compiling a MiniC program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    line: u32,
+    message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+
+    /// 1-based source line of the error (0 when global).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "compile error: {}", self.message)
+        } else {
+            write!(f, "compile error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Error from [`crate::build`]: either compilation or assembly failed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// MiniC compilation failed.
+    Compile(CompileError),
+    /// Assembling the generated code failed (a compiler bug).
+    Asm(instrep_asm::AsmError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => e.fmt(f),
+            BuildError::Asm(e) => write!(f, "internal: generated assembly rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Compile(e) => Some(e),
+            BuildError::Asm(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> BuildError {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<instrep_asm::AsmError> for BuildError {
+    fn from(e: instrep_asm::AsmError) -> BuildError {
+        BuildError::Asm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CompileError::new(3, "expected `;`");
+        assert_eq!(e.to_string(), "compile error at line 3: expected `;`");
+        let b: BuildError = e.into();
+        assert!(b.to_string().contains("expected `;`"));
+    }
+}

@@ -1,0 +1,308 @@
+use crate::error::CompileError;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(line, msg)
+}
+
+/// Tokenizes MiniC source text.
+///
+/// Supports `//` and `/* */` comments, decimal / hex / char / string
+/// literals with C escapes, and the operator set of [`Punct`].
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Keyword::from_ident(word) {
+                    Some(kw) => push!(TokenKind::Keyword(kw)),
+                    None => push!(TokenKind::Ident(word.to_string())),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let radix = if c == '0' && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                    i += 2;
+                    16
+                } else {
+                    10
+                };
+                let digits_start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let digits = if radix == 16 { &src[digits_start..i] } else { &src[start..i] };
+                let v = i64::from_str_radix(digits, radix)
+                    .map_err(|_| err(line, format!("bad integer literal `{}`", &src[start..i])))?;
+                push!(TokenKind::Int(v));
+            }
+            '\'' => {
+                let (v, next) = lex_char(bytes, i, line)?;
+                push!(TokenKind::Int(i64::from(v)));
+                i = next;
+            }
+            '"' => {
+                let (s, next, newlines) = lex_string(bytes, i, line)?;
+                push!(TokenKind::Str(s));
+                i = next;
+                line += newlines;
+            }
+            _ => {
+                let (p, len) = lex_punct(bytes, i)
+                    .ok_or_else(|| err(line, format!("unexpected character `{c}`")))?;
+                push!(TokenKind::Punct(p));
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn escape(b: u8, line: u32) -> Result<u8, CompileError> {
+    Ok(match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => return Err(err(line, format!("unknown escape `\\{}`", other as char))),
+    })
+}
+
+fn lex_char(bytes: &[u8], start: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    let mut i = start + 1;
+    let v = match bytes.get(i) {
+        Some(b'\\') => {
+            i += 1;
+            let e = *bytes.get(i).ok_or_else(|| err(line, "unterminated char literal"))?;
+            i += 1;
+            escape(e, line)?
+        }
+        Some(&b) if b != b'\'' && b != b'\n' => {
+            i += 1;
+            b
+        }
+        _ => return Err(err(line, "bad char literal")),
+    };
+    if bytes.get(i) != Some(&b'\'') {
+        return Err(err(line, "unterminated char literal"));
+    }
+    Ok((v, i + 1))
+}
+
+fn lex_string(
+    bytes: &[u8],
+    start: usize,
+    line: u32,
+) -> Result<(Vec<u8>, usize, u32), CompileError> {
+    let mut out = Vec::new();
+    let mut i = start + 1;
+    let mut newlines = 0;
+    loop {
+        match bytes.get(i) {
+            None => return Err(err(line, "unterminated string literal")),
+            Some(b'"') => return Ok((out, i + 1, newlines)),
+            Some(b'\\') => {
+                let e = *bytes.get(i + 1).ok_or_else(|| err(line, "unterminated string"))?;
+                out.push(escape(e, line)?);
+                i += 2;
+            }
+            Some(&b) => {
+                if b == b'\n' {
+                    newlines += 1;
+                }
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn lex_punct(bytes: &[u8], i: usize) -> Option<(Punct, usize)> {
+    let b1 = bytes[i];
+    let b2 = bytes.get(i + 1).copied().unwrap_or(0);
+    let b3 = bytes.get(i + 2).copied().unwrap_or(0);
+    // Three-character operators first.
+    match (b1, b2, b3) {
+        (b'<', b'<', b'=') => return Some((Punct::ShlEq, 3)),
+        (b'>', b'>', b'=') => return Some((Punct::ShrEq, 3)),
+        _ => {}
+    }
+    let two = match (b1, b2) {
+        (b'-', b'>') => Some(Punct::Arrow),
+        (b'<', b'<') => Some(Punct::Shl),
+        (b'>', b'>') => Some(Punct::Shr),
+        (b'<', b'=') => Some(Punct::Le),
+        (b'>', b'=') => Some(Punct::Ge),
+        (b'=', b'=') => Some(Punct::EqEq),
+        (b'!', b'=') => Some(Punct::Ne),
+        (b'&', b'&') => Some(Punct::AndAnd),
+        (b'|', b'|') => Some(Punct::OrOr),
+        (b'+', b'=') => Some(Punct::PlusEq),
+        (b'-', b'=') => Some(Punct::MinusEq),
+        (b'*', b'=') => Some(Punct::StarEq),
+        (b'/', b'=') => Some(Punct::SlashEq),
+        (b'%', b'=') => Some(Punct::PercentEq),
+        (b'&', b'=') => Some(Punct::AmpEq),
+        (b'|', b'=') => Some(Punct::PipeEq),
+        (b'^', b'=') => Some(Punct::CaretEq),
+        (b'+', b'+') => Some(Punct::PlusPlus),
+        (b'-', b'-') => Some(Punct::MinusMinus),
+        _ => None,
+    };
+    if let Some(p) = two {
+        return Some((p, 2));
+    }
+    let one = match b1 {
+        b'(' => Punct::LParen,
+        b')' => Punct::RParen,
+        b'{' => Punct::LBrace,
+        b'}' => Punct::RBrace,
+        b'[' => Punct::LBracket,
+        b']' => Punct::RBracket,
+        b';' => Punct::Semi,
+        b',' => Punct::Comma,
+        b'.' => Punct::Dot,
+        b'+' => Punct::Plus,
+        b'-' => Punct::Minus,
+        b'*' => Punct::Star,
+        b'/' => Punct::Slash,
+        b'%' => Punct::Percent,
+        b'&' => Punct::Amp,
+        b'|' => Punct::Pipe,
+        b'^' => Punct::Caret,
+        b'~' => Punct::Tilde,
+        b'!' => Punct::Bang,
+        b'<' => Punct::Lt,
+        b'>' => Punct::Gt,
+        b'=' => Punct::Assign,
+        _ => return None,
+    };
+    Some((one, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_keywords_ints() {
+        assert_eq!(
+            kinds("int x1 = 0x1F;"),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x1".into()),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::Int(31),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a <<= b >> c->d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::ShlEq),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(Punct::Shr),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct(Punct::Arrow),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\t""#),
+            vec![
+                TokenKind::Int(97),
+                TokenKind::Int(10),
+                TokenKind::Str(vec![b'h', b'i', b'\t']),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("x // comment\n/* multi\nline */ y").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+        assert!(matches!(toks[1].kind, TokenKind::Ident(ref s) if s == "y"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'ab'").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("`").is_err());
+        assert!(lex("'\\q'").is_err());
+        assert!(lex("0xZZ").is_err());
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = lex("ok\nok\n`").unwrap_err();
+        assert_eq!(e.line(), 3);
+    }
+}

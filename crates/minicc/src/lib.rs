@@ -1,0 +1,507 @@
+#![warn(missing_docs)]
+//! MiniC: a small C-like language compiled to SRV32 assembly.
+//!
+//! MiniC exists so the repetition analyses can run over code with the
+//! same *shapes* a classic C compiler produces: stack frames with
+//! prologue/epilogue register saves, gp-relative global addressing,
+//! register arguments, and spills. The language covers the subset of C
+//! the workloads need: `int`/`char`/pointers/arrays/structs, functions
+//! (up to 8 parameters), full expression and control-flow syntax, string
+//! literals, and global initializers.
+//!
+//! Builtins `read(buf, len)`, `write(buf, len)`, `sbrk(delta)`, and
+//! `exit(code)` map to the simulator's environment; they are linked in as
+//! real assembly functions (see [`runtime::RUNTIME_ASM`]).
+//!
+//! # Examples
+//!
+//! Compile and run a program end to end:
+//!
+//! ```
+//! use instrep_minicc::build;
+//! use instrep_sim::{Machine, RunOutcome};
+//!
+//! let image = build(r#"
+//!     int fib(int n) {
+//!         if (n < 2) return n;
+//!         return fib(n - 1) + fib(n - 2);
+//!     }
+//!     int main() { return fib(10); }
+//! "#)?;
+//! let mut m = Machine::new(&image);
+//! assert_eq!(m.run(1_000_000, |_| {})?, RunOutcome::Exited(55));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+mod codegen;
+mod error;
+mod lexer;
+mod parser;
+/// Assembly runtime linked into every built program.
+pub mod runtime;
+mod sema;
+/// Lexical tokens of the MiniC language.
+pub mod token;
+/// The MiniC type system.
+pub mod types;
+
+pub use error::{BuildError, CompileError};
+pub use sema::{builtin_signatures, Signature};
+
+use instrep_asm::Image;
+
+/// Compiles MiniC source to SRV32 assembly text (program code only; the
+/// runtime is appended by [`build`]).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, semantic, or code-generation
+/// error, with a source line number.
+pub fn compile(src: &str) -> Result<String, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let mut program = parser::parse(tokens)?;
+    sema::analyze(&mut program)?;
+    codegen::generate(&program)
+}
+
+/// Parses and type-checks MiniC source, returning the analyzed AST.
+///
+/// Useful for tools that want to inspect program structure without
+/// generating code.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn check(src: &str) -> Result<ast::Program, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let mut program = parser::parse(tokens)?;
+    sema::analyze(&mut program)?;
+    Ok(program)
+}
+
+/// Compiles MiniC source and assembles it (with the runtime) into an
+/// executable [`Image`]. The program must define `main`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Compile`] for source errors. A
+/// [`BuildError::Asm`] indicates a code-generation bug and should be
+/// reported.
+pub fn build(src: &str) -> Result<Image, BuildError> {
+    let program = check(src)?;
+    if program.func("main").is_none() {
+        return Err(CompileError::new(0, "program has no `main` function").into());
+    }
+    let asm_text = codegen_text(&program)?;
+    Ok(instrep_asm::assemble(&asm_text)?)
+}
+
+/// Compiles an analyzed program plus runtime to one assembly module.
+fn codegen_text(program: &ast::Program) -> Result<String, BuildError> {
+    let mut text = codegen::generate(program)?;
+    text.push_str(runtime::RUNTIME_ASM);
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    /// Compiles, runs, and returns the exit code.
+    fn run(src: &str) -> u32 {
+        run_io(src, b"").0
+    }
+
+    /// Compiles, runs with input, returns (exit code, output bytes).
+    fn run_io(src: &str, input: &[u8]) -> (u32, Vec<u8>) {
+        let image = build(src).unwrap_or_else(|e| panic!("build failed: {e}\n{src}"));
+        let mut m = Machine::new(&image);
+        m.set_input(input.to_vec());
+        match m.run(200_000_000, |_| {}) {
+            Ok(RunOutcome::Exited(code)) => (code, m.output().to_vec()),
+            Ok(RunOutcome::MaxedOut) => panic!("program did not terminate"),
+            Err(e) => panic!("trap: {e} (pc={:#x})", m.pc()),
+        }
+    }
+
+    #[test]
+    fn return_constant() {
+        assert_eq!(run("int main() { return 42; }"), 42);
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("int main() { return 2 + 3 * 4; }"), 14);
+        assert_eq!(run("int main() { return (2 + 3) * 4; }"), 20);
+        assert_eq!(run("int main() { return 100 / 7; }"), 14);
+        assert_eq!(run("int main() { return 100 % 7; }"), 2);
+        assert_eq!(run("int main() { return 1 << 10; }"), 1024);
+        assert_eq!(run("int main() { return 1024 >> 3; }"), 128);
+        assert_eq!(run("int main() { return (0 - 8) >> 1; }") as i32, -4);
+        assert_eq!(run("int main() { return 0xF0 | 0x0F; }"), 255);
+        assert_eq!(run("int main() { return 0xFF & 0x3C; }"), 0x3c);
+        assert_eq!(run("int main() { return 0xFF ^ 0x0F; }"), 0xf0);
+        assert_eq!(run("int main() { return ~0 & 0xFF; }"), 255);
+        assert_eq!(run("int main() { return -(-5); }"), 5);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("int main() { return 3 < 4; }"), 1);
+        assert_eq!(run("int main() { return 4 < 3; }"), 0);
+        assert_eq!(run("int main() { return 3 <= 3; }"), 1);
+        assert_eq!(run("int main() { return 3 >= 4; }"), 0);
+        assert_eq!(run("int main() { return 3 == 3; }"), 1);
+        assert_eq!(run("int main() { return 3 != 3; }"), 0);
+        assert_eq!(run("int main() { return (0-1) < 0; }"), 1); // signed compare
+        assert_eq!(run("int main() { return 1 && 2; }"), 1);
+        assert_eq!(run("int main() { return 1 && 0; }"), 0);
+        assert_eq!(run("int main() { return 0 || 3; }"), 1);
+        assert_eq!(run("int main() { return !5; }"), 0);
+        assert_eq!(run("int main() { return !0; }"), 1);
+    }
+
+    #[test]
+    fn short_circuit_side_effects() {
+        // Division by zero on the unevaluated side must not trap.
+        assert_eq!(run("int main() { int x = 0; return x != 0 && 10 / x > 0; }"), 0);
+        assert_eq!(run("int main() { int x = 1; return x == 1 || 10 / 0 > 0; }"), 1);
+    }
+
+    #[test]
+    fn locals_and_control_flow() {
+        assert_eq!(
+            run(r#"
+                int main() {
+                    int s = 0;
+                    int i;
+                    for (i = 1; i <= 10; i++) s += i;
+                    return s;
+                }
+            "#),
+            55
+        );
+        assert_eq!(
+            run(r#"
+                int main() {
+                    int n = 0;
+                    while (1) { n++; if (n == 7) break; }
+                    return n;
+                }
+            "#),
+            7
+        );
+        assert_eq!(
+            run(r#"
+                int main() {
+                    int s = 0;
+                    int i;
+                    for (i = 0; i < 10; i++) { if (i % 2) continue; s += i; }
+                    return s;
+                }
+            "#),
+            20
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            run(r#"
+                int gcd(int a, int b) { if (b == 0) return a; return gcd(b, a % b); }
+                int main() { return gcd(48, 36); }
+            "#),
+            12
+        );
+        assert_eq!(
+            run(r#"
+                int ack(int m, int n) {
+                    if (m == 0) return n + 1;
+                    if (n == 0) return ack(m - 1, 1);
+                    return ack(m - 1, ack(m, n - 1));
+                }
+                int main() { return ack(2, 3); }
+            "#),
+            9
+        );
+    }
+
+    #[test]
+    fn many_arguments() {
+        assert_eq!(
+            run(r#"
+                int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+                    return a + b + c + d + e + f + g + h;
+                }
+                int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+            "#),
+            36
+        );
+    }
+
+    #[test]
+    fn globals() {
+        assert_eq!(
+            run(r#"
+                int counter = 10;
+                int tab[5] = {2, 4, 6, 8, 10};
+                int bump(int d) { counter += d; return counter; }
+                int main() { bump(5); return counter + tab[3]; }
+            "#),
+            23
+        );
+    }
+
+    #[test]
+    fn arrays_and_pointers() {
+        assert_eq!(
+            run(r#"
+                int main() {
+                    int a[8];
+                    int i;
+                    int* p = a;
+                    for (i = 0; i < 8; i++) a[i] = i * i;
+                    return p[3] + *(a + 5) + (&a[7] - a);
+                }
+            "#),
+            9 + 25 + 7
+        );
+    }
+
+    #[test]
+    fn char_semantics() {
+        assert_eq!(run("int main() { char c = 250; c += 10; return c; }"), 4); // wraps
+        assert_eq!(
+            run(r#"
+                char s[6] = "hello";
+                int main() { return s[0] + s[4]; }
+            "#),
+            (b'h' + b'o') as u32
+        );
+        assert_eq!(
+            run(r#"
+                int len(char* s) { int n = 0; while (s[n]) n++; return n; }
+                int main() { return len("minic"); }
+            "#),
+            5
+        );
+    }
+
+    #[test]
+    fn structs() {
+        assert_eq!(
+            run(r#"
+                struct point { int x; int y; };
+                struct rect { struct point a; struct point b; };
+                struct rect r;
+                int area(struct rect* p) {
+                    return (p->b.x - p->a.x) * (p->b.y - p->a.y);
+                }
+                int main() {
+                    r.a.x = 1; r.a.y = 2; r.b.x = 5; r.b.y = 6;
+                    return area(&r);
+                }
+            "#),
+            16
+        );
+    }
+
+    #[test]
+    fn linked_list_on_heap() {
+        assert_eq!(
+            run(r#"
+                struct node { int v; struct node* next; };
+                int main() {
+                    struct node* head = 0;
+                    int i;
+                    for (i = 1; i <= 5; i++) {
+                        struct node* n = sbrk(sizeof(struct node));
+                        n->v = i;
+                        n->next = head;
+                        head = n;
+                    }
+                    int s = 0;
+                    while (head) { s += head->v; head = head->next; }
+                    return s;
+                }
+            "#),
+            15
+        );
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let (code, out) = run_io(
+            r#"
+            char buf[32];
+            int main() {
+                int n = read(buf, 32);
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (buf[i] >= 'a' && buf[i] <= 'z') buf[i] -= 32;
+                }
+                write(buf, n);
+                return n;
+            }
+            "#,
+            b"Hello, World!",
+        );
+        assert_eq!(code, 13);
+        assert_eq!(out, b"HELLO, WORLD!");
+    }
+
+    #[test]
+    fn inc_dec_value_semantics() {
+        assert_eq!(run("int main() { int i = 5; int j = i++; return j * 10 + i; }"), 56);
+        assert_eq!(run("int main() { int i = 5; int j = ++i; return j * 10 + i; }"), 66);
+        assert_eq!(run("int main() { int a[3]; a[1] = 7; int* p = a; p++; return *p; }"), 7);
+        assert_eq!(
+            run("int main() { int a[3]; int i = 0; a[0]=1; a[1]=2; a[2]=4; return a[i++] + a[i++] + a[i]; }"),
+            7
+        );
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert_eq!(run("int main() { int x = 10; x <<= 2; x |= 1; x -= 3; return x; }"), 38);
+        assert_eq!(
+            run(r#"
+                int g = 100;
+                int main() { g /= 3; g %= 10; return g; }
+            "#),
+            3
+        );
+        assert_eq!(
+            run("int main() { int a[2]; a[0] = 3; a[0] *= 7; return a[0]; }"),
+            21
+        );
+    }
+
+    #[test]
+    fn spills_beyond_sregs() {
+        // More than 8 scalar locals forces stack homes.
+        assert_eq!(
+            run(r#"
+                int main() {
+                    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+                    int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+                    int k = 11; int l = 12;
+                    return a + b + c + d + e + f + g + h + i + j + k + l;
+                }
+            "#),
+            78
+        );
+    }
+
+    #[test]
+    fn nested_calls_do_not_clobber_args() {
+        assert_eq!(
+            run(r#"
+                int add(int a, int b) { return a + b; }
+                int main() { return add(add(1, 2), add(add(3, 4), 5)); }
+            "#),
+            15
+        );
+    }
+
+    #[test]
+    fn global_char_scalar() {
+        assert_eq!(
+            run(r#"
+                char flag = 'x';
+                int main() { flag = flag + 1; return flag; }
+            "#),
+            u32::from(b'y')
+        );
+    }
+
+    #[test]
+    fn build_errors_surface() {
+        assert!(matches!(build("int f() { return 0; }"), Err(BuildError::Compile(_)))); // no main
+        assert!(build("int main() { return undefined_fn(); }").is_err());
+    }
+
+    #[test]
+    fn compile_produces_func_metadata() {
+        let image = build("int helper(int x) { return x; } int main() { return helper(3); }")
+            .unwrap();
+        let names: Vec<&str> = image.funcs.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"main"));
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"__start"));
+        assert!(names.contains(&"read"));
+        let helper = image.funcs.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.arity, 1);
+        assert!(helper.size_insns() > 0);
+    }
+
+    #[test]
+    fn address_of_scalar_local() {
+        assert_eq!(
+            run(r#"
+                void bump(int* p) { *p += 1; }
+                int main() { int x = 41; bump(&x); return x; }
+            "#),
+            42
+        );
+    }
+
+    #[test]
+    fn sizeof_values() {
+        assert_eq!(run("int main() { return sizeof(int); }"), 4);
+        assert_eq!(run("int main() { return sizeof(char); }"), 1);
+        assert_eq!(run("int main() { return sizeof(int*); }"), 4);
+        assert_eq!(run("int main() { return sizeof(int[10]); }"), 40);
+        assert_eq!(
+            run("struct p { int a; char b; }; int main() { return sizeof(struct p); }"),
+            8
+        );
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+
+    #[test]
+    fn oversized_frame_fails_cleanly() {
+        // A local array beyond the signed-16-bit frame-offset range must
+        // surface as a build error, not a panic or miscompile.
+        let r = build("int main() { int a[20000]; a[0] = 1; return a[0]; }");
+        assert!(matches!(r, Err(BuildError::Asm(_))), "got {r:?}");
+    }
+
+    #[test]
+    fn deep_expression_reports_source_line() {
+        // 11+ live values exceed the 10-register evaluation stack.
+        let mut expr = String::from("1");
+        for _ in 0..12 {
+            expr = format!("(1 + {expr} * 2)");
+        }
+        let src = format!("int main() {{ return {expr}; }}");
+        let err = match build(&src) {
+            Err(BuildError::Compile(e)) => e,
+            other => panic!("expected compile error, got {other:?}"),
+        };
+        assert!(err.message().contains("too complex"), "{err}");
+    }
+
+    #[test]
+    fn gp_window_overflow_uses_absolute_addressing() {
+        // Globals beyond the 64 KiB gp window must still be reachable.
+        let src = r#"
+            int big[20000];
+            int tail = 7;
+            int main() {
+                big[19999] = 35;
+                return big[19999] + tail;
+            }
+        "#;
+        let image = build(src).unwrap();
+        let mut m = instrep_sim::Machine::new(&image);
+        let out = m.run(1_000_000, |_| {}).unwrap();
+        assert_eq!(out, instrep_sim::RunOutcome::Exited(42));
+    }
+}

@@ -1,0 +1,55 @@
+//! Assembly runtime linked into every MiniC program.
+//!
+//! Provides the program entry point (`__start`, which calls `main` and
+//! exits with its return value) and the four builtins as real functions
+//! with `.func` metadata, so the repetition analyses observe them as
+//! ordinary calls.
+
+/// Assembly text appended after the generated program code.
+pub const RUNTIME_ASM: &str = r#"
+.text
+.func __start, 0
+__start:
+    jal  main
+    move $a0, $v0
+    li   $v0, 0
+    syscall
+.endfunc
+
+# exit(code) - never returns.
+.func exit, 1
+exit:
+    li   $v0, 0
+    syscall
+.endfunc
+
+# read(buf, len) -> bytes read, from the external input stream (fd 0).
+.func read, 2
+read:
+    move $a2, $a1
+    move $a1, $a0
+    li   $a0, 0
+    li   $v0, 1
+    syscall
+    jr   $ra
+.endfunc
+
+# write(buf, len) -> len, to the captured output stream (fd 1).
+.func write, 2
+write:
+    move $a2, $a1
+    move $a1, $a0
+    li   $a0, 1
+    li   $v0, 2
+    syscall
+    jr   $ra
+.endfunc
+
+# sbrk(delta) -> previous break.
+.func sbrk, 1
+sbrk:
+    li   $v0, 3
+    syscall
+    jr   $ra
+.endfunc
+"#;

@@ -1,0 +1,617 @@
+//! Semantic analysis: name resolution, local-slot assignment, and type
+//! checking. Runs in place over the parsed [`Program`].
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::types::{StructDef, Type};
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(line, msg)
+}
+
+/// A callable signature (user function or builtin).
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Whether this is a runtime builtin (`read`/`write`/`sbrk`/`exit`).
+    pub builtin: bool,
+}
+
+/// The four runtime builtins every MiniC program can call.
+///
+/// They are implemented as real assembly functions in
+/// [`crate::runtime::RUNTIME_ASM`], so calls to them look like ordinary
+/// function calls to the analyses.
+pub fn builtin_signatures() -> HashMap<String, Signature> {
+    let mut m = HashMap::new();
+    m.insert(
+        "read".to_string(),
+        Signature { ret: Type::Int, params: vec![Type::Char.ptr_to(), Type::Int], builtin: true },
+    );
+    m.insert(
+        "write".to_string(),
+        Signature { ret: Type::Int, params: vec![Type::Char.ptr_to(), Type::Int], builtin: true },
+    );
+    m.insert(
+        "sbrk".to_string(),
+        Signature { ret: Type::Char.ptr_to(), params: vec![Type::Int], builtin: true },
+    );
+    m.insert(
+        "exit".to_string(),
+        Signature { ret: Type::Void, params: vec![Type::Int], builtin: true },
+    );
+    m
+}
+
+/// Runs semantic analysis over `program`.
+///
+/// # Errors
+///
+/// Returns the first semantic error: unresolved or duplicate names, type
+/// mismatches, bad lvalues, arity mismatches, `break` outside a loop, and
+/// so on.
+pub fn analyze(program: &mut Program) -> Result<(), CompileError> {
+    // Duplicate-global detection (functions were checked by the parser).
+    let mut seen = HashMap::new();
+    for g in &program.globals {
+        if seen.insert(g.name.clone(), ()).is_some() {
+            return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        if matches!(g.ty, Type::Array(..)) {
+            if let GlobalInit::List(vals) = &g.init {
+                let n = match &g.ty {
+                    Type::Array(_, n) => *n as usize,
+                    _ => unreachable!(),
+                };
+                if vals.len() > n {
+                    return Err(err(g.line, format!("too many initializers for `{}`", g.name)));
+                }
+            }
+            if let GlobalInit::Str(bytes) = &g.init {
+                let Type::Array(_, n) = &g.ty else { unreachable!() };
+                if bytes.len() > *n as usize {
+                    return Err(err(
+                        g.line,
+                        format!("string initializer too long for `{}`", g.name),
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut signatures = builtin_signatures();
+    for f in &program.funcs {
+        if signatures.contains_key(&f.name) {
+            return Err(err(f.line, format!("`{}` shadows a builtin or function", f.name)));
+        }
+        if seen.contains_key(&f.name) {
+            return Err(err(f.line, format!("`{}` is already a global variable", f.name)));
+        }
+        signatures.insert(
+            f.name.clone(),
+            Signature {
+                ret: f.ret.clone(),
+                params: f.locals[..f.arity].iter().map(|l| l.ty.clone()).collect(),
+                builtin: false,
+            },
+        );
+    }
+
+    let globals: HashMap<String, Type> =
+        program.globals.iter().map(|g| (g.name.clone(), g.ty.clone())).collect();
+
+    let mut funcs = std::mem::take(&mut program.funcs);
+    for f in &mut funcs {
+        let mut ck = Checker {
+            structs: &program.structs,
+            strings_len: program.strings.len(),
+            globals: &globals,
+            signatures: &signatures,
+            func_ret: f.ret.clone(),
+            locals: std::mem::take(&mut f.locals),
+            scopes: Vec::new(),
+            loop_depth: 0,
+        };
+        ck.push_scope();
+        for (i, l) in ck.locals.iter().enumerate() {
+            let name = l.name.clone();
+            if ck.scopes[0].insert(name, i).is_some() {
+                return Err(err(f.line, format!("duplicate parameter in `{}`", f.name)));
+            }
+        }
+        let mut body = std::mem::take(&mut f.body);
+        for s in &mut body {
+            ck.stmt(s)?;
+        }
+        f.body = body;
+        f.locals = ck.locals;
+    }
+    program.funcs = funcs;
+    Ok(())
+}
+
+struct Checker<'a> {
+    structs: &'a [StructDef],
+    strings_len: usize,
+    globals: &'a HashMap<String, Type>,
+    signatures: &'a HashMap<String, Signature>,
+    func_ret: Type,
+    locals: Vec<LocalVar>,
+    scopes: Vec<HashMap<String, usize>>,
+    loop_depth: u32,
+}
+
+impl Checker<'_> {
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn lookup(&self, name: &str) -> Option<Storage> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&i) = scope.get(name) {
+                return Some(Storage::Local(i));
+            }
+        }
+        if self.globals.contains_key(name) {
+            return Some(Storage::Global);
+        }
+        None
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, ty, init, local, line } => {
+                if !ty.is_scalar() && !matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                    return Err(err(*line, format!("bad local type for `{name}`")));
+                }
+                if let Some(e) = init {
+                    if !ty.is_scalar() {
+                        return Err(err(*line, "aggregate locals cannot have initializers"));
+                    }
+                    self.expr(e)?;
+                    if !ty.accepts(&e.ty) {
+                        return Err(err(
+                            *line,
+                            format!("cannot initialize `{name}: {ty}` from `{}`", e.ty),
+                        ));
+                    }
+                }
+                let idx = self.locals.len();
+                self.locals.push(LocalVar {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    addressed: !ty.is_scalar(),
+                    is_param: false,
+                });
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.insert(name.clone(), idx).is_some() {
+                    return Err(err(*line, format!("duplicate local `{name}` in scope")));
+                }
+                *local = idx;
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr(e).map(|_| ()),
+            Stmt::If { cond, then, els } => {
+                self.scalar_expr(cond)?;
+                self.stmt(then)?;
+                if let Some(e) = els {
+                    self.stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.scalar_expr(cond)?;
+                self.loop_depth += 1;
+                self.stmt(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(e) = init {
+                    self.expr(e)?;
+                }
+                if let Some(e) = cond {
+                    self.scalar_expr(e)?;
+                }
+                if let Some(e) = step {
+                    self.expr(e)?;
+                }
+                self.loop_depth += 1;
+                self.stmt(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                match (value, &self.func_ret) {
+                    (None, Type::Void) => Ok(()),
+                    (None, ret) => {
+                        Err(err(*line, format!("missing return value (function returns {ret})")))
+                    }
+                    (Some(_), Type::Void) => {
+                        Err(err(*line, "void function cannot return a value"))
+                    }
+                    (Some(e), _) => {
+                        self.expr(e)?;
+                        let ret = self.func_ret.clone();
+                        if !ret.accepts(&e.ty) {
+                            return Err(err(
+                                *line,
+                                format!("cannot return `{}` from function returning `{ret}`", e.ty),
+                            ));
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::Break { line } => {
+                if self.loop_depth == 0 {
+                    return Err(err(*line, "`break` outside a loop"));
+                }
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                if self.loop_depth == 0 {
+                    return Err(err(*line, "`continue` outside a loop"));
+                }
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                self.push_scope();
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                self.pop_scope();
+                Ok(())
+            }
+            Stmt::Empty => Ok(()),
+        }
+    }
+
+    /// Checks an expression used as a condition or arithmetic operand.
+    fn scalar_expr(&mut self, e: &mut Expr) -> Result<(), CompileError> {
+        self.expr(e)?;
+        if !e.ty.decayed().is_scalar() {
+            return Err(err(e.line, format!("expected scalar value, found `{}`", e.ty)));
+        }
+        Ok(())
+    }
+
+    /// Whether `e` denotes a memory location.
+    fn is_lvalue(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Ident { .. } | ExprKind::Index(..) => true,
+            ExprKind::Unary(UnOp::Deref, _) => true,
+            ExprKind::Member { base, arrow, .. } => *arrow || self.is_lvalue(base),
+            _ => false,
+        }
+    }
+
+    /// Marks the base local of an lvalue as address-taken.
+    fn mark_addressed(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident { storage: Some(Storage::Local(i)), .. } => {
+                self.locals[*i].addressed = true;
+            }
+            ExprKind::Member { base, arrow: false, .. } => self.mark_addressed(base),
+            _ => {}
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> Result<(), CompileError> {
+        let line = e.line;
+        let ty = match &mut e.kind {
+            ExprKind::Num(_) => Type::Int,
+            ExprKind::Str(idx) => {
+                debug_assert!(*idx < self.strings_len);
+                Type::Char.ptr_to()
+            }
+            ExprKind::Sizeof(ty) => {
+                if ty.size(self.structs) == 0 {
+                    return Err(err(line, "sizeof(void) is not allowed"));
+                }
+                Type::Int
+            }
+            ExprKind::Ident { name, storage } => {
+                let st = self
+                    .lookup(name)
+                    .ok_or_else(|| err(line, format!("undefined identifier `{name}`")))?;
+                *storage = Some(st);
+                match st {
+                    Storage::Local(i) => self.locals[i].ty.clone(),
+                    Storage::Global => self.globals[name.as_str()].clone(),
+                }
+            }
+            ExprKind::Unary(op, operand) => {
+                let op = *op;
+                self.expr(operand)?;
+                match op {
+                    UnOp::Neg | UnOp::BitNot | UnOp::Not => {
+                        if !operand.ty.decayed().is_scalar() {
+                            return Err(err(line, format!("bad operand type `{}`", operand.ty)));
+                        }
+                        Type::Int
+                    }
+                    UnOp::Deref => {
+                        let decayed = operand.ty.decayed();
+                        match decayed.deref() {
+                            Some(Type::Void) | None => {
+                                return Err(err(
+                                    line,
+                                    format!("cannot dereference `{}`", operand.ty),
+                                ))
+                            }
+                            Some(t) => t.clone(),
+                        }
+                    }
+                    UnOp::Addr => {
+                        if !self.is_lvalue(operand) {
+                            return Err(err(line, "cannot take the address of this expression"));
+                        }
+                        let inner = operand.ty.clone();
+                        self.mark_addressed(operand);
+                        inner.ptr_to()
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let op = *op;
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                let lt = lhs.ty.decayed();
+                let rt = rhs.ty.decayed();
+                if !lt.is_scalar() || !rt.is_scalar() {
+                    return Err(err(
+                        line,
+                        format!("bad operand types `{}` and `{}`", lhs.ty, rhs.ty),
+                    ));
+                }
+                match op {
+                    BinOp::Add => match (&lt, &rt) {
+                        (Type::Ptr(_), Type::Ptr(_)) => {
+                            return Err(err(line, "cannot add two pointers"))
+                        }
+                        (Type::Ptr(_), _) => lt.clone(),
+                        (_, Type::Ptr(_)) => rt.clone(),
+                        _ => Type::Int,
+                    },
+                    BinOp::Sub => match (&lt, &rt) {
+                        (Type::Ptr(a), Type::Ptr(b)) => {
+                            if a != b {
+                                return Err(err(line, "pointer subtraction type mismatch"));
+                            }
+                            Type::Int
+                        }
+                        (Type::Ptr(_), _) => lt.clone(),
+                        (_, Type::Ptr(_)) => {
+                            return Err(err(line, "cannot subtract pointer from integer"))
+                        }
+                        _ => Type::Int,
+                    },
+                    _ => Type::Int,
+                }
+            }
+            ExprKind::Assign { op: _, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                if !self.is_lvalue(lhs) {
+                    return Err(err(line, "left side of assignment is not an lvalue"));
+                }
+                if !lhs.ty.is_scalar() {
+                    return Err(err(line, format!("cannot assign to `{}`", lhs.ty)));
+                }
+                if !lhs.ty.accepts(&rhs.ty) {
+                    return Err(err(
+                        line,
+                        format!("cannot assign `{}` to `{}`", rhs.ty, lhs.ty),
+                    ));
+                }
+                lhs.ty.clone()
+            }
+            ExprKind::IncDec { target, .. } => {
+                self.expr(target)?;
+                if !self.is_lvalue(target) || !target.ty.is_scalar() {
+                    return Err(err(line, "++/-- target must be a scalar lvalue"));
+                }
+                target.ty.clone()
+            }
+            ExprKind::Call { name, args } => {
+                let sig = self
+                    .signatures
+                    .get(name.as_str())
+                    .ok_or_else(|| err(line, format!("call to undefined function `{name}`")))?
+                    .clone();
+                if args.len() != sig.params.len() {
+                    return Err(err(
+                        line,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (arg, want) in args.iter_mut().zip(&sig.params) {
+                    self.expr(arg)?;
+                    if !want.accepts(&arg.ty) {
+                        return Err(err(
+                            arg.line,
+                            format!("argument type `{}` does not match `{want}`", arg.ty),
+                        ));
+                    }
+                }
+                sig.ret
+            }
+            ExprKind::Index(base, idx) => {
+                self.expr(base)?;
+                self.expr(idx)?;
+                if !matches!(idx.ty.decayed(), Type::Int | Type::Char) {
+                    return Err(err(line, format!("index must be integer, found `{}`", idx.ty)));
+                }
+                let decayed = base.ty.decayed();
+                match decayed.deref() {
+                    Some(Type::Void) | None => {
+                        return Err(err(line, format!("cannot index `{}`", base.ty)))
+                    }
+                    Some(t) => t.clone(),
+                }
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let arrow = *arrow;
+                self.expr(base)?;
+                let sid = if arrow {
+                    match base.ty.decayed() {
+                        Type::Ptr(inner) => match *inner {
+                            Type::Struct(id) => id,
+                            _ => return Err(err(line, format!("`->` on `{}`", base.ty))),
+                        },
+                        _ => return Err(err(line, format!("`->` on `{}`", base.ty))),
+                    }
+                } else {
+                    match &base.ty {
+                        Type::Struct(id) => *id,
+                        _ => return Err(err(line, format!("`.` on `{}`", base.ty))),
+                    }
+                };
+                let sdef = &self.structs[sid.0];
+                let f = sdef
+                    .field(field)
+                    .ok_or_else(|| {
+                        err(line, format!("no field `{field}` in struct `{}`", sdef.name))
+                    })?;
+                f.ty.clone()
+            }
+        };
+        e.ty = ty;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Program, CompileError> {
+        let mut p = parse(lex(src)?)?;
+        analyze(&mut p)?;
+        Ok(p)
+    }
+
+    #[test]
+    fn resolves_locals_params_globals() {
+        let p = check(
+            r#"
+            int g = 3;
+            int f(int a) {
+                int b = a + g;
+                { int c = b; b = c; }
+                return b;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = p.func("f").unwrap();
+        assert_eq!(f.locals.len(), 3); // a, b, c
+        assert!(f.locals[0].is_param);
+        assert_eq!(f.locals[1].name, "b");
+    }
+
+    #[test]
+    fn types_flow() {
+        let p = check(
+            r#"
+            struct node { int v; struct node* next; };
+            struct node pool[10];
+            int f(struct node* n) { return n->next->v + pool[1].v; }
+            "#,
+        )
+        .unwrap();
+        let f = p.func("f").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        assert_eq!(e.ty, Type::Int);
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let p = check("int f(int* p, int n) { return *(p + n) + (p - p); }").unwrap();
+        assert_eq!(p.func("f").unwrap().ret, Type::Int);
+        assert!(check("int f(int* p, char* q) { return p - q; }").is_err());
+        assert!(check("int f(int* p, int* q) { return p + q; }").is_err());
+        assert!(check("int f(int* p, int n) { return n - p; }").is_err());
+    }
+
+    #[test]
+    fn addressed_locals_flagged() {
+        let p = check("int g(int* p) { return *p; } int f() { int x = 1; return g(&x); }").unwrap();
+        let f = p.func("f").unwrap();
+        assert!(f.locals[0].addressed);
+        // Arrays are always addressed.
+        let p2 = check("int f() { int a[4]; a[0] = 1; return a[0]; }").unwrap();
+        assert!(p2.func("f").unwrap().locals[0].addressed);
+        // Plain scalars are not.
+        let p3 = check("int f() { int x = 1; return x; }").unwrap();
+        assert!(!p3.func("f").unwrap().locals[0].addressed);
+    }
+
+    #[test]
+    fn builtins_typed() {
+        check(
+            r#"
+            char buf[64];
+            int main() {
+                int n = read(buf, 64);
+                write(buf, n);
+                char* p = sbrk(4096);
+                exit(0);
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(check("int read(char* b, int n) { return 0; }").is_err()); // shadows builtin
+        assert!(check("int main() { return read(1, 2, 3); }").is_err()); // arity
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(check("int f() { return x; }").is_err());
+        assert!(check("int f() { 3 = 4; return 0; }").is_err());
+        assert!(check("int f() { break; return 0; }").is_err());
+        assert!(check("int f() { continue; return 0; }").is_err());
+        assert!(check("void f() { return 3; }").is_err());
+        assert!(check("int f() { return; }").is_err());
+        assert!(check("int f() { return nosuch(); }").is_err());
+        assert!(check("struct s { int v; }; int f(struct s* p) { return p->w; }").is_err());
+        assert!(check("int f(int x) { return x.v; }").is_err());
+        assert!(check("int f(int x) { return *x; }").is_err());
+        assert!(check("int f(int x) { return &3; }").is_err());
+        assert!(check("int g = 1; int g = 2;").is_err());
+        assert!(check("int f() { int a; int a; return 0; }").is_err());
+        assert!(check("int t[2] = {1,2,3};").is_err());
+        assert!(check("char s[2] = \"abc\";").is_err());
+        assert!(check("struct s {int v;}; int f() { struct s a; struct s b; a = b; return 0; }").is_err());
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_ok() {
+        check("int f(int x) { { int x; x = 2; } return x; }").unwrap();
+    }
+
+    #[test]
+    fn sizeof_is_int() {
+        let p = check("int f() { return sizeof(int[3]); }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.func("f").unwrap().body[0] else { panic!() };
+        assert_eq!(e.ty, Type::Int);
+        assert!(check("int f() { return sizeof(void); }").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+use std::fmt;
+
+/// Identifier of a struct definition within a [`crate::ast::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructId(pub usize);
+
+/// A MiniC type.
+///
+/// MiniC is deliberately weakly typed in the C tradition: pointers and
+/// `int` interconvert implicitly (there is no cast syntax), `char`
+/// promotes to `int` in arithmetic, and arrays decay to pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// Function-return "no value" type.
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned byte.
+    Char,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, u32),
+    /// A named struct (by id).
+    Struct(StructId),
+}
+
+impl Type {
+    /// Pointer-to-self convenience.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Size in bytes. Structs are looked up in `structs`.
+    pub fn size(&self, structs: &[StructDef]) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Char => 1,
+            Type::Array(elem, n) => elem.size(structs) * n,
+            Type::Struct(id) => structs[id.0].size,
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self, structs: &[StructDef]) -> u32 {
+        match self {
+            Type::Void => 1,
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Char => 1,
+            Type::Array(elem, _) => elem.align(structs),
+            Type::Struct(id) => structs[id.0].align,
+        }
+    }
+
+    /// Whether values of this type fit in a register (everything except
+    /// arrays, structs, and void).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+
+    /// The pointee type for pointers, or element type for arrays.
+    pub fn deref(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The type this expression has after array-to-pointer decay.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Whether a value of type `from` can be used where `self` is
+    /// expected (MiniC's permissive conversion rule).
+    pub fn accepts(&self, from: &Type) -> bool {
+        let a = self.decayed();
+        let b = from.decayed();
+        match (&a, &b) {
+            (Type::Void, Type::Void) => true,
+            (Type::Void, _) | (_, Type::Void) => false,
+            (Type::Struct(x), Type::Struct(y)) => x == y,
+            (Type::Struct(_), _) | (_, Type::Struct(_)) => false,
+            // int/char/pointers interconvert.
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Int => f.write_str("int"),
+            Type::Char => f.write_str("char"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(id) => write!(f, "struct#{}", id.0),
+        }
+    }
+}
+
+/// One field of a struct, with its computed byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset within the struct.
+    pub offset: u32,
+}
+
+/// A struct definition with computed layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields with computed offsets, in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size in bytes, padded to the alignment.
+    pub size: u32,
+    /// Required alignment in bytes.
+    pub align: u32,
+}
+
+impl StructDef {
+    /// Computes layout for a list of `(name, type)` fields.
+    pub fn layout(name: String, raw: Vec<(String, Type)>, structs: &[StructDef]) -> StructDef {
+        let mut fields = Vec::with_capacity(raw.len());
+        let mut offset = 0u32;
+        let mut align = 1u32;
+        for (fname, ty) in raw {
+            let a = ty.align(structs);
+            align = align.max(a);
+            offset = (offset + a - 1) & !(a - 1);
+            let size = ty.size(structs);
+            fields.push(Field { name: fname, ty, offset });
+            offset += size;
+        }
+        let size = (offset + align - 1) & !(align - 1);
+        StructDef { name, fields, size, align }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignment() {
+        let structs = &[];
+        assert_eq!(Type::Int.size(structs), 4);
+        assert_eq!(Type::Char.size(structs), 1);
+        assert_eq!(Type::Int.ptr_to().size(structs), 4);
+        assert_eq!(Type::Array(Box::new(Type::Char), 10).size(structs), 10);
+        assert_eq!(Type::Array(Box::new(Type::Int), 10).align(structs), 4);
+    }
+
+    #[test]
+    fn struct_layout_pads_fields() {
+        let s = StructDef::layout(
+            "s".into(),
+            vec![
+                ("c".into(), Type::Char),
+                ("i".into(), Type::Int),
+                ("c2".into(), Type::Char),
+            ],
+            &[],
+        );
+        assert_eq!(s.field("c").unwrap().offset, 0);
+        assert_eq!(s.field("i").unwrap().offset, 4);
+        assert_eq!(s.field("c2").unwrap().offset, 8);
+        assert_eq!(s.size, 12); // padded to align 4
+        assert_eq!(s.align, 4);
+        assert!(s.field("nope").is_none());
+    }
+
+    #[test]
+    fn nested_struct_size() {
+        let inner = StructDef::layout("in".into(), vec![("a".into(), Type::Int)], &[]);
+        let structs = vec![inner];
+        let outer = StructDef::layout(
+            "out".into(),
+            vec![("s".into(), Type::Struct(StructId(0))), ("b".into(), Type::Int)],
+            &structs,
+        );
+        assert_eq!(outer.size, 8);
+    }
+
+    #[test]
+    fn decay_and_accepts() {
+        let arr = Type::Array(Box::new(Type::Int), 4);
+        assert_eq!(arr.decayed(), Type::Int.ptr_to());
+        assert!(Type::Int.accepts(&Type::Char));
+        assert!(Type::Int.ptr_to().accepts(&Type::Int));
+        assert!(Type::Char.ptr_to().accepts(&arr));
+        assert!(!Type::Int.accepts(&Type::Struct(StructId(0))));
+        assert!(!Type::Void.accepts(&Type::Int));
+        assert!(Type::Struct(StructId(1)).accepts(&Type::Struct(StructId(1))));
+        assert!(!Type::Struct(StructId(1)).accepts(&Type::Struct(StructId(2))));
+    }
+
+    #[test]
+    fn deref() {
+        assert_eq!(Type::Int.ptr_to().deref(), Some(&Type::Int));
+        assert_eq!(Type::Array(Box::new(Type::Char), 3).deref(), Some(&Type::Char));
+        assert_eq!(Type::Int.deref(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Differential property tests: random MiniC expressions compiled and
+//! executed on the simulator must agree with a Rust reference evaluator
+//! using two's-complement semantics.
+//!
+//! This exercises the full stack: lexer, parser, sema, codegen (register
+//! allocation, spilling, short-circuiting), the assembler, and the
+//! simulator's ALU.
+
+use instrep_minicc::build;
+use instrep_sim::{Machine, RunOutcome};
+use proptest::prelude::*;
+
+/// A total (never-trapping) expression over three variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division by a non-zero constant (never traps; avoids the
+    /// i32::MIN / -1 overflow trap by excluding -1).
+    DivC(Box<Expr>, i32),
+    RemC(Box<Expr>, i32),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    ShlC(Box<Expr>, u8),
+    ShrC(Box<Expr>, u8),
+    Neg(Box<Expr>),
+    BitNot(Box<Expr>),
+    Not(Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    Le(Box<Expr>, Box<Expr>),
+    Eq(Box<Expr>, Box<Expr>),
+    Ne(Box<Expr>, Box<Expr>),
+    LogAnd(Box<Expr>, Box<Expr>),
+    LogOr(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn to_c(&self) -> String {
+        match self {
+            Expr::Var(i) => ["a", "b", "c"][*i].to_string(),
+            Expr::Const(v) => {
+                if *v < 0 {
+                    // MiniC has unary minus but no negative literals wider
+                    // than parser support; parenthesize.
+                    format!("(0 - {})", i64::from(*v).unsigned_abs())
+                } else {
+                    v.to_string()
+                }
+            }
+            Expr::Add(l, r) => format!("({} + {})", l.to_c(), r.to_c()),
+            Expr::Sub(l, r) => format!("({} - {})", l.to_c(), r.to_c()),
+            Expr::Mul(l, r) => format!("({} * {})", l.to_c(), r.to_c()),
+            Expr::DivC(l, c) => format!("({} / {c})", l.to_c()),
+            Expr::RemC(l, c) => format!("({} % {c})", l.to_c()),
+            Expr::And(l, r) => format!("({} & {})", l.to_c(), r.to_c()),
+            Expr::Or(l, r) => format!("({} | {})", l.to_c(), r.to_c()),
+            Expr::Xor(l, r) => format!("({} ^ {})", l.to_c(), r.to_c()),
+            Expr::ShlC(l, k) => format!("({} << {k})", l.to_c()),
+            Expr::ShrC(l, k) => format!("({} >> {k})", l.to_c()),
+            Expr::Neg(e) => format!("(-{})", e.to_c()),
+            Expr::BitNot(e) => format!("(~{})", e.to_c()),
+            Expr::Not(e) => format!("(!{})", e.to_c()),
+            Expr::Lt(l, r) => format!("({} < {})", l.to_c(), r.to_c()),
+            Expr::Le(l, r) => format!("({} <= {})", l.to_c(), r.to_c()),
+            Expr::Eq(l, r) => format!("({} == {})", l.to_c(), r.to_c()),
+            Expr::Ne(l, r) => format!("({} != {})", l.to_c(), r.to_c()),
+            Expr::LogAnd(l, r) => format!("({} && {})", l.to_c(), r.to_c()),
+            Expr::LogOr(l, r) => format!("({} || {})", l.to_c(), r.to_c()),
+        }
+    }
+
+    fn eval(&self, vars: [i32; 3]) -> i32 {
+        match self {
+            Expr::Var(i) => vars[*i],
+            Expr::Const(v) => *v,
+            Expr::Add(l, r) => l.eval(vars).wrapping_add(r.eval(vars)),
+            Expr::Sub(l, r) => l.eval(vars).wrapping_sub(r.eval(vars)),
+            Expr::Mul(l, r) => l.eval(vars).wrapping_mul(r.eval(vars)),
+            Expr::DivC(l, c) => l.eval(vars).wrapping_div(*c),
+            Expr::RemC(l, c) => l.eval(vars).wrapping_rem(*c),
+            Expr::And(l, r) => l.eval(vars) & r.eval(vars),
+            Expr::Or(l, r) => l.eval(vars) | r.eval(vars),
+            Expr::Xor(l, r) => l.eval(vars) ^ r.eval(vars),
+            Expr::ShlC(l, k) => l.eval(vars).wrapping_shl(u32::from(*k)),
+            Expr::ShrC(l, k) => l.eval(vars).wrapping_shr(u32::from(*k)),
+            Expr::Neg(e) => e.eval(vars).wrapping_neg(),
+            Expr::BitNot(e) => !e.eval(vars),
+            Expr::Not(e) => i32::from(e.eval(vars) == 0),
+            Expr::Lt(l, r) => i32::from(l.eval(vars) < r.eval(vars)),
+            Expr::Le(l, r) => i32::from(l.eval(vars) <= r.eval(vars)),
+            Expr::Eq(l, r) => i32::from(l.eval(vars) == r.eval(vars)),
+            Expr::Ne(l, r) => i32::from(l.eval(vars) != r.eval(vars)),
+            Expr::LogAnd(l, r) => i32::from(l.eval(vars) != 0 && r.eval(vars) != 0),
+            Expr::LogOr(l, r) => i32::from(l.eval(vars) != 0 || r.eval(vars) != 0),
+        }
+    }
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(Expr::Var),
+        // Mix small and extreme constants.
+        prop_oneof![
+            (-64i32..64).prop_map(Expr::Const),
+            any::<i32>().prop_map(Expr::Const),
+        ],
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_expr(depth - 1);
+    let bin = |f: fn(Box<Expr>, Box<Expr>) -> Expr| {
+        (arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(move |(l, r)| f(Box::new(l), Box::new(r)))
+    };
+    prop_oneof![
+        leaf,
+        bin(Expr::Add),
+        bin(Expr::Sub),
+        bin(Expr::Mul),
+        bin(Expr::And),
+        bin(Expr::Or),
+        bin(Expr::Xor),
+        bin(Expr::Lt),
+        bin(Expr::Le),
+        bin(Expr::Eq),
+        bin(Expr::Ne),
+        bin(Expr::LogAnd),
+        bin(Expr::LogOr),
+        (sub.clone(), prop_oneof![(2i32..100), (-100i32..-2)])
+            .prop_map(|(l, c)| Expr::DivC(Box::new(l), c)),
+        (arb_expr(depth - 1), prop_oneof![(2i32..100), (-100i32..-2)])
+            .prop_map(|(l, c)| Expr::RemC(Box::new(l), c)),
+        (arb_expr(depth - 1), 0u8..32).prop_map(|(l, k)| Expr::ShlC(Box::new(l), k)),
+        (arb_expr(depth - 1), 0u8..32).prop_map(|(l, k)| Expr::ShrC(Box::new(l), k)),
+        arb_expr(depth - 1).prop_map(|e| Expr::Neg(Box::new(e))),
+        arb_expr(depth - 1).prop_map(|e| Expr::BitNot(Box::new(e))),
+        arb_expr(depth - 1).prop_map(|e| Expr::Not(Box::new(e))),
+    ]
+    .boxed()
+}
+
+/// Compiles a three-variable function around `expr` and runs it.
+fn run_expr(expr: &Expr, vars: [i32; 3]) -> i32 {
+    let src = format!(
+        r#"
+        char out[4];
+        int f(int a, int b, int c) {{ return {}; }}
+        int main() {{
+            int v = f({}, {}, {});
+            out[0] = v & 255;
+            out[1] = (v >> 8) & 255;
+            out[2] = (v >> 16) & 255;
+            out[3] = (v >> 24) & 255;
+            write(out, 4);
+            return 0;
+        }}
+        "#,
+        expr.to_c(),
+        Expr::Const(vars[0]).to_c(),
+        Expr::Const(vars[1]).to_c(),
+        Expr::Const(vars[2]).to_c(),
+    );
+    let image = build(&src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut m = Machine::new(&image);
+    match m.run(1_000_000, |_| {}) {
+        Ok(RunOutcome::Exited(0)) => {}
+        other => panic!("bad outcome {other:?} for\n{src}"),
+    }
+    let out = m.output();
+    i32::from_le_bytes(out[0..4].try_into().expect("4 output bytes"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_reference(
+        expr in arb_expr(3),
+        vars in [any::<i32>(), any::<i32>(), any::<i32>()],
+    ) {
+        let want = expr.eval(vars);
+        let got = run_expr(&expr, vars);
+        prop_assert_eq!(got, want, "expr {} with vars {:?}", expr.to_c(), vars);
+    }
+
+    #[test]
+    fn deep_left_chains_do_not_overflow_eval_stack(
+        ks in proptest::collection::vec(-9i32..9, 1..24),
+        x in any::<i32>(),
+    ) {
+        // Left-leaning chains keep eval depth at 2 regardless of length;
+        // the compiler must handle them without spilling trouble.
+        let mut e = Expr::Var(0);
+        let mut want = x;
+        for k in &ks {
+            e = Expr::Add(Box::new(e), Box::new(Expr::Const(*k)));
+            want = want.wrapping_add(*k);
+        }
+        let got = run_expr(&e, [x, 0, 0]);
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn calls_of_every_arity_pass_arguments_correctly(
+        args in proptest::collection::vec(any::<i32>(), 1..=8),
+        weights in proptest::collection::vec(1i32..10, 8),
+    ) {
+        // f(a0..aN) = sum(w_i * a_i): exercises both register (a0..a3)
+        // and stack (a4..a7) argument passing.
+        let n = args.len();
+        let params: Vec<String> = (0..n).map(|i| format!("int a{i}")).collect();
+        let body: Vec<String> =
+            (0..n).map(|i| format!("a{i} * {}", weights[i])).collect();
+        let call_args: Vec<String> =
+            args.iter().map(|v| Expr::Const(*v).to_c()).collect();
+        let src = format!(
+            r#"
+            char out[4];
+            int f({}) {{ return {}; }}
+            int main() {{
+                int v = f({});
+                out[0] = v & 255;
+                out[1] = (v >> 8) & 255;
+                out[2] = (v >> 16) & 255;
+                out[3] = (v >> 24) & 255;
+                write(out, 4);
+                return 0;
+            }}
+            "#,
+            params.join(", "),
+            body.join(" + "),
+            call_args.join(", "),
+        );
+        let image = build(&src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let mut m = Machine::new(&image);
+        prop_assert_eq!(m.run(1_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        let got = i32::from_le_bytes(m.output()[0..4].try_into().unwrap());
+        let want = args
+            .iter()
+            .zip(&weights)
+            .fold(0i32, |acc, (a, w)| acc.wrapping_add(a.wrapping_mul(*w)));
+        prop_assert_eq!(got, want, "{} args", n);
+    }
+}

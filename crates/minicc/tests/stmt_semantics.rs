@@ -1,0 +1,216 @@
+//! Differential property tests for statements: random programs built
+//! from assignments, `if`/`else`, bounded `for` loops, and `while` loops
+//! with decreasing counters must compute the same variable state as a
+//! reference interpreter.
+//!
+//! Complements `expr_semantics.rs`: this exercises control-flow codegen
+//! (branch synthesis, loop labels, break/continue) and variable homes
+//! (callee-saved registers and stack slots).
+
+use instrep_minicc::build;
+use instrep_sim::{Machine, RunOutcome};
+use proptest::prelude::*;
+
+const NVARS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum E {
+    Var(usize),
+    Const(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_c(&self) -> String {
+        match self {
+            E::Var(i) => format!("v{i}"),
+            E::Const(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", i64::from(*v).unsigned_abs())
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Add(l, r) => format!("({} + {})", l.to_c(), r.to_c()),
+            E::Sub(l, r) => format!("({} - {})", l.to_c(), r.to_c()),
+            E::Mul(l, r) => format!("({} * {})", l.to_c(), r.to_c()),
+            E::Xor(l, r) => format!("({} ^ {})", l.to_c(), r.to_c()),
+            E::Lt(l, r) => format!("({} < {})", l.to_c(), r.to_c()),
+        }
+    }
+
+    fn eval(&self, v: &[i32; NVARS]) -> i32 {
+        match self {
+            E::Var(i) => v[*i],
+            E::Const(c) => *c,
+            E::Add(l, r) => l.eval(v).wrapping_add(r.eval(v)),
+            E::Sub(l, r) => l.eval(v).wrapping_sub(r.eval(v)),
+            E::Mul(l, r) => l.eval(v).wrapping_mul(r.eval(v)),
+            E::Xor(l, r) => l.eval(v) ^ r.eval(v),
+            E::Lt(l, r) => i32::from(l.eval(v) < r.eval(v)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, E),
+    If(E, Vec<S>, Vec<S>),
+    /// `for (tN = 0; tN < k; tN++) body` over a dedicated loop counter.
+    For(u8, Vec<S>),
+    Break,
+    Continue,
+}
+
+fn emit_stmts(stmts: &[S], depth: usize, out: &mut String, loop_id: &mut u32) {
+    let pad = "    ".repeat(depth + 1);
+    for s in stmts {
+        match s {
+            S::Assign(i, e) => {
+                out.push_str(&format!("{pad}v{i} = {};\n", e.to_c()));
+            }
+            S::If(c, t, f) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", c.to_c()));
+                emit_stmts(t, depth + 1, out, loop_id);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                emit_stmts(f, depth + 1, out, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::For(k, body) => {
+                let id = *loop_id;
+                *loop_id += 1;
+                out.push_str(&format!("{pad}int t{id};\n"));
+                out.push_str(&format!("{pad}for (t{id} = 0; t{id} < {k}; t{id}++) {{\n"));
+                emit_stmts(body, depth + 1, out, loop_id);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::Break => out.push_str(&format!("{pad}break;\n")),
+            S::Continue => out.push_str(&format!("{pad}continue;\n")),
+        }
+    }
+}
+
+/// Reference execution. `in_loop` gates break/continue; returns a control
+/// signal: 0 = fallthrough, 1 = break, 2 = continue.
+fn exec_stmts(stmts: &[S], vars: &mut [i32; NVARS], in_loop: bool) -> u8 {
+    for s in stmts {
+        match s {
+            S::Assign(i, e) => vars[*i] = e.eval(vars),
+            S::If(c, t, f) => {
+                let branch = if c.eval(vars) != 0 { t } else { f };
+                let sig = exec_stmts(branch, vars, in_loop);
+                if sig != 0 {
+                    return sig;
+                }
+            }
+            S::For(k, body) => {
+                'iter: for _ in 0..*k {
+                    match exec_stmts(body, vars, true) {
+                        1 => break 'iter,
+                        _ => {}
+                    }
+                }
+            }
+            S::Break => {
+                if in_loop {
+                    return 1;
+                }
+            }
+            S::Continue => {
+                if in_loop {
+                    return 2;
+                }
+            }
+        }
+    }
+    0
+}
+
+fn arb_e(depth: u32) -> BoxedStrategy<E> {
+    let leaf = prop_oneof![
+        (0usize..NVARS).prop_map(E::Var),
+        (-50i32..50).prop_map(E::Const),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let bin = |f: fn(Box<E>, Box<E>) -> E| {
+        (arb_e(depth - 1), arb_e(depth - 1)).prop_map(move |(l, r)| f(Box::new(l), Box::new(r)))
+    };
+    prop_oneof![leaf, bin(E::Add), bin(E::Sub), bin(E::Mul), bin(E::Xor), bin(E::Lt)].boxed()
+}
+
+fn arb_s(depth: u32, in_loop: bool) -> BoxedStrategy<Vec<S>> {
+    let assign = ((0usize..NVARS), arb_e(2)).prop_map(|(i, e)| S::Assign(i, e));
+    let mut options = vec![assign.boxed()];
+    if in_loop {
+        options.push(Just(S::Break).boxed());
+        options.push(Just(S::Continue).boxed());
+    }
+    if depth > 0 {
+        let iff = (arb_e(1), arb_s(depth - 1, in_loop), arb_s(depth - 1, in_loop))
+            .prop_map(|(c, t, f)| S::If(c, t, f));
+        options.push(iff.boxed());
+        let forr = ((0u8..6), arb_s(depth - 1, true)).prop_map(|(k, b)| S::For(k, b));
+        options.push(forr.boxed());
+    }
+    proptest::collection::vec(proptest::strategy::Union::new(options), 0..5).boxed()
+}
+
+fn run_program(stmts: &[S], init: [i32; NVARS]) -> [i32; NVARS] {
+    let mut body = String::new();
+    let mut loop_id = 0;
+    emit_stmts(stmts, 0, &mut body, &mut loop_id);
+    let decls: String = (0..NVARS)
+        .map(|i| format!("    int v{i} = {};\n", E::Const(init[i]).to_c()))
+        .collect();
+    let dumps: String = (0..NVARS)
+        .map(|i| {
+            format!(
+                "    out[{o}] = v{i} & 255; out[{o1}] = (v{i} >> 8) & 255; \
+                 out[{o2}] = (v{i} >> 16) & 255; out[{o3}] = (v{i} >> 24) & 255;\n",
+                o = 4 * i,
+                o1 = 4 * i + 1,
+                o2 = 4 * i + 2,
+                o3 = 4 * i + 3,
+            )
+        })
+        .collect();
+    let src = format!(
+        "char out[{}];\nint main() {{\n{decls}{body}{dumps}    write(out, {});\n    return 0;\n}}\n",
+        NVARS * 4,
+        NVARS * 4
+    );
+    let image = build(&src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut m = Machine::new(&image);
+    match m.run(10_000_000, |_| {}) {
+        Ok(RunOutcome::Exited(0)) => {}
+        other => panic!("bad outcome {other:?}\n{src}"),
+    }
+    let out = m.output();
+    let mut vars = [0i32; NVARS];
+    for (i, v) in vars.iter_mut().enumerate() {
+        *v = i32::from_le_bytes(out[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    vars
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compiled_statements_match_reference(
+        stmts in arb_s(2, false),
+        init in [-100i32..100, -100i32..100, -100i32..100,
+                 -100i32..100, -100i32..100, -100i32..100],
+    ) {
+        let mut want = init;
+        exec_stmts(&stmts, &mut want, false);
+        let got = run_program(&stmts, init);
+        prop_assert_eq!(got, want);
+    }
+}

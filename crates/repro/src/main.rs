@@ -1,0 +1,257 @@
+//! `instrep-repro`: regenerates every table and figure of Sodani & Sohi,
+//! *An Empirical Analysis of Instruction Repetition* (ASPLOS 1998), over
+//! the eight SPEC-'95-like workloads.
+//!
+//! ```text
+//! instrep-repro [--scale tiny|small|full] [--seed N] [--only BENCH]
+//!               [--table N]... [--figure N]... [--steady-state] [--all]
+//! ```
+//!
+//! With no table/figure selection, everything is printed. One simulation
+//! pass per workload feeds all tables.
+
+use std::process::ExitCode;
+
+use instrep_core::report::{self, Named};
+use instrep_core::{analyze, steady_state_check, AnalysisConfig, WorkloadReport};
+use instrep_workloads::{all, Scale, Workload};
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    only: Option<String>,
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+    steady: bool,
+    input_check: bool,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::Small,
+        seed: 1998,
+        only: None,
+        tables: Vec::new(),
+        figures: Vec::new(),
+        steady: false,
+        input_check: false,
+        csv: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--only" => {
+                opts.only = Some(args.next().ok_or("--only needs a benchmark name")?);
+            }
+            "--table" => {
+                let v = args.next().ok_or("--table needs a number")?;
+                opts.tables.push(v.parse().map_err(|_| format!("bad table `{v}`"))?);
+            }
+            "--figure" => {
+                let v = args.next().ok_or("--figure needs a number")?;
+                opts.figures.push(v.parse().map_err(|_| format!("bad figure `{v}`"))?);
+            }
+            "--steady-state" => opts.steady = true,
+            "--input-check" => opts.input_check = true,
+            "--csv" => {
+                opts.csv = Some(args.next().ok_or("--csv needs a path prefix")?);
+            }
+            "--all" => {}
+            "--list" => {
+                println!("{:<12}{:<16}", "bench", "SPEC analog");
+                for wl in all() {
+                    println!("{:<12}{:<16}", wl.name, wl.spec_analog);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: instrep-repro [--scale tiny|small|full] [--seed N] \
+                     [--only BENCH] [--table N]... [--figure N]... [--steady-state] \
+                     [--input-check] [--csv PREFIX] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Analysis windows per scale: (skip, window), mirroring the paper's
+/// skip-initialization-then-measure methodology at simulator-feasible
+/// sizes.
+fn windows(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Tiny => (20_000, 400_000),
+        Scale::Small => (200_000, 4_000_000),
+        Scale::Full => (1_000_000, 25_000_000),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (skip, window) = windows(opts.scale);
+    let cfg = AnalysisConfig { skip, window, ..AnalysisConfig::default() };
+    let workloads: Vec<Workload> = all()
+        .into_iter()
+        .filter(|w| opts.only.as_deref().is_none_or(|o| o == w.name))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("error: no benchmark matches --only filter");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "running {} workload(s) at {:?} scale (skip {skip}, window {window})...",
+        workloads.len(),
+        opts.scale
+    );
+    let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
+    for wl in &workloads {
+        let start = std::time::Instant::now();
+        let image = match wl.build() {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("error: building {} failed: {e}", wl.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let input = wl.input(opts.scale, opts.seed);
+        match analyze(&image, input, &cfg) {
+            Ok(r) => {
+                eprintln!(
+                    "  {:<10} {:>12} insns measured, {:>5.1}% repeated   ({} ms)",
+                    wl.name,
+                    r.dynamic_total,
+                    r.repetition_rate() * 100.0,
+                    start.elapsed().as_millis()
+                );
+                reports.push((wl.name.to_string(), r));
+            }
+            Err(e) => {
+                eprintln!("error: analyzing {} trapped: {e}", wl.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let named: Vec<Named<'_>> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+
+    let everything =
+        opts.tables.is_empty() && opts.figures.is_empty() && !opts.steady && !opts.input_check;
+    let want_t = |n: u32| everything || opts.tables.contains(&n);
+    let want_f = |n: u32| everything || opts.figures.contains(&n);
+
+    if want_t(1) {
+        println!("{}", report::table1(&named));
+    }
+    if want_f(1) {
+        println!("{}", report::figure1(&named));
+    }
+    if want_t(2) {
+        println!("{}", report::table2(&named));
+    }
+    if want_f(3) {
+        println!("{}", report::figure3(&named));
+    }
+    if want_f(4) {
+        println!("{}", report::figure4(&named));
+    }
+    if want_t(3) {
+        println!("{}", report::table3(&named));
+    }
+    if want_t(4) {
+        println!("{}", report::table4(&named));
+    }
+    if want_t(5) || want_t(6) || want_t(7) {
+        println!("{}", report::tables5_6_7(&named));
+    }
+    if want_t(8) {
+        println!("{}", report::table8(&named));
+    }
+    if want_f(5) {
+        println!("{}", report::figure5(&named));
+    }
+    if want_t(9) {
+        println!("{}", report::table9(&named));
+    }
+    if want_f(6) {
+        println!("{}", report::figure6(&named));
+    }
+    if want_t(10) {
+        println!("{}", report::table10(&named));
+    }
+    if everything {
+        println!("{}", report::ext_classes(&named));
+        println!("{}", report::ext_predict(&named));
+    }
+    if let Some(prefix) = &opts.csv {
+        use instrep_core::export;
+        let summary = format!("{prefix}_summary.csv");
+        let breakdowns = format!("{prefix}_breakdowns.csv");
+        if let Err(e) = std::fs::write(&summary, export::csv_summary(&named))
+            .and_then(|()| std::fs::write(&breakdowns, export::csv_breakdowns(&named)))
+        {
+            eprintln!("error: writing CSV files: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {summary} and {breakdowns}");
+    }
+
+    if opts.input_check || everything {
+        // The paper's input-sensitivity check (§3): a second input set
+        // must show the same trends.
+        println!(
+            "Input-sensitivity check (paper §3): repetition rate with a second input set"
+        );
+        println!("{:<12}{:>14}{:>14}{:>10}", "bench", "seed A", "seed B", "delta");
+        for (wl, (_, r)) in workloads.iter().zip(&reports) {
+            let image = wl.build().expect("already built once");
+            let alt = wl.input(opts.scale, opts.seed.wrapping_add(7919));
+            match analyze(&image, alt, &cfg) {
+                Ok(r2) => {
+                    let a = r.repetition_rate() * 100.0;
+                    let b = r2.repetition_rate() * 100.0;
+                    println!("{:<12}{a:>13.1}%{b:>13.1}%{:>9.1}%", wl.name, (a - b).abs());
+                }
+                Err(e) => println!("{:<12} trapped: {e}", wl.name),
+            }
+        }
+        println!();
+    }
+
+    if opts.steady || everything {
+        println!("Steady-state check (paper §3): max local-category share deviation, window vs 3x window");
+        for wl in &workloads {
+            let image = wl.build().expect("already built once");
+            let input = wl.input(opts.scale, opts.seed);
+            match steady_state_check(&image, input, &cfg, 3) {
+                Ok(dev) => println!("    {:<10} {:>6.2}%", wl.name, dev * 100.0),
+                Err(e) => println!("    {:<10} trapped: {e}", wl.name),
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// A simulation trap: the program performed an architecturally invalid
+/// operation, or the image itself is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are the trap context (pc, addr, ...)
+pub enum SimError {
+    /// `pc` left the text segment.
+    BadPc { pc: u32 },
+    /// A text word failed to decode at load time.
+    BadText { pc: u32, word: u32 },
+    /// Misaligned memory access.
+    Unaligned { pc: u32, addr: u32, width: u32 },
+    /// Access to an unmapped address region.
+    BadAddress { pc: u32, addr: u32 },
+    /// Store into the text segment.
+    TextWrite { pc: u32, addr: u32 },
+    /// Integer division or remainder by zero.
+    DivideByZero { pc: u32 },
+    /// Unknown syscall number.
+    BadSyscall { pc: u32, number: u32 },
+    /// `break` instruction executed.
+    Break { pc: u32 },
+    /// The heap break left its valid range.
+    BadSbrk { pc: u32, delta: i32 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::BadPc { pc } => write!(f, "pc {pc:#010x} outside text segment"),
+            SimError::BadText { pc, word } => {
+                write!(f, "undecodable instruction word {word:#010x} at {pc:#010x}")
+            }
+            SimError::Unaligned { pc, addr, width } => {
+                write!(f, "misaligned {width}-byte access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::BadAddress { pc, addr } => {
+                write!(f, "access to unmapped address {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::TextWrite { pc, addr } => {
+                write!(f, "store into text segment at {addr:#010x} from pc {pc:#010x}")
+            }
+            SimError::DivideByZero { pc } => write!(f, "division by zero at pc {pc:#010x}"),
+            SimError::BadSyscall { pc, number } => {
+                write!(f, "unknown syscall {number} at pc {pc:#010x}")
+            }
+            SimError::Break { pc } => write!(f, "break executed at pc {pc:#010x}"),
+            SimError::BadSbrk { pc, delta } => {
+                write!(f, "sbrk({delta}) out of range at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Unaligned { pc: 0x40_0000, addr: 0x1000_0001, width: 4 };
+        let s = e.to_string();
+        assert!(s.contains("0x10000001"));
+        assert!(s.contains("0x00400000"));
+        assert!(SimError::DivideByZero { pc: 0 }.to_string().contains("division"));
+    }
+}

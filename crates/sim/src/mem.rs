@@ -1,0 +1,163 @@
+/// Sparse paged byte-addressable memory.
+///
+/// The 32-bit address space is backed by 4 KiB pages allocated on first
+/// touch and zero-filled, which matches the behaviour the workloads
+/// expect of BSS, heap, and stack memory. A flat page table keeps the hot
+/// path to one bounds check and two dereferences.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_sim::Memory;
+///
+/// let mut m = Memory::new();
+/// m.store_u32(0x1000_0000, 0xdead_beef);
+/// assert_eq!(m.load_u32(0x1000_0000), 0xdead_beef);
+/// assert_eq!(m.load_u8(0x1000_0003), 0xde); // little-endian
+/// assert_eq!(m.load_u32(0x7fff_0000), 0);   // untouched memory reads 0
+/// ```
+#[derive(Debug)]
+pub struct Memory {
+    pages: Vec<Option<Box<Page>>>,
+}
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const NUM_PAGES: usize = 1 << (32 - PAGE_BITS);
+
+type Page = [u8; PAGE_SIZE];
+
+impl Memory {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory { pages: vec![None; NUM_PAGES] }
+    }
+
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&Page> {
+        self.pages[(addr >> PAGE_BITS) as usize].as_deref()
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut Page {
+        let idx = (addr >> PAGE_BITS) as usize;
+        self.pages[idx].get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Loads one byte.
+    #[inline]
+    pub fn load_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Loads a little-endian halfword. `addr` must be 2-aligned.
+    #[inline]
+    pub fn load_u16(&self, addr: u32) -> u16 {
+        debug_assert_eq!(addr & 1, 0);
+        match self.page(addr) {
+            Some(p) => {
+                let i = (addr as usize) & (PAGE_SIZE - 1);
+                u16::from_le_bytes([p[i], p[i + 1]])
+            }
+            None => 0,
+        }
+    }
+
+    /// Loads a little-endian word. `addr` must be 4-aligned.
+    #[inline]
+    pub fn load_u32(&self, addr: u32) -> u32 {
+        debug_assert_eq!(addr & 3, 0);
+        match self.page(addr) {
+            Some(p) => {
+                let i = (addr as usize) & (PAGE_SIZE - 1);
+                u32::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3]])
+            }
+            None => 0,
+        }
+    }
+
+    /// Stores one byte.
+    #[inline]
+    pub fn store_u8(&mut self, addr: u32, v: u8) {
+        let i = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[i] = v;
+    }
+
+    /// Stores a little-endian halfword. `addr` must be 2-aligned.
+    #[inline]
+    pub fn store_u16(&mut self, addr: u32, v: u16) {
+        debug_assert_eq!(addr & 1, 0);
+        let i = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[i..i + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Stores a little-endian word. `addr` must be 4-aligned.
+    #[inline]
+    pub fn store_u32(&mut self, addr: u32, v: u32) {
+        debug_assert_eq!(addr & 3, 0);
+        let i = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len).map(|i| self.load_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = Memory::new();
+        assert_eq!(m.load_u32(0x1234_5678 & !3), 0);
+        m.store_u32(0x1000_0000, 0x0102_0304);
+        assert_eq!(m.load_u8(0x1000_0000), 0x04);
+        assert_eq!(m.load_u8(0x1000_0003), 0x01);
+        assert_eq!(m.load_u16(0x1000_0000), 0x0304);
+        assert_eq!(m.load_u16(0x1000_0002), 0x0102);
+        m.store_u8(0x1000_0001, 0xff);
+        assert_eq!(m.load_u32(0x1000_0000), 0x0102_ff04);
+        m.store_u16(0x1000_0002, 0xbeef);
+        assert_eq!(m.load_u32(0x1000_0000), 0xbeef_ff04);
+    }
+
+    #[test]
+    fn cross_page_bytes() {
+        let mut m = Memory::new();
+        let boundary = 0x2000_1000 - 2;
+        m.write_bytes(boundary, &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(boundary, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn high_addresses() {
+        let mut m = Memory::new();
+        m.store_u32(0xffff_fffc, 7);
+        assert_eq!(m.load_u32(0xffff_fffc), 7);
+    }
+}

@@ -1,0 +1,175 @@
+//! Event-trace recording and replay.
+//!
+//! Many experiments replay the *same* execution through several analysis
+//! configurations (reuse-buffer geometries, tracker caps, predictor
+//! variants). [`Trace::record`] captures one run's event stream;
+//! [`Trace::replay`] feeds it to any observer without re-simulating,
+//! guaranteeing every configuration sees an identical instruction stream.
+
+use crate::error::SimError;
+use crate::event::Event;
+use crate::machine::{Machine, RunOutcome};
+
+/// A recorded event stream.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_asm::assemble;
+/// use instrep_sim::{Machine, Trace};
+///
+/// let image = assemble(r#"
+///     .text
+/// __start:
+///     li $t0, 3
+///     li $a0, 0
+///     li $v0, 0
+///     syscall
+/// "#)?;
+/// let mut m = Machine::new(&image);
+/// let trace = Trace::record(&mut m, 1_000)?;
+/// assert_eq!(trace.len(), 4);
+/// let mut outs = 0;
+/// trace.replay(|ev| outs += u32::from(ev.out.is_some()));
+/// assert_eq!(outs, 3); // syscall (exit) produces no register result
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    outcome: Option<RunOutcome>,
+}
+
+impl Trace {
+    /// Records up to `max_insns` events from `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator traps; events retired before the trap are
+    /// kept in the trace.
+    pub fn record(machine: &mut Machine, max_insns: u64) -> Result<Trace, SimError> {
+        let mut events = Vec::new();
+        let outcome = machine.run(max_insns, |ev| events.push(*ev))?;
+        Ok(Trace { events, outcome: Some(outcome) })
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How the recorded run ended, if recorded via [`Trace::record`].
+    pub fn outcome(&self) -> Option<RunOutcome> {
+        self.outcome
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Feeds every event to `observer`, in order.
+    pub fn replay<F: FnMut(&Event)>(&self, mut observer: F) {
+        for ev in &self.events {
+            observer(ev);
+        }
+    }
+
+    /// Replays a sub-range `[start, end)` of the trace (clamped), e.g. to
+    /// reproduce a skip/window split without re-recording.
+    pub fn replay_range<F: FnMut(&Event)>(&self, start: usize, end: usize, mut observer: F) {
+        let end = end.min(self.events.len());
+        let start = start.min(end);
+        for ev in &self.events[start..end] {
+            observer(ev);
+        }
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Trace {
+        Trace { events: iter.into_iter().collect(), outcome: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_asm::assemble;
+
+    fn machine() -> Machine {
+        let image = assemble(
+            r#"
+            .text
+            __start:
+                li   $t0, 0
+                li   $t1, 50
+            loop:
+                addi $t0, $t0, 1
+                blt  $t0, $t1, loop
+                li   $a0, 0
+                li   $v0, 0
+                syscall
+            "#,
+        )
+        .unwrap();
+        Machine::new(&image)
+    }
+
+    #[test]
+    fn record_and_replay_are_identical() {
+        let mut m = machine();
+        let trace = Trace::record(&mut m, 1_000_000).unwrap();
+        assert_eq!(trace.outcome(), Some(RunOutcome::Exited(0)));
+        assert!(!trace.is_empty());
+
+        // Replaying twice produces the same stream.
+        let mut a = Vec::new();
+        trace.replay(|ev| a.push((ev.pc, ev.in1, ev.outcome())));
+        let mut b = Vec::new();
+        trace.replay(|ev| b.push((ev.pc, ev.in1, ev.outcome())));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), trace.len());
+
+        // And matches a fresh simulation.
+        let mut m2 = machine();
+        let mut c = Vec::new();
+        m2.run(1_000_000, |ev| c.push((ev.pc, ev.in1, ev.outcome()))).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn range_replay_clamps() {
+        let mut m = machine();
+        let trace = Trace::record(&mut m, 1_000_000).unwrap();
+        let n = trace.len();
+        let mut count = 0;
+        trace.replay_range(2, n + 100, |_| count += 1);
+        assert_eq!(count, n - 2);
+        count = 0;
+        trace.replay_range(50, 10, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn budget_truncation_is_recorded() {
+        let mut m = machine();
+        let trace = Trace::record(&mut m, 10).unwrap();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.outcome(), Some(RunOutcome::MaxedOut));
+    }
+
+    #[test]
+    fn collect_from_events() {
+        let mut m = machine();
+        let trace = Trace::record(&mut m, 20).unwrap();
+        let sub: Trace = trace.events().iter().copied().take(5).collect();
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.outcome(), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property test: the paged [`Memory`] agrees with a naive
+//! byte-map reference model under arbitrary interleavings of
+//! byte/half/word stores and loads.
+
+use std::collections::BTreeMap;
+
+use instrep_sim::Memory;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    StoreB(u32, u8),
+    StoreH(u32, u16),
+    StoreW(u32, u32),
+    LoadB(u32),
+    LoadH(u32),
+    LoadW(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Cluster addresses around page boundaries to stress page crossing.
+    let addr = prop_oneof![
+        any::<u32>(),
+        (0u32..8).prop_map(|d| 0x1000_1000u32.wrapping_sub(4).wrapping_add(d)),
+        (0u32..64).prop_map(|d| 0x7fff_f000u32.wrapping_sub(32).wrapping_add(d)),
+    ];
+    (addr, any::<u32>(), 0u8..6).prop_map(|(a, v, k)| match k {
+        0 => Op::StoreB(a, v as u8),
+        1 => Op::StoreH(a & !1, v as u16),
+        2 => Op::StoreW(a & !3, v),
+        3 => Op::LoadB(a),
+        4 => Op::LoadH(a & !1),
+        _ => Op::LoadW(a & !3),
+    })
+}
+
+proptest! {
+    #[test]
+    fn matches_byte_map_reference(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut mem = Memory::new();
+        let mut model: BTreeMap<u32, u8> = BTreeMap::new();
+        let get = |m: &BTreeMap<u32, u8>, a: u32| *m.get(&a).unwrap_or(&0);
+        for op in &ops {
+            match *op {
+                Op::StoreB(a, v) => {
+                    mem.store_u8(a, v);
+                    model.insert(a, v);
+                }
+                Op::StoreH(a, v) => {
+                    mem.store_u16(a, v);
+                    let b = v.to_le_bytes();
+                    model.insert(a, b[0]);
+                    model.insert(a.wrapping_add(1), b[1]);
+                }
+                Op::StoreW(a, v) => {
+                    mem.store_u32(a, v);
+                    for (i, byte) in v.to_le_bytes().into_iter().enumerate() {
+                        model.insert(a.wrapping_add(i as u32), byte);
+                    }
+                }
+                Op::LoadB(a) => {
+                    prop_assert_eq!(mem.load_u8(a), get(&model, a));
+                }
+                Op::LoadH(a) => {
+                    let want =
+                        u16::from_le_bytes([get(&model, a), get(&model, a.wrapping_add(1))]);
+                    prop_assert_eq!(mem.load_u16(a), want);
+                }
+                Op::LoadW(a) => {
+                    let want = u32::from_le_bytes([
+                        get(&model, a),
+                        get(&model, a.wrapping_add(1)),
+                        get(&model, a.wrapping_add(2)),
+                        get(&model, a.wrapping_add(3)),
+                    ]);
+                    prop_assert_eq!(mem.load_u32(a), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_io_round_trips(addr in any::<u32>(), bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut mem = Memory::new();
+        mem.write_bytes(addr, &bytes);
+        prop_assert_eq!(mem.read_bytes(addr, bytes.len() as u32), bytes);
+    }
+}

@@ -1,0 +1,256 @@
+//! `compress` analog: LZW compression of a repetitive byte stream.
+//!
+//! Mirrors SPEC '95 `129.compress`: a table-driven byte-stream coder whose
+//! dynamic behaviour is dominated by dictionary probes on external input.
+//! Codes are fixed 12-bit, the dictionary resets when full (4096 entries),
+//! and output is bit-packed little-endian.
+//!
+//! Input stream: `[total: i32][payload bytes]`. Output: packed codes
+//! followed by a 4-byte checksum.
+
+use crate::inputs::{pseudo_text, rng, InputStream};
+use crate::{Scale, Workload};
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload { name: "compress", spec_analog: "129.compress", source: SOURCE, input_fn: input }
+}
+
+/// Builds the input stream: a length header plus seeded pseudo-text.
+pub fn input(scale: Scale, seed: u64) -> Vec<u8> {
+    let total = match scale {
+        Scale::Tiny => 3_000,
+        Scale::Small => 40_000,
+        Scale::Full => 400_000,
+    };
+    let mut r = rng(seed ^ 0xc0_1055);
+    let text = pseudo_text(&mut r, total);
+    let mut s = InputStream::new();
+    s.int(total as i32).bytes(&text);
+    s.finish()
+}
+
+const SOURCE: &str = r#"
+// ---- compress: LZW, 12-bit codes, reset-on-full dictionary ----
+int dict_prefix[4096];
+int dict_ch[4096];
+int dict_size;
+int hash_head[4096];
+int hash_next[4096];
+char inbuf[4096];
+
+char outbuf[512];
+int outlen = 0;
+int bit_acc = 0;
+int bit_cnt = 0;
+int codes_emitted = 0;
+int checksum = 0;
+
+int flush_out() {
+    if (outlen > 0) write(outbuf, outlen);
+    outlen = 0;
+    return 0;
+}
+
+int put_byte(int b) {
+    outbuf[outlen] = b & 255;
+    outlen = outlen + 1;
+    if (outlen == 512) flush_out();
+    return 0;
+}
+
+int emit_code(int code) {
+    bit_acc = bit_acc | (code << bit_cnt);
+    bit_cnt = bit_cnt + 12;
+    while (bit_cnt >= 8) {
+        put_byte(bit_acc & 255);
+        bit_acc = bit_acc >> 8;
+        bit_cnt = bit_cnt - 8;
+    }
+    codes_emitted = codes_emitted + 1;
+    checksum = checksum * 31 + code;
+    return 0;
+}
+
+// Hash mixing constants live in a table (compress keeps its magic
+// numbers in globals too).
+int hash_mix[2] = {5, 37};
+
+int hash_fn(int prefix, int ch) {
+    return ((prefix << hash_mix[0]) ^ (ch * hash_mix[1]) ^ prefix) & 4095;
+}
+
+int dict_find(int prefix, int ch) {
+    int i = hash_head[hash_fn(prefix, ch)];
+    while (i >= 0) {
+        if (dict_prefix[i] == prefix && dict_ch[i] == ch) return i;
+        i = hash_next[i];
+    }
+    return -1;
+}
+
+int dict_add(int prefix, int ch) {
+    int h = hash_fn(prefix, ch);
+    dict_prefix[dict_size] = prefix;
+    dict_ch[dict_size] = ch;
+    hash_next[dict_size] = hash_head[h];
+    hash_head[h] = dict_size;
+    dict_size = dict_size + 1;
+    return dict_size - 1;
+}
+
+int reset_dict() {
+    int i;
+    for (i = 0; i < 4096; i++) hash_head[i] = -1;
+    dict_size = 256;
+    return 0;
+}
+
+int main() {
+    int total = read_int();
+    int processed = 0;
+    int prefix = 0 - 1;
+    reset_dict();
+    while (processed < total) {
+        int want = total - processed;
+        if (want > 4096) want = 4096;
+        int n = read(inbuf, want);
+        if (n == 0) break;
+        int i;
+        for (i = 0; i < n; i++) {
+            int ch = inbuf[i];
+            if (prefix < 0) {
+                prefix = ch;
+                continue;
+            }
+            int e = dict_find(prefix, ch);
+            if (e >= 0) {
+                prefix = e;
+            } else {
+                emit_code(prefix);
+                if (dict_size < 4096) {
+                    dict_add(prefix, ch);
+                } else {
+                    reset_dict();
+                }
+                prefix = ch;
+            }
+        }
+        processed = processed + n;
+    }
+    if (prefix >= 0) emit_code(prefix);
+    // Pad the final partial byte.
+    if (bit_cnt > 0) put_byte(bit_acc & 255);
+    flush_out();
+    write_int(checksum);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    /// LZW decoder mirroring the MiniC encoder: 12-bit codes,
+    /// reset-on-full at 4096 entries.
+    fn lzw_decode(packed: &[u8], n_codes: usize) -> Vec<u8> {
+        // Unpack 12-bit little-endian codes.
+        let mut codes = Vec::with_capacity(n_codes);
+        let mut acc: u32 = 0;
+        let mut bits = 0;
+        let mut it = packed.iter();
+        while codes.len() < n_codes {
+            while bits < 12 {
+                acc |= u32::from(*it.next().expect("enough packed bytes")) << bits;
+                bits += 8;
+            }
+            codes.push((acc & 0xfff) as u16);
+            acc >>= 12;
+            bits -= 12;
+        }
+
+        // Rebuild strings. After emitting code e_i the encoder either
+        // added (e_i, first_char(e_{i+1})) or, when full, reset; the
+        // decoder replicates that action upon receiving e_{i+1}. The
+        // KwKwK case (a code referencing the entry just added) expands as
+        // previous string + its own first byte.
+        fn expand(dict: &[(i32, u8)], code: u16) -> Vec<u8> {
+            let mut stack = Vec::new();
+            let mut c = i32::from(code);
+            while c >= 0 {
+                let (prefix, ch) = dict[c as usize];
+                stack.push(ch);
+                c = prefix;
+            }
+            stack.reverse();
+            stack
+        }
+
+        let base: Vec<(i32, u8)> = (0..256).map(|i| (-1i32, i as u8)).collect();
+        let mut dict = base.clone();
+        let mut out = Vec::new();
+        let mut prev: Option<(u16, Vec<u8>)> = None;
+        for &code in &codes {
+            let cur = if (code as usize) < dict.len() {
+                expand(&dict, code)
+            } else {
+                let (_, ref pstr) = *prev.as_ref().expect("KwKwK without predecessor");
+                let mut v = pstr.clone();
+                v.push(pstr[0]);
+                v
+            };
+            out.extend_from_slice(&cur);
+            if let Some((pcode, _)) = prev {
+                if dict.len() < 4096 {
+                    dict.push((i32::from(pcode), cur[0]));
+                } else {
+                    dict = base.clone();
+                }
+            }
+            prev = Some((code, cur));
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_against_rust_decoder() {
+        let wl = workload();
+        let image = wl.build().unwrap();
+        let input_stream = input(Scale::Tiny, 11);
+        let payload = input_stream[4..].to_vec();
+        let mut m = Machine::new(&image);
+        m.set_input(input_stream);
+        assert_eq!(m.run(100_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        let out = m.output();
+        assert!(out.len() > 8);
+        let packed = &out[..out.len() - 4];
+        // Recover the code count from the checksum trailer? Count instead:
+        // decode until we've reproduced the payload length.
+        // Codes: ceil(payload reconstruction) — decode greedily.
+        let mut n_codes = 0;
+        let mut decoded = Vec::new();
+        while decoded.len() < payload.len() {
+            n_codes += 1;
+            decoded = lzw_decode(packed, n_codes);
+        }
+        assert_eq!(decoded, payload, "LZW round-trip mismatch");
+        // Compression actually happened on repetitive text.
+        assert!(packed.len() < payload.len(), "no compression: {} vs {}", packed.len(), payload.len());
+    }
+
+    #[test]
+    fn checksum_trailer_is_deterministic() {
+        let wl = workload();
+        let image = wl.build().unwrap();
+        let mut sums = Vec::new();
+        for _ in 0..2 {
+            let mut m = Machine::new(&image);
+            m.set_input(input(Scale::Tiny, 5));
+            m.run(100_000_000, |_| {}).unwrap();
+            let out = m.output();
+            sums.push(out[out.len() - 4..].to_vec());
+        }
+        assert_eq!(sums[0], sums[1]);
+    }
+}

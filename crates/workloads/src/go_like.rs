@@ -1,0 +1,243 @@
+//! `go` analog: board-game position evaluation.
+//!
+//! Mirrors SPEC '95 `099.go`: a 19×19 board held in global arrays that
+//! change slowly, recursive flood fills to count group liberties, capture
+//! removal, and periodic whole-board influence evaluation. Like the real
+//! `go`, the program reads almost nothing from outside (Table 3 reports
+//! 0.0% external input for go): the input stream carries only the move
+//! count and an RNG seed; the moves themselves come from the internal
+//! generator.
+//!
+//! Input stream: `[moves: i32][seed: i32]`. Output: running evaluation
+//! checksum, captures, and final occupancy.
+
+use crate::inputs::InputStream;
+use crate::{Scale, Workload};
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload { name: "go", spec_analog: "099.go", source: SOURCE, input_fn: input }
+}
+
+/// Builds the parameter block.
+pub fn input(scale: Scale, seed: u64) -> Vec<u8> {
+    let moves = match scale {
+        Scale::Tiny => 120,
+        Scale::Small => 1_200,
+        Scale::Full => 9_000,
+    };
+    let mut s = InputStream::new();
+    s.int(moves).int((seed as i32) | 1);
+    s.finish()
+}
+
+const SOURCE: &str = r#"
+// ---- go: 19x19 board, liberties, captures, influence ----
+char board[361];       // 0 empty, 1 black, 2 white
+char mark[361];
+int lib_count;
+int captures = 0;
+
+// Direction tables, consulted on every neighbour step (like real go
+// engines; also gives these helpers the implicit global inputs the
+// paper observes).
+int drow[4] = {-1, 1, 0, 0};
+int dcol[4] = {0, 0, -1, 1};
+
+// Precomputed row/column tables (filled at startup), as real go
+// engines keep.
+int rowtab[361];
+int coltab[361];
+
+int init_tables() {
+    int p;
+    for (p = 0; p < 361; p++) {
+        rowtab[p] = p / 19;
+        coltab[p] = p % 19;
+    }
+    return 0;
+}
+
+int row_of(int p) { return rowtab[p]; }
+int col_of(int p) { return coltab[p]; }
+
+// Fills nb[0..3] with the orthogonal neighbours of p; returns how many.
+int neighbors(int p, int* nb) {
+    int n = 0;
+    int r = row_of(p);
+    int c = col_of(p);
+    int d;
+    for (d = 0; d < 4; d++) {
+        int rr = r + drow[d];
+        int cc = c + dcol[d];
+        if (rr >= 0 && rr < 19 && cc >= 0 && cc < 19) {
+            nb[n] = rr * 19 + cc;
+            n++;
+        }
+    }
+    return n;
+}
+
+// Recursive flood fill: marks the group containing p and counts its
+// distinct liberties into lib_count.
+int flood(int p, int color) {
+    mark[p] = 1;
+    int nb[4];
+    int cnt = neighbors(p, nb);
+    int i;
+    for (i = 0; i < cnt; i++) {
+        int q = nb[i];
+        if (mark[q]) continue;
+        if (board[q] == 0) {
+            mark[q] = 2;
+            lib_count++;
+        } else {
+            if (board[q] == color) flood(q, color);
+        }
+    }
+    return lib_count;
+}
+
+int clear_marks() {
+    int i;
+    for (i = 0; i < 361; i++) mark[i] = 0;
+    return 0;
+}
+
+int group_liberties(int p) {
+    clear_marks();
+    lib_count = 0;
+    return flood(p, board[p]);
+}
+
+// Removes the group containing p; returns stones removed.
+int remove_group(int p, int color) {
+    board[p] = 0;
+    int removed = 1;
+    int nb[4];
+    int cnt = neighbors(p, nb);
+    int i;
+    for (i = 0; i < cnt; i++) {
+        if (board[nb[i]] == color) removed += remove_group(nb[i], color);
+    }
+    return removed;
+}
+
+// Plays a stone; removes captured opponent groups (and, for simplicity,
+// suicidal own groups).
+int play(int p, int color) {
+    int opp = 3 - color;
+    board[p] = color;
+    int nb[4];
+    int cnt = neighbors(p, nb);
+    int i;
+    for (i = 0; i < cnt; i++) {
+        int q = nb[i];
+        if (board[q] == opp) {
+            if (group_liberties(q) == 0) {
+                captures += remove_group(q, opp);
+            }
+        }
+    }
+    if (group_liberties(p) == 0) {
+        captures += remove_group(p, color);
+    }
+    return captures;
+}
+
+// Whole-board influence: each empty point scores +/- by neighbouring
+// stones; stones score by their liberties' sign.
+int evaluate() {
+    int score = 0;
+    int p;
+    int nb[4];
+    for (p = 0; p < 361; p++) {
+        if (board[p] == 0) {
+            int cnt = neighbors(p, nb);
+            int i;
+            for (i = 0; i < cnt; i++) {
+                if (board[nb[i]] == 1) score++;
+                if (board[nb[i]] == 2) score--;
+            }
+        } else {
+            if (board[p] == 1) score += 2;
+            else score -= 2;
+        }
+    }
+    return score;
+}
+
+int occupancy() {
+    int n = 0;
+    int p;
+    for (p = 0; p < 361; p++) {
+        if (board[p]) n++;
+    }
+    return n;
+}
+
+int main() {
+    int moves = read_int();
+    rng_seed(read_int());
+    init_tables();
+    int checksum = 0;
+    int m;
+    int color = 1;
+    for (m = 0; m < moves; m++) {
+        int p = (rng_next() * 361) >> 15;
+        if (board[p] == 0) {
+            play(p, color);
+            color = 3 - color;
+        }
+        if ((m & 7) == 7) checksum += evaluate();
+        if (occupancy() > 300) {
+            int q;
+            for (q = 0; q < 361; q++) board[q] = 0;
+        }
+    }
+    write_int(checksum);
+    write_int(captures);
+    write_int(occupancy());
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    fn run(moves: i32, seed: i32) -> (i32, i32, i32) {
+        let image = workload().build().unwrap();
+        let mut m = Machine::new(&image);
+        let mut s = InputStream::new();
+        s.int(moves).int(seed);
+        m.set_input(s.finish());
+        assert_eq!(m.run(300_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        let out = m.output().to_vec();
+        assert_eq!(out.len(), 12);
+        (
+            i32::from_le_bytes(out[0..4].try_into().unwrap()),
+            i32::from_le_bytes(out[4..8].try_into().unwrap()),
+            i32::from_le_bytes(out[8..12].try_into().unwrap()),
+        )
+    }
+
+    #[test]
+    fn board_stays_bounded_and_captures_happen() {
+        let (_, captures, occupancy) = run(600, 12345);
+        assert!((0..=361).contains(&occupancy), "occupancy {occupancy}");
+        assert!(captures > 0, "600 random moves on 19x19 must capture something");
+    }
+
+    #[test]
+    fn different_seeds_different_games() {
+        assert_ne!(run(200, 1), run(200, 99));
+    }
+
+    #[test]
+    fn zero_moves_is_clean() {
+        let (checksum, captures, occupancy) = run(0, 1);
+        assert_eq!((checksum, captures, occupancy), (0, 0, 0));
+    }
+}

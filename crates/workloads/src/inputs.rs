@@ -1,0 +1,114 @@
+//! Seeded input-stream builders shared by the workload modules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A little-endian binary input stream under construction.
+#[derive(Debug, Default)]
+pub(crate) struct InputStream {
+    bytes: Vec<u8>,
+}
+
+impl InputStream {
+    pub(crate) fn new() -> InputStream {
+        InputStream::default()
+    }
+
+    /// Appends a 32-bit little-endian integer (read by `read_int()`).
+    pub(crate) fn int(&mut self, v: i32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes.
+    pub(crate) fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(b);
+        self
+    }
+
+    pub(crate) fn finish(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+/// Deterministic RNG for input generation.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Synthetic English-ish text with a bounded vocabulary — the kind of
+/// byte stream `compress`'s `bigtest.in` models: repetitive words with
+/// occasional noise.
+pub(crate) fn pseudo_text(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    const VOCAB: [&str; 24] = [
+        "the", "of", "instruction", "repetition", "value", "locality", "program", "dynamic",
+        "static", "cache", "buffer", "reuse", "table", "slice", "global", "argument", "function",
+        "prologue", "epilogue", "memo", "spec", "simulator", "register", "result",
+    ];
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        let w = VOCAB[rng.gen_range(0..VOCAB.len())];
+        out.extend_from_slice(w.as_bytes());
+        // Mostly spaces, occasional punctuation/newline noise.
+        match rng.gen_range(0..12) {
+            0 => out.push(b'\n'),
+            1 => out.extend_from_slice(b". "),
+            _ => out.push(b' '),
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Lowercase pseudo-words, newline separated, drawn from a Zipf-ish
+/// distribution (frequent short words, rarer long ones).
+pub(crate) fn word_list(rng: &mut StdRng, count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(count * 7);
+    for _ in 0..count {
+        // Re-use a small set of stems frequently.
+        let len = 2 + rng.gen_range(0..7);
+        let stemmy = rng.gen_bool(0.6);
+        for i in 0..len {
+            let c = if stemmy {
+                b'a' + ((i * 7 + rng.gen_range(0..4)) % 26) as u8
+            } else {
+                b'a' + rng.gen_range(0..26) as u8
+            };
+            out.push(c);
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_layout() {
+        let mut s = InputStream::new();
+        s.int(0x0403_0201).bytes(b"xy");
+        assert_eq!(s.finish(), vec![1, 2, 3, 4, b'x', b'y']);
+    }
+
+    #[test]
+    fn pseudo_text_is_deterministic_and_sized() {
+        let a = pseudo_text(&mut rng(1), 500);
+        let b = pseudo_text(&mut rng(1), 500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&c| c.is_ascii()));
+        // Repetitive: the most common word should appear several times.
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.matches("the").count() + text.matches("of").count() >= 2);
+    }
+
+    #[test]
+    fn word_list_shape() {
+        let w = word_list(&mut rng(2), 50);
+        let text = String::from_utf8(w).unwrap();
+        assert_eq!(text.lines().count(), 50);
+        assert!(text.lines().all(|l| !l.is_empty() && l.bytes().all(|c| c.is_ascii_lowercase())));
+    }
+}

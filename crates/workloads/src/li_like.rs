@@ -1,0 +1,292 @@
+//! `li` analog: a lisp interpreter.
+//!
+//! Mirrors SPEC '95 `130.li` (xlisp): a reader parses s-expressions from
+//! the external script text into heap-allocated cons cells, and a
+//! recursive evaluator runs them with single-parameter user-defined
+//! functions, dynamic binding, and list-building primitives. The profile
+//! is heap-dominated with deep recursion (`li` shows 45.8% heap slices
+//! and 15.1% no-argument repetition — fresh cons indices at every call).
+//!
+//! Script language (single-character symbols):
+//! `(d f x body)` defines `f` with parameter `x`; `(? c a b)` is if;
+//! `+ - * <` are arithmetic; `(r n)` builds the list `1..n` (allocating);
+//! `(s lst)` sums a list recursively. The final top-level form is the
+//! main expression, evaluated once per iteration with `n` bound.
+//!
+//! Input stream: `[script_len: i32][script][iters: i32][nbase: i32]`.
+//! Output: checksum and cells allocated.
+
+use crate::inputs::InputStream;
+use crate::{Scale, Workload};
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload { name: "li", spec_analog: "130.li", source: SOURCE, input_fn: input }
+}
+
+/// The lisp script shipped as external input.
+pub const SCRIPT: &str = "\
+(d f x (? (< x 2) x (+ (f (- x 1)) (f (- x 2)))))\n\
+(d g x (? x (+ x (g (- x 1))) 0))\n\
+(d h x (? x (+ (* x x) (h (- x 1))) 0))\n\
+(+ (f n) (+ (g n) (+ (h n) (s (r n)))))\n";
+
+/// Builds the input stream.
+pub fn input(scale: Scale, seed: u64) -> Vec<u8> {
+    let (iters, nbase) = match scale {
+        Scale::Tiny => (4, 8),
+        Scale::Small => (40, 10),
+        Scale::Full => (350, 12),
+    };
+    let nbase = nbase + (seed % 2) as i32;
+    let mut s = InputStream::new();
+    s.int(SCRIPT.len() as i32).bytes(SCRIPT.as_bytes()).int(iters).int(nbase);
+    s.finish()
+}
+
+/// Reference semantics of the script's main expression (for tests).
+pub fn expected_value(n: i32) -> i64 {
+    fn fib(n: i64) -> i64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    let n = i64::from(n);
+    let sumto = n * (n + 1) / 2;
+    let sumsq = n * (n + 1) * (2 * n + 1) / 6;
+    fib(n) + sumto + sumsq + sumto
+}
+
+const SOURCE: &str = r#"
+// ---- li: s-expression reader + recursive evaluator over cons cells ----
+// Cell pool lives on the heap: tag 0 num, 1 sym, 2 cons. NIL is -1.
+int* cell_tag;
+int* cell_a;
+int* cell_b;
+int n_cells = 0;
+int cell_cap = 0;
+int read_cells = 0;
+
+char script[512];
+int spos = 0;
+int slen = 0;
+
+int env_sym[128];
+int env_val[128];
+int env_top = 0;
+
+int fn_param[128];
+int fn_body[128];
+
+int alloc_cell(int tag, int a, int b) {
+    cell_tag[n_cells] = tag;
+    cell_a[n_cells] = a;
+    cell_b[n_cells] = b;
+    n_cells = n_cells + 1;
+    return n_cells - 1;
+}
+
+int car(int c) {
+    if (c < 0) return 0 - 1;
+    return cell_a[c];
+}
+
+int cdr(int c) {
+    if (c < 0) return 0 - 1;
+    return cell_b[c];
+}
+
+int rd_skip() {
+    while (spos < slen && (script[spos] == ' ' || script[spos] == '\n')) spos = spos + 1;
+    return spos;
+}
+
+int rd_expr() {
+    rd_skip();
+    int c = script[spos];
+    if (c == '(') {
+        spos = spos + 1;
+        int head = 0 - 1;
+        int tail = 0 - 1;
+        while (1) {
+            rd_skip();
+            if (spos >= slen) break;
+            if (script[spos] == ')') {
+                spos = spos + 1;
+                break;
+            }
+            int e = rd_expr();
+            int cell = alloc_cell(2, e, 0 - 1);
+            if (head < 0) head = cell;
+            else cell_b[tail] = cell;
+            tail = cell;
+        }
+        return head;
+    }
+    if (c >= '0' && c <= '9') {
+        int v = 0;
+        while (spos < slen && script[spos] >= '0' && script[spos] <= '9') {
+            v = v * 10 + (script[spos] - '0');
+            spos = spos + 1;
+        }
+        return alloc_cell(0, v, 0 - 1);
+    }
+    spos = spos + 1;
+    return alloc_cell(1, c, 0 - 1);
+}
+
+int env_lookup(int sym) {
+    int i = env_top - 1;
+    while (i >= 0) {
+        if (env_sym[i] == sym) return env_val[i];
+        i = i - 1;
+    }
+    return 0;
+}
+
+// Sums a cons list of numbers, recursively.
+int sum_list(int lst) {
+    if (lst < 0) return 0;
+    return cell_a[car(lst)] + sum_list(cdr(lst));
+}
+
+int eval(int e) {
+    if (e < 0) return 0;
+    int t = cell_tag[e];
+    if (t == 0) return cell_a[e];
+    if (t == 1) return env_lookup(cell_a[e]);
+
+    int op = cell_a[car(e)];
+    int args = cdr(e);
+    if (op == '?') {
+        if (eval(car(args))) return eval(car(cdr(args)));
+        return eval(car(cdr(cdr(args))));
+    }
+    if (op == 'd') {
+        int name = cell_a[car(args)];
+        fn_param[name] = cell_a[car(cdr(args))];
+        fn_body[name] = car(cdr(cdr(args)));
+        return 0;
+    }
+    if (op == '+') return eval(car(args)) + eval(car(cdr(args)));
+    if (op == '-') return eval(car(args)) - eval(car(cdr(args)));
+    if (op == '*') return eval(car(args)) * eval(car(cdr(args)));
+    if (op == '<') return eval(car(args)) < eval(car(cdr(args)));
+    if (op == 'r') {
+        // (r n): build the list n, n-1, ..., 1 reversed into 1..n.
+        int k = eval(car(args));
+        int lst = 0 - 1;
+        while (k > 0) {
+            lst = alloc_cell(2, alloc_cell(0, k, 0 - 1), lst);
+            k = k - 1;
+        }
+        return lst;
+    }
+    if (op == 's') return sum_list(eval(car(args)));
+
+    // User-defined single-parameter function: dynamic binding.
+    int v = eval(car(args));
+    env_sym[env_top] = fn_param[op];
+    env_val[env_top] = v;
+    env_top = env_top + 1;
+    int result = eval(fn_body[op]);
+    env_top = env_top - 1;
+    return result;
+}
+
+int main() {
+    slen = read_int();
+    read(script, slen);
+    int iters;
+    int nbase;
+    iters = read_int();
+    nbase = read_int();
+
+    cell_cap = 60000;
+    cell_tag = sbrk(cell_cap * 4);
+    cell_a = sbrk(cell_cap * 4);
+    cell_b = sbrk(cell_cap * 4);
+
+    // Read all top-level forms; evaluate defines eagerly, remember the
+    // last non-define form as the main expression.
+    int main_expr = 0 - 1;
+    while (1) {
+        rd_skip();
+        if (spos >= slen) break;
+        int e = rd_expr();
+        if (cell_tag[e] == 2 && cell_a[car(e)] == 'd') {
+            eval(e);
+        } else {
+            main_expr = e;
+        }
+    }
+    read_cells = n_cells;
+
+    int checksum = 0;
+    int it;
+    for (it = 0; it < iters; it++) {
+        // Arena-reset the evaluation cells (the reader's cells persist) -
+        // a stand-in for xlisp's garbage collector.
+        n_cells = read_cells;
+        env_sym[0] = 'n';
+        env_val[0] = nbase + (it & 3);
+        env_top = 1;
+        checksum = checksum + eval(main_expr);
+    }
+    write_int(checksum);
+    write_int(n_cells);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    fn run(iters: i32, nbase: i32) -> (i32, i32) {
+        let image = workload().build().unwrap();
+        let mut m = Machine::new(&image);
+        let mut s = InputStream::new();
+        s.int(SCRIPT.len() as i32).bytes(SCRIPT.as_bytes()).int(iters).int(nbase);
+        m.set_input(s.finish());
+        assert_eq!(m.run(500_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        let out = m.output().to_vec();
+        assert_eq!(out.len(), 8);
+        (
+            i32::from_le_bytes(out[0..4].try_into().unwrap()),
+            i32::from_le_bytes(out[4..8].try_into().unwrap()),
+        )
+    }
+
+    #[test]
+    fn evaluator_matches_reference_semantics() {
+        let (checksum, _) = run(4, 8);
+        // n cycles 8, 9, 10, 11.
+        let expected: i64 = (8..=11).map(expected_value).sum();
+        assert_eq!(i64::from(checksum), expected);
+    }
+
+    #[test]
+    fn single_iteration_exact() {
+        let (checksum, cells) = run(1, 5);
+        assert_eq!(i64::from(checksum), expected_value(5));
+        // (r 5) allocates 10 cells beyond the reader's.
+        assert!(cells > 10);
+    }
+
+    #[test]
+    fn allocation_resets_between_iterations() {
+        let (_, cells_1) = run(1, 10);
+        let (_, cells_many) = run(20, 10);
+        // Arena reset: cell usage does not grow with iteration count.
+        // (n cycles nbase..nbase+3, so the final iteration's usage varies
+        // by at most the range's size.)
+        assert!(
+            (i64::from(cells_many) - i64::from(cells_1)).abs() <= 8,
+            "cells grew: {cells_1} vs {cells_many}"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! `perl` analog: text scripting — pattern matching, scoring, hashing.
+//!
+//! Mirrors SPEC '95 `134.perl` running its `scrabbl.pl` input: a stream
+//! of words is scored against a letter-value table, deduplicated through
+//! a string hash table, and matched against a set of regex-like patterns
+//! (literal / `.` / `*`) with the classic recursive matcher. The profile
+//! is external-input heavy (perl shows the suite's highest external-input
+//! share) with interpreter-style dispatch.
+//!
+//! Input stream: `[total: i32][newline-separated lowercase words]`.
+//! Output: score totals, unique-word count, and pattern hit counts.
+
+use crate::inputs::{rng, word_list, InputStream};
+use crate::{Scale, Workload};
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload { name: "perl", spec_analog: "134.perl", source: SOURCE, input_fn: input }
+}
+
+/// Builds the input stream: header plus a seeded word list.
+pub fn input(scale: Scale, seed: u64) -> Vec<u8> {
+    let words = match scale {
+        Scale::Tiny => 300,
+        Scale::Small => 3_000,
+        Scale::Full => 25_000,
+    };
+    let mut r = rng(seed ^ 0x9e71);
+    let list = word_list(&mut r, words);
+    let mut s = InputStream::new();
+    s.int(list.len() as i32).bytes(&list);
+    s.finish()
+}
+
+/// The patterns compiled into the workload (for tests).
+pub const PATTERNS: [&str; 4] = ["a*b", ".e.", "th*", "s.*e"];
+
+const SOURCE: &str = r#"
+// ---- perl: word scoring + dedup hash + tiny regex engine ----
+// Scrabble letter values a..z.
+int letter_val[26] = {1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10};
+
+// Patterns, '|'-separated: literal chars, '.' any, '*' zero-or-more of
+// the previous char.
+char pattern_text[20] = "a*b|.e.|th*|s.*e";
+char pats[4][8];
+int n_pats;
+
+char wordbuf[4096];
+
+// String store + hash table for dedup; the store lives on the heap,
+// like perl's string arena.
+char* wstore;
+int wstore_len = 0;
+int h_head[256];
+int h_next[1024];
+int h_off[1024];
+int h_len[1024];
+int h_count[1024];
+int n_entries = 0;
+
+int pattern_hits[4];
+int total_score = 0;
+int n_words = 0;
+
+// --- regex: match pattern p (nul-terminated) against s[0..slen) ---
+int match_here(char* p, char* s, int slen) {
+    if (p[0] == 0) return slen == 0;
+    if (p[1] == '*') return match_star(p[0], p + 2, s, slen);
+    if (slen > 0 && (p[0] == '.' || p[0] == s[0])) {
+        return match_here(p + 1, s + 1, slen - 1);
+    }
+    return 0;
+}
+
+int match_star(int c, char* p, char* s, int slen) {
+    int i = 0;
+    while (1) {
+        if (match_here(p, s + i, slen - i)) return 1;
+        if (i >= slen) return 0;
+        if (c != '.' && s[i] != c) return 0;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int score_word(char* w, int len) {
+    int s = 0;
+    int i;
+    for (i = 0; i < len; i++) {
+        int c = w[i] - 'a';
+        if (c >= 0 && c < 26) s = s + letter_val[c];
+    }
+    if (len >= 7) s = s + 50;
+    return s;
+}
+
+int hash_str(char* w, int len) {
+    int h = 5381;
+    int i;
+    for (i = 0; i < len; i++) h = h * 33 + w[i];
+    return h & 255;
+}
+
+int str_eq(char* a, char* b, int len) {
+    int i;
+    for (i = 0; i < len; i++) {
+        if (a[i] != b[i]) return 0;
+    }
+    return 1;
+}
+
+// Returns 1 if the word was new.
+int intern(char* w, int len) {
+    int h = hash_str(w, len);
+    int i = h_head[h];
+    while (i >= 0) {
+        if (h_len[i] == len && str_eq(wstore + h_off[i], w, len)) {
+            h_count[i] = h_count[i] + 1;
+            return 0;
+        }
+        i = h_next[i];
+    }
+    if (n_entries >= 1024 || wstore_len + len > 8192) return 0;
+    int j;
+    for (j = 0; j < len; j++) wstore[wstore_len + j] = w[j];
+    h_off[n_entries] = wstore_len;
+    h_len[n_entries] = len;
+    h_count[n_entries] = 1;
+    h_next[n_entries] = h_head[h];
+    h_head[h] = n_entries;
+    wstore_len = wstore_len + len;
+    n_entries = n_entries + 1;
+    return 1;
+}
+
+int setup_patterns() {
+    n_pats = 0;
+    int i = 0;
+    int k = 0;
+    while (pattern_text[i]) {
+        if (pattern_text[i] == '|') {
+            pats[n_pats][k] = 0;
+            n_pats = n_pats + 1;
+            k = 0;
+        } else {
+            pats[n_pats][k] = pattern_text[i];
+            k = k + 1;
+        }
+        i = i + 1;
+    }
+    pats[n_pats][k] = 0;
+    n_pats = n_pats + 1;
+    return n_pats;
+}
+
+int process_word(char* w, int len) {
+    n_words = n_words + 1;
+    total_score = total_score + score_word(w, len);
+    intern(w, len);
+    int p;
+    for (p = 0; p < n_pats; p++) {
+        if (match_here(pats[p], w, len)) pattern_hits[p] = pattern_hits[p] + 1;
+    }
+    return 0;
+}
+
+int main() {
+    int total = read_int();
+    wstore = sbrk(8192);
+    setup_patterns();
+    int i;
+    for (i = 0; i < 256; i++) h_head[i] = 0 - 1;
+    int processed = 0;
+    int wlen = 0;
+    char cur[32];
+    while (processed < total) {
+        int want = total - processed;
+        if (want > 4096) want = 4096;
+        int n = read(wordbuf, want);
+        if (n == 0) break;
+        for (i = 0; i < n; i++) {
+            int c = wordbuf[i];
+            if (c == '\n') {
+                if (wlen > 0) process_word(cur, wlen);
+                wlen = 0;
+            } else {
+                if (wlen < 31) {
+                    cur[wlen] = c;
+                    wlen = wlen + 1;
+                }
+            }
+        }
+        processed = processed + n;
+    }
+    if (wlen > 0) process_word(cur, wlen);
+    write_int(total_score);
+    write_int(n_words);
+    write_int(n_entries);
+    for (i = 0; i < n_pats; i++) write_int(pattern_hits[i]);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    fn run_words(words: &[&str]) -> Vec<i32> {
+        let text: Vec<u8> =
+            words.iter().flat_map(|w| w.bytes().chain(std::iter::once(b'\n'))).collect();
+        let image = workload().build().unwrap();
+        let mut m = Machine::new(&image);
+        let mut s = InputStream::new();
+        s.int(text.len() as i32).bytes(&text);
+        m.set_input(s.finish());
+        assert_eq!(m.run(300_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        m.output().chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    const VALS: [i32; 26] = [
+        1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
+    ];
+
+    fn score(w: &str) -> i32 {
+        let s: i32 = w.bytes().map(|c| VALS[(c - b'a') as usize]).sum();
+        s + if w.len() >= 7 { 50 } else { 0 }
+    }
+
+    #[test]
+    fn scores_match_scrabble_values() {
+        let out = run_words(&["cab", "quiz", "jazzier"]);
+        assert_eq!(out[0], score("cab") + score("quiz") + score("jazzier"));
+        assert_eq!(out[1], 3); // words
+        assert_eq!(out[2], 3); // unique
+    }
+
+    #[test]
+    fn dedup_counts_unique_words() {
+        let out = run_words(&["the", "cat", "the", "the", "dog", "cat"]);
+        assert_eq!(out[1], 6);
+        assert_eq!(out[2], 3);
+    }
+
+    #[test]
+    fn patterns_match_correctly() {
+        // PATTERNS = ["a*b", ".e.", "th*", "s.*e"]
+        let out = run_words(&["b", "aab", "bed", "the", "t", "th", "see", "sle", "sb"]);
+        let hits = &out[3..7];
+        // "a*b": b, aab.          => 2
+        // ".e.": bed, see.        => 2 ("sle" has l in the middle)
+        // "th*": "t" (h* empty), "th"; "the" fails on the trailing e.
+        // "s.*e": see, sle        => 2
+        assert_eq!(hits[0], 2, "a*b");
+        assert_eq!(hits[1], 2, ".e.");
+        assert_eq!(hits[2], 2, "th*");
+        assert_eq!(hits[3], 2, "s.*e");
+    }
+
+    #[test]
+    fn long_word_bonus() {
+        let out = run_words(&["aaaaaaa"]);
+        assert_eq!(out[0], 7 + 50);
+    }
+}

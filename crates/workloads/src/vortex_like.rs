@@ -1,0 +1,261 @@
+//! `vortex` analog: in-memory object database.
+//!
+//! Mirrors SPEC '95 `147.vortex`: heap-resident records manipulated
+//! through deep chains of tiny accessor functions (vortex's
+//! `Mem_GetWord` / `Chunk_ChkGetChunk` / `Mem_GetAddr` pattern — the
+//! paper's Table 9 hot list), hash-chained indexes, and an operation mix
+//! driven by a transaction stream. The accessor discipline produces the
+//! prologue/epilogue-heavy profile vortex shows (24% of dynamic
+//! instructions).
+//!
+//! Input stream: `[ops: i32][seed: i32]`. Output: operation tallies and a
+//! database checksum.
+
+use crate::inputs::InputStream;
+use crate::{Scale, Workload};
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload { name: "vortex", spec_analog: "147.vortex", source: SOURCE, input_fn: input }
+}
+
+/// Builds the parameter block.
+pub fn input(scale: Scale, seed: u64) -> Vec<u8> {
+    let ops = match scale {
+        Scale::Tiny => 1_500,
+        Scale::Small => 15_000,
+        Scale::Full => 120_000,
+    };
+    let mut s = InputStream::new();
+    s.int(ops).int((seed as i32) | 1);
+    s.finish()
+}
+
+const SOURCE: &str = r#"
+// ---- vortex: record pool + hash index, accessor-chain style ----
+struct rec {
+    int id;
+    int kind;
+    int val;
+    int hits;
+    int nxt;     // pool index of next record in hash chain, -1 ends
+};
+
+struct rec* pool;
+int pool_cap = 0;
+int pool_len = 0;
+int heads[512];
+
+int n_inserts = 0;
+int n_lookups = 0;
+int n_found = 0;
+int n_updates = 0;
+int n_sums = 0;
+
+// --- tiny accessor chain, vortex-style ---
+struct rec* mem_get_addr(int i) {
+    return pool + i;
+}
+
+int chunk_chk(int i) {
+    if (i < 0) return 0;
+    if (i >= pool_len) return 0;
+    return 1;
+}
+
+struct rec* rec_get(int i) {
+    if (chunk_chk(i)) return mem_get_addr(i);
+    return 0;
+}
+
+int rec_id(int i) {
+    struct rec* r = rec_get(i);
+    if (r) return r->id;
+    return 0 - 1;
+}
+
+int rec_val(int i) {
+    struct rec* r = rec_get(i);
+    if (r) return r->val;
+    return 0;
+}
+
+int rec_next(int i) {
+    struct rec* r = rec_get(i);
+    if (r) return r->nxt;
+    return 0 - 1;
+}
+
+int hash_id(int id) {
+    return ((id * 31 + 7) & 0x7fffffff) & 511;
+}
+
+int db_insert(int id, int kind, int v) {
+    if (pool_len >= pool_cap) return 0 - 1;
+    int h = hash_id(id);
+    struct rec* r = mem_get_addr(pool_len);
+    r->id = id;
+    r->kind = kind;
+    r->val = v;
+    r->hits = 0;
+    r->nxt = heads[h];
+    heads[h] = pool_len;
+    pool_len = pool_len + 1;
+    n_inserts = n_inserts + 1;
+    return pool_len - 1;
+}
+
+int db_find(int id) {
+    int i = heads[hash_id(id)];
+    while (i >= 0) {
+        if (rec_id(i) == id) return i;
+        i = rec_next(i);
+    }
+    return 0 - 1;
+}
+
+int db_lookup(int id) {
+    n_lookups = n_lookups + 1;
+    int i = db_find(id);
+    if (i >= 0) {
+        n_found = n_found + 1;
+        struct rec* r = rec_get(i);
+        r->hits = r->hits + 1;
+        return rec_val(i);
+    }
+    return 0;
+}
+
+int db_update(int id, int d) {
+    n_updates = n_updates + 1;
+    int i = db_find(id);
+    if (i >= 0) {
+        struct rec* r = rec_get(i);
+        r->val = r->val + d;
+        return 1;
+    }
+    return 0;
+}
+
+int db_sum_kind(int kind) {
+    n_sums = n_sums + 1;
+    int s = 0;
+    int i;
+    for (i = 0; i < pool_len; i++) {
+        struct rec* r = rec_get(i);
+        if (r->kind == kind) s = s + rec_val(i);
+    }
+    return s;
+}
+
+int main() {
+    int ops = read_int();
+    rng_seed(read_int());
+    pool_cap = 4096;
+    pool = sbrk(pool_cap * sizeof(struct rec));
+    int i;
+    for (i = 0; i < 512; i++) heads[i] = 0 - 1;
+    int checksum = 0;
+    int op_i;
+    for (op_i = 0; op_i < ops; op_i++) {
+        int dice = rng_next() & 15;
+        int id = rng_next() & 1023;
+        if (dice < 6) {
+            if (db_find(id) < 0) db_insert(id, id & 7, id * 3);
+        } else {
+            if (dice < 12) {
+                checksum = checksum + db_lookup(id);
+            } else {
+                if (dice < 15) {
+                    db_update(id, 1);
+                } else {
+                    checksum = checksum + db_sum_kind(id & 7);
+                }
+            }
+        }
+    }
+    write_int(checksum);
+    write_int(n_inserts);
+    write_int(n_found);
+    write_int(pool_len);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instrep_sim::{Machine, RunOutcome};
+
+    fn run(ops: i32, seed: i32) -> (i32, i32, i32, i32) {
+        let image = workload().build().unwrap();
+        let mut m = Machine::new(&image);
+        let mut s = InputStream::new();
+        s.int(ops).int(seed);
+        m.set_input(s.finish());
+        assert_eq!(m.run(500_000_000, |_| {}).unwrap(), RunOutcome::Exited(0));
+        let out = m.output().to_vec();
+        assert_eq!(out.len(), 16);
+        (
+            i32::from_le_bytes(out[0..4].try_into().unwrap()),
+            i32::from_le_bytes(out[4..8].try_into().unwrap()),
+            i32::from_le_bytes(out[8..12].try_into().unwrap()),
+            i32::from_le_bytes(out[12..16].try_into().unwrap()),
+        )
+    }
+
+    /// Rust mirror of the MiniC database and its LCG, used to validate
+    /// the workload's semantics exactly.
+    fn mirror(ops: i32, seed: i32) -> (i32, i32, i32, i32) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(1103515245).wrapping_add(12345);
+            (state >> 16) & 0x7fff
+        };
+        let mut db: Vec<(i32, i32, i32)> = Vec::new(); // (id, kind, val)
+        let (mut checksum, mut inserts, mut found) = (0i32, 0, 0);
+        for _ in 0..ops {
+            let dice = next() & 15;
+            let id = next() & 1023;
+            let pos = db.iter().position(|r| r.0 == id);
+            if dice < 6 {
+                if pos.is_none() && db.len() < 4096 {
+                    db.push((id, id & 7, id.wrapping_mul(3)));
+                    inserts += 1;
+                }
+            } else if dice < 12 {
+                if let Some(p) = pos {
+                    found += 1;
+                    checksum = checksum.wrapping_add(db[p].2);
+                }
+            } else if dice < 15 {
+                if let Some(p) = pos {
+                    db[p].2 = db[p].2.wrapping_add(1);
+                }
+            } else {
+                let kind = id & 7;
+                let s: i32 = db
+                    .iter()
+                    .filter(|r| r.1 == kind)
+                    .fold(0i32, |a, r| a.wrapping_add(r.2));
+                checksum = checksum.wrapping_add(s);
+            }
+        }
+        (checksum, inserts, found, db.len() as i32)
+    }
+
+    #[test]
+    fn matches_rust_mirror_model() {
+        let got = run(1500, 77);
+        let want = mirror(1500, 77);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn operations_all_exercised() {
+        let (_, inserts, found, len) = run(2000, 5);
+        assert!(inserts > 100, "inserts = {inserts}");
+        assert!(found > 100, "found = {found}");
+        assert_eq!(inserts, len);
+    }
+}

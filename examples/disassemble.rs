@@ -1,0 +1,43 @@
+//! Disassemble a workload's hottest function.
+//!
+//! Compiles one of the eight benchmarks, profiles it briefly, and prints
+//! an annotated listing of the function with the most dynamic
+//! instructions — handy for seeing exactly which generated code the
+//! analyses are classifying.
+//!
+//! ```text
+//! cargo run --release --example disassemble [workload]
+//! ```
+
+use std::collections::HashMap;
+
+use instrep::asm::disassemble_range;
+use instrep::sim::Machine;
+use instrep::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".to_string());
+    let wl = by_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let image = wl.build()?;
+
+    // Profile: dynamic instructions per function.
+    let mut machine = Machine::new(&image);
+    machine.set_input(wl.input(Scale::Tiny, 1));
+    let mut per_func: HashMap<usize, u64> = HashMap::new();
+    let funcs = image.funcs.clone();
+    machine.run(300_000, |ev| {
+        if let Some(i) = funcs.iter().position(|f| f.contains(ev.pc)) {
+            *per_func.entry(i).or_insert(0) += 1;
+        }
+    })?;
+
+    let (&hot, &count) =
+        per_func.iter().max_by_key(|(_, &c)| c).ok_or("nothing executed")?;
+    let f = &image.funcs[hot];
+    println!(
+        "hottest function of `{}`: {} ({} dynamic instructions in the sample)\n",
+        wl.name, f.name, count
+    );
+    println!("{}", disassemble_range(&image, f.entry, f.end));
+    Ok(())
+}

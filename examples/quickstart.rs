@@ -1,0 +1,61 @@
+//! Quickstart: compile a MiniC program, run it under the repetition
+//! analyses, and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use instrep::core::{analyze, AnalysisConfig};
+use instrep::minicc::build;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little program with an obviously repetitive inner function.
+    let image = build(
+        r#"
+        int squares[16];
+
+        int square(int x) { return x * x; }
+
+        int main() {
+            int i;
+            for (i = 0; i < 2000; i++) {
+                squares[i & 15] = square(i & 15);
+            }
+            int s = 0;
+            for (i = 0; i < 16; i++) s += squares[i];
+            return s & 0xff;
+        }
+        "#,
+    )?;
+
+    let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+
+    println!("dynamic instructions : {}", report.dynamic_total);
+    println!(
+        "repeated             : {} ({:.1}%)",
+        report.dynamic_repeated,
+        report.repetition_rate() * 100.0
+    );
+    println!(
+        "static instructions  : {} total, {} executed, {} repeated",
+        report.static_total, report.static_executed, report.static_repeated
+    );
+    println!(
+        "unique repeatable    : {} instances, avg {:.0} repeats each",
+        report.unique_repeatable, report.avg_repeats
+    );
+    println!(
+        "top 10% static insns cover {:.1}% of all repetition",
+        report.static_coverage.coverage_at(0.10) * 100.0
+    );
+    println!(
+        "function calls       : {} ({:.1}% all-arg repeated)",
+        report.dynamic_calls,
+        report.all_arg_rate * 100.0
+    );
+    println!(
+        "8K reuse buffer      : {:.1}% of instructions reused",
+        report.reuse.hit_rate() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Reuse-buffer design sweep: the hardware-exploitation question of the
+//! paper's §7 extended into an ablation (DESIGN.md §8).
+//!
+//! Sweeps buffer size × associativity for one workload and prints the
+//! fraction of repetition captured by each geometry — showing how far
+//! the paper's 8K/4-way point sits from the asymptote (its Table 10
+//! observation that "there is still room for improvement").
+//!
+//! ```text
+//! cargo run --release --example reuse_buffer_sweep [workload]
+//! ```
+
+use instrep::core::{RepetitionTracker, ReuseBuffer, ReuseConfig, TrackerConfig};
+use instrep::sim::{Machine, Trace};
+use instrep::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let wl = by_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let image = wl.build()?;
+
+    // One simulation pass, recorded; then each geometry replays it.
+    // (Recording keeps the sweep honest: every config sees the same
+    // trace.)
+    let mut machine = Machine::new(&image);
+    machine.set_input(wl.input(Scale::Tiny, 7));
+    let trace = Trace::record(&mut machine, 5_000_000)?;
+    let mut tracker = RepetitionTracker::new(TrackerConfig::default(), image.text.len());
+    let repeated_flags: Vec<bool> =
+        trace.events().iter().map(|ev| tracker.observe(ev)).collect();
+    println!(
+        "workload {}: {} instructions, {:.1}% repeated\n",
+        wl.name,
+        tracker.dynamic_total(),
+        tracker.repetition_rate() * 100.0
+    );
+
+    println!("{:<10}{:>8}{:>16}{:>22}", "entries", "ways", "% insts reused", "% repetition captured");
+    println!("{}", "-".repeat(56));
+    for entries in [256usize, 1024, 4096, 8192, 32768] {
+        for ways in [1usize, 4] {
+            let mut buf = ReuseBuffer::new(ReuseConfig { entries, ways });
+            for (ev, repeated) in trace.events().iter().zip(&repeated_flags) {
+                buf.observe(ev, *repeated);
+            }
+            let s = buf.stats();
+            let marker =
+                if entries == 8192 && ways == 4 { "   <- paper Table 10" } else { "" };
+            println!(
+                "{:<10}{:>8}{:>15.1}%{:>21.1}%{}",
+                entries,
+                ways,
+                s.hit_rate() * 100.0,
+                s.repeated_capture_rate() * 100.0,
+                marker
+            );
+        }
+    }
+    Ok(())
+}

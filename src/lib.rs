@@ -1,0 +1,17 @@
+//! Facade crate re-exporting the full instruction-repetition stack.
+//!
+//! See the individual crates for details:
+//!
+//! * [`isa`] — the SRV32 instruction set.
+//! * [`asm`] — the assembler.
+//! * [`minicc`] — the MiniC compiler.
+//! * [`sim`] — the functional simulator.
+//! * [`core`] — the repetition analyses (the paper's contribution).
+//! * [`workloads`] — the eight SPEC-'95-like benchmark programs.
+
+pub use instrep_asm as asm;
+pub use instrep_core as core;
+pub use instrep_isa as isa;
+pub use instrep_minicc as minicc;
+pub use instrep_sim as sim;
+pub use instrep_workloads as workloads;
