@@ -49,7 +49,8 @@ pub fn disassemble_range(image: &Image, start: u32, end: u32) -> String {
         let index = ((pc - TEXT_BASE) / 4) as usize;
         // Function headers and plain labels.
         if let Some(f) = image.funcs.iter().find(|f| f.entry == pc) {
-            let _ = writeln!(out, "\n{}:    # .func arity={} size={}", f.name, f.arity, f.size_insns());
+            let _ =
+                writeln!(out, "\n{}:    # .func arity={} size={}", f.name, f.arity, f.size_insns());
         } else if let Some(name) = image.symbols.name_at(pc) {
             let _ = writeln!(out, "{name}:");
         }
@@ -127,7 +128,11 @@ mod tests {
         let image = assemble(".text\nnop\nnop\nnop\n").unwrap();
         let all = disassemble_range(&image, 0, u32::MAX);
         assert_eq!(all.lines().count(), 3);
-        let one = disassemble_range(&image, instrep_isa::abi::TEXT_BASE + 4, instrep_isa::abi::TEXT_BASE + 8);
+        let one = disassemble_range(
+            &image,
+            instrep_isa::abi::TEXT_BASE + 4,
+            instrep_isa::abi::TEXT_BASE + 8,
+        );
         assert_eq!(one.lines().count(), 1);
     }
 }

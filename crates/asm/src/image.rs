@@ -112,15 +112,17 @@ impl Image {
     /// initializer (versus `.space` / unmapped).
     pub fn is_initialized(&self, addr: u32) -> bool {
         // Ranges are sorted by start and non-overlapping.
-        self.init_ranges.binary_search_by(|r| {
-            if addr < r.start {
-                std::cmp::Ordering::Greater
-            } else if addr >= r.end {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.init_ranges
+            .binary_search_by(|r| {
+                if addr < r.start {
+                    std::cmp::Ordering::Greater
+                } else if addr >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 }
 
@@ -152,10 +154,7 @@ mod tests {
 
     #[test]
     fn initialized_ranges() {
-        let img = Image {
-            init_ranges: vec![10..20, 30..34],
-            ..Image::default()
-        };
+        let img = Image { init_ranges: vec![10..20, 30..34], ..Image::default() };
         assert!(!img.is_initialized(9));
         assert!(img.is_initialized(10));
         assert!(img.is_initialized(19));
@@ -166,11 +165,7 @@ mod tests {
 
     #[test]
     fn image_bounds() {
-        let img = Image {
-            text: vec![0; 3],
-            data: vec![0; 10],
-            ..Image::default()
-        };
+        let img = Image { text: vec![0; 3], data: vec![0; 10], ..Image::default() };
         assert_eq!(img.text_end(), abi::TEXT_BASE + 12);
         assert_eq!(img.data_end(), abi::DATA_BASE + 10);
     }

@@ -106,10 +106,11 @@ pub(crate) fn layout(items: Vec<Item>) -> Result<Laid, AsmError> {
     for item in &items {
         match &item.stmt {
             Stmt::Section(s) => section = *s,
-            Stmt::Label(name) if section == Section::Text
-                && !symbols.insert(name, abi::TEXT_BASE + tcur * 4) => {
-                    return Err(err(item.line, format!("duplicate symbol `{name}`")));
-                }
+            Stmt::Label(name)
+                if section == Section::Text && !symbols.insert(name, abi::TEXT_BASE + tcur * 4) =>
+            {
+                return Err(err(item.line, format!("duplicate symbol `{name}`")));
+            }
             Stmt::Func { name, arity } if section == Section::Text => {
                 if let Some((open, ..)) = &open_func {
                     return Err(err(
@@ -120,9 +121,8 @@ pub(crate) fn layout(items: Vec<Item>) -> Result<Laid, AsmError> {
                 open_func = Some((name.clone(), *arity, abi::TEXT_BASE + tcur * 4, item.line));
             }
             Stmt::EndFunc if section == Section::Text => {
-                let (name, arity, entry, _) = open_func
-                    .take()
-                    .ok_or_else(|| err(item.line, "`.endfunc` without `.func`"))?;
+                let (name, arity, entry, _) =
+                    open_func.take().ok_or_else(|| err(item.line, "`.endfunc` without `.func`"))?;
                 funcs.push(FuncMeta { name, entry, end: abi::TEXT_BASE + tcur * 4, arity });
             }
             Stmt::Insn { mnemonic, operands } if section == Section::Text => {
@@ -139,10 +139,9 @@ pub(crate) fn layout(items: Vec<Item>) -> Result<Laid, AsmError> {
                 tcur += scratch.len() as u32;
             }
             Stmt::Insn { .. } | Stmt::Label(_) | Stmt::Func { .. } | Stmt::EndFunc => {}
-            other if section == Section::Text
-                && data_stmt_bytes(other).is_some() => {
-                    return Err(err(item.line, "data directive in .text section"));
-                }
+            other if section == Section::Text && data_stmt_bytes(other).is_some() => {
+                return Err(err(item.line, "data directive in .text section"));
+            }
             _ => {}
         }
     }
@@ -233,14 +232,7 @@ pub(crate) fn encode(laid: Laid) -> Result<Image, AsmError> {
         }
     }
 
-    Ok(Image {
-        text,
-        data,
-        init_ranges,
-        entry: abi::TEXT_BASE,
-        symbols,
-        funcs,
-    })
+    Ok(Image { text, data, init_ranges, entry: abi::TEXT_BASE, symbols, funcs })
 }
 
 // ---------------------------------------------------------------------------
@@ -556,13 +548,11 @@ pub(crate) fn expand(
             ops.expect(1)?;
             out.push(Insn::Jr { rs: ops.reg(0)? });
         }
-        "jalr" => {
-            match ops.operands.len() {
-                1 => out.push(Insn::Jalr { rd: Reg::RA, rs: ops.reg(0)? }),
-                2 => out.push(Insn::Jalr { rd: ops.reg(0)?, rs: ops.reg(1)? }),
-                n => return Err(err(line, format!("`jalr` expects 1 or 2 operands, got {n}"))),
-            }
-        }
+        "jalr" => match ops.operands.len() {
+            1 => out.push(Insn::Jalr { rd: Reg::RA, rs: ops.reg(0)? }),
+            2 => out.push(Insn::Jalr { rd: ops.reg(0)?, rs: ops.reg(1)? }),
+            n => return Err(err(line, format!("`jalr` expects 1 or 2 operands, got {n}"))),
+        },
 
         "syscall" => {
             ops.expect(0)?;
@@ -726,10 +716,7 @@ mod tests {
         // addi(1) + ori(1) + lui/ori(2) + lui/ori(2) = 6
         assert_eq!(img.text.len(), 6);
         use instrep_isa::decode;
-        assert_eq!(
-            decode(img.text[0]).unwrap(),
-            Insn::imm(ImmOp::Addi, Reg::T0, Reg::ZERO, 5)
-        );
+        assert_eq!(decode(img.text[0]).unwrap(), Insn::imm(ImmOp::Addi, Reg::T0, Reg::ZERO, 5));
         assert_eq!(
             decode(img.text[1]).unwrap(),
             Insn::imm(ImmOp::Ori, Reg::T1, Reg::ZERO, 0x8000u16 as i16)

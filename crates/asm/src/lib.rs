@@ -68,9 +68,6 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
     let items = parse::parse(src)?;
     let laid = layout::layout(items)?;
     let mut image = layout::encode(laid)?;
-    image.entry = image
-        .symbols
-        .get("__start")
-        .unwrap_or(abi::TEXT_BASE);
+    image.entry = image.symbols.get("__start").unwrap_or(abi::TEXT_BASE);
     Ok(image)
 }

@@ -37,7 +37,10 @@ pub(crate) enum Operand {
     /// Immediate or symbolic value with an optional relocation operator.
     Val(Reloc, Expr),
     /// `off(base)` memory reference.
-    Mem { off: Expr, base: Reg },
+    Mem {
+        off: Expr,
+        base: Reg,
+    },
 }
 
 /// A parsed statement.
@@ -195,18 +198,13 @@ fn parse_operand(s: &str, line: u32) -> Result<Operand, AsmError> {
         return Err(err(line, "empty operand"));
     }
     if s.starts_with('$') {
-        return Ok(Operand::Reg(
-            s.parse::<Reg>().map_err(|e| err(line, e.to_string()))?,
-        ));
+        return Ok(Operand::Reg(s.parse::<Reg>().map_err(|e| err(line, e.to_string()))?));
     }
     // Relocation operators.
-    for (prefix, reloc) in
-        [("%hi(", Reloc::Hi), ("%lo(", Reloc::Lo), ("%gprel(", Reloc::GpRel)]
-    {
+    for (prefix, reloc) in [("%hi(", Reloc::Hi), ("%lo(", Reloc::Lo), ("%gprel(", Reloc::GpRel)] {
         if let Some(rest) = s.strip_prefix(prefix) {
-            let inner = rest
-                .strip_suffix(')')
-                .ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
+            let inner =
+                rest.strip_suffix(')').ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
             return Ok(Operand::Val(reloc, parse_expr(inner, line)?));
         }
     }
@@ -216,8 +214,7 @@ fn parse_operand(s: &str, line: u32) -> Result<Operand, AsmError> {
             let off_str = s[..open].trim();
             let base_str = s[open + 1..s.len() - 1].trim();
             let off = if off_str.is_empty() { Expr::Imm(0) } else { parse_expr(off_str, line)? };
-            let base =
-                base_str.parse::<Reg>().map_err(|e| err(line, e.to_string()))?;
+            let base = base_str.parse::<Reg>().map_err(|e| err(line, e.to_string()))?;
             return Ok(Operand::Mem { off, base });
         }
     }

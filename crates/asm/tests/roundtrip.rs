@@ -1,11 +1,12 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property test: the textual form of any instruction (its `Display`)
 //! assembles back to the identical instruction — i.e. disassembly and
 //! assembly are inverses over the whole ISA.
 
 use instrep_asm::assemble;
-use instrep_isa::{
-    decode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp,
-};
+use instrep_isa::{decode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -45,8 +46,8 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
             Insn::Branch { op, rs, rt, off }
         },
     );
-    let jump = (any::<bool>(), 0u32..=0x03ff_ffff)
-        .prop_map(|(link, target)| Insn::Jump { link, target });
+    let jump =
+        (any::<bool>(), 0u32..=0x03ff_ffff).prop_map(|(link, target)| Insn::Jump { link, target });
     let jr = arb_reg().prop_map(|rs| Insn::Jr { rs });
     let jalr = (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs });
     prop_oneof![

@@ -53,10 +53,8 @@ fn bench_tracker_cap(c: &mut Criterion) {
     for cap in [1usize, 16, 256, 2000] {
         g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
             b.iter(|| {
-                let mut t = RepetitionTracker::new(
-                    TrackerConfig { max_instances: cap },
-                    image.text.len(),
-                );
+                let mut t =
+                    RepetitionTracker::new(TrackerConfig { max_instances: cap }, image.text.len());
                 let mut repeated = 0u64;
                 for ev in rec.events() {
                     repeated += u64::from(t.observe(ev));

@@ -149,8 +149,14 @@ mod tests {
             (Insn::imm(ImmOp::Ori, Reg::T0, Reg::ZERO, 1), Alu),
             (Insn::Shift { op: ShiftOp::Sll, rd: Reg::T0, rt: Reg::T1, shamt: 2 }, Alu),
             (Insn::Lui { rt: Reg::T0, imm: 1 }, Alu),
-            (Insn::Mem { op: MemOp::Load(MemWidth::Word), rt: Reg::T0, base: Reg::SP, off: 0 }, Load),
-            (Insn::Mem { op: MemOp::Store(MemWidth::Byte), rt: Reg::T0, base: Reg::SP, off: 0 }, Store),
+            (
+                Insn::Mem { op: MemOp::Load(MemWidth::Word), rt: Reg::T0, base: Reg::SP, off: 0 },
+                Load,
+            ),
+            (
+                Insn::Mem { op: MemOp::Store(MemWidth::Byte), rt: Reg::T0, base: Reg::SP, off: 0 },
+                Store,
+            ),
             (Insn::Branch { op: BranchOp::Beq, rs: Reg::T0, rt: Reg::T1, off: 1 }, Branch),
             (Insn::Jump { link: true, target: 0 }, Jump),
             (Insn::Jr { rs: Reg::RA }, Jump),

@@ -55,8 +55,8 @@ impl Coverage {
         if self.total == 0 || self.sorted.is_empty() {
             return 0.0;
         }
-        let k = ((item_fraction * self.sorted.len() as f64).round() as usize)
-            .min(self.sorted.len());
+        let k =
+            ((item_fraction * self.sorted.len() as f64).round() as usize).min(self.sorted.len());
         let sum: u64 = self.sorted[..k].iter().sum();
         sum as f64 / self.total as f64
     }

@@ -111,13 +111,7 @@ pub fn csv_breakdowns(reports: &[Named<'_>]) -> String {
             let x = f64::from(i) / 10.0;
             let cat = format!("{}%", i * 10);
             row(name, "static_coverage", &cat, "coverage_at", r.static_coverage.coverage_at(x));
-            row(
-                name,
-                "instance_coverage",
-                &cat,
-                "coverage_at",
-                r.instance_coverage.coverage_at(x),
-            );
+            row(name, "instance_coverage", &cat, "coverage_at", r.instance_coverage.coverage_at(x));
         }
         let buckets = ["1", "2-10", "11-100", "101-1000", "1001+"];
         for (b, label) in buckets.iter().enumerate() {
@@ -176,8 +170,14 @@ mod tests {
         let r = sample();
         let csv = csv_breakdowns(&[("demo", &r)]);
         for needle in [
-            ",global,", ",local,", ",class,", ",static_coverage,", ",instance_coverage,",
-            ",instance_histogram,", ",argset_coverage,", ",load_value_coverage,",
+            ",global,",
+            ",local,",
+            ",class,",
+            ",static_coverage,",
+            ",instance_coverage,",
+            ",instance_histogram,",
+            ",argset_coverage,",
+            ",load_value_coverage,",
         ] {
             assert!(csv.contains(needle), "missing {needle}");
         }

@@ -11,11 +11,11 @@
 //! stack*, matching the paper's treatment of functions as including their
 //! callees.
 
-use std::collections::{HashMap, HashSet};
-
 use instrep_asm::Image;
 use instrep_isa::abi::Region;
 use instrep_sim::{CtrlEffect, Event};
+
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// Cap on distinct argument tuples (and per-argument values) tracked per
 /// function; beyond this, new tuples are classified non-repeated and not
@@ -43,9 +43,9 @@ pub struct FuncStats {
     /// Pure calls that were also all-argument repeated.
     pub pure_all_arg_calls: u64,
     /// Frequency of each argument tuple (capped at [`MAX_TUPLES`]).
-    tuples: HashMap<ArgTuple, u64>,
+    tuples: FxHashMap<ArgTuple, u64>,
     /// Values seen per argument position (capped).
-    seen_per_arg: Vec<HashSet<u32>>,
+    seen_per_arg: Vec<FxHashSet<u32>>,
 }
 
 impl FuncStats {
@@ -82,7 +82,7 @@ struct Frame {
 #[derive(Debug)]
 pub struct FunctionAnalysis {
     /// Function entry pc -> index into `funcs`.
-    by_entry: HashMap<u32, usize>,
+    by_entry: FxHashMap<u32, usize>,
     funcs: Vec<FuncStats>,
     stack: Vec<Frame>,
     total_calls: u64,
@@ -91,14 +91,14 @@ pub struct FunctionAnalysis {
 impl FunctionAnalysis {
     /// Creates the analysis from an image's function metadata.
     pub fn new(image: &Image) -> FunctionAnalysis {
-        let mut by_entry = HashMap::new();
+        let mut by_entry = FxHashMap::default();
         let mut funcs = Vec::with_capacity(image.funcs.len());
         for meta in &image.funcs {
             by_entry.insert(meta.entry, funcs.len());
             funcs.push(FuncStats {
                 name: meta.name.clone(),
                 arity: meta.arity,
-                seen_per_arg: vec![HashSet::new(); meta.arity as usize],
+                seen_per_arg: vec![FxHashSet::default(); meta.arity as usize],
                 ..FuncStats::default()
             });
         }
@@ -107,7 +107,12 @@ impl FunctionAnalysis {
             funcs,
             // Synthetic frame for the startup code we entered without a
             // call event.
-            stack: vec![Frame { func: None, all_arg: false, side_effect: false, implicit_input: false }],
+            stack: vec![Frame {
+                func: None,
+                all_arg: false,
+                side_effect: false,
+                implicit_input: false,
+            }],
             total_calls: 0,
         }
     }
@@ -325,7 +330,12 @@ mod tests {
         Event {
             pc: 0x40_0004,
             index: 1,
-            insn: Insn::Mem { op: MemOp::Store(MemWidth::Word), rt: Reg::T0, base: Reg::T1, off: 0 },
+            insn: Insn::Mem {
+                op: MemOp::Store(MemWidth::Word),
+                rt: Reg::T0,
+                base: Reg::T1,
+                off: 0,
+            },
             in1: addr,
             in2: 5,
             out: None,
@@ -415,8 +425,12 @@ mod tests {
         let mut fa = FunctionAnalysis::new(&img);
         fa.observe(&call_event(0x40_0000, 1, 2), true, None);
         let mut store = heap_store();
-        store.mem =
-            Some(MemEffect { addr: abi::STACK_TOP - 8, width: MemWidth::Word, value: 5, is_load: false });
+        store.mem = Some(MemEffect {
+            addr: abi::STACK_TOP - 8,
+            width: MemWidth::Word,
+            value: 5,
+            is_load: false,
+        });
         fa.observe(&store, true, Some(Region::Stack));
         fa.observe(&return_event(), true, None);
         assert_eq!(fa.funcs()[0].pure_calls, 1);

@@ -1,0 +1,157 @@
+//! A fast, non-cryptographic hasher for the per-instruction hot paths.
+//!
+//! Every dynamic instruction performs at least one hash-map probe in the
+//! tracker (operand-tuple lookup), plus more in the predictors and the
+//! source analyses. `std`'s default SipHash-1-3 is DoS-resistant but
+//! costs tens of cycles per probe; the keys here are small fixed-width
+//! integers produced by a simulator, not attacker-controlled input, so a
+//! multiply-xor hash in the style of rustc's FxHash is both sufficient
+//! and several times faster.
+//!
+//! The algorithm is the classic Fx step: for each machine word `w` of
+//! input, `state = (state.rotate_left(5) ^ w) * K` with a fixed odd
+//! constant `K` (the golden-ratio multiplier). Determinism is part of
+//! the contract — unlike `RandomState` there is no per-process seed, so
+//! iteration-order-dependent results are reproducible across runs and
+//! threads (the parallel pipeline relies on per-thread determinism).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit golden-ratio multiplier (2^64 / φ, forced odd).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The Fx hasher state. Use through [`FxHashMap`]/[`FxHashSet`] or
+/// [`FxBuildHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte keeps "ab" + "" distinct from
+            // "a" + "b" across write boundaries.
+            tail[7] = rest.len() as u8;
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; stateless and deterministic.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (0x1234_5678u32, 0x9abc_def0u32, 7u32);
+        assert_eq!(hash_of(&key), hash_of(&key));
+        assert_eq!(FxBuildHasher::default().hash_one(key), FxBuildHasher::default().hash_one(key),);
+    }
+
+    #[test]
+    fn distinguishes_small_tuples() {
+        // The tracker's InstanceKey shape: nearby values must spread.
+        let mut seen = FxHashSet::default();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for c in 0..4u32 {
+                    seen.insert(hash_of(&(a, b, c)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 16 * 16 * 4, "no collisions on a tiny dense domain");
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits for bucket selection; sequential
+        // u32 keys (static-instruction indices) must not cluster.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u32 {
+            buckets[(hash_of(&i) & 63) as usize] += 1;
+        }
+        let (min, max) = (buckets.iter().min().unwrap(), buckets.iter().max().unwrap());
+        assert!(*min > 16 && *max < 256, "bucket spread {min}..{max} too skewed");
+    }
+
+    #[test]
+    fn byte_stream_boundaries_matter() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"a");
+        b.write(b"b");
+        assert_ne!(a.finish(), b.finish(), "split writes must not alias");
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<(u32, u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i ^ 0xff, i % 7), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(500, 500 ^ 0xff, 500 % 7)], 500);
+    }
+}

@@ -11,12 +11,12 @@
 //! the pipeline fast-forward past initialization without losing dataflow
 //! provenance (mirroring the paper's skip-then-measure methodology).
 
-use std::collections::HashMap;
-
 use instrep_asm::Image;
 use instrep_isa::abi::Syscall;
 use instrep_isa::{Insn, Reg};
 use instrep_sim::{CtrlEffect, Event};
+
+use crate::fxhash::FxHashMap;
 
 /// Source category of a value or instruction, ordered by supersede
 /// priority (higher wins when slices meet).
@@ -98,7 +98,7 @@ pub struct GlobalAnalysis {
     /// Shadow tags for memory words that have been written (or read from
     /// external input); absent words fall back to the static image
     /// classification.
-    mem: HashMap<u32, GlobalTag>,
+    mem: FxHashMap<u32, GlobalTag>,
     /// Initialized-data ranges from the image (sorted).
     init_ranges: Vec<std::ops::Range<u32>>,
     counts: GlobalCounts,
@@ -114,7 +114,7 @@ impl GlobalAnalysis {
         regs[Reg::SP.number() as usize] = GlobalTag::Internal;
         GlobalAnalysis {
             regs,
-            mem: HashMap::new(),
+            mem: FxHashMap::default(),
             init_ranges: image.init_ranges.clone(),
             counts: GlobalCounts::default(),
         }
@@ -255,10 +255,7 @@ mod tests {
     use instrep_sim::MemEffect;
 
     fn image_with_init() -> Image {
-        Image {
-            init_ranges: vec![abi::DATA_BASE..abi::DATA_BASE + 8],
-            ..Image::default()
-        }
+        Image { init_ranges: vec![abi::DATA_BASE..abi::DATA_BASE + 8; 1], ..Image::default() }
     }
 
     fn alu_event(rd: Reg, rs: Reg, rt: Reg) -> Event {
@@ -334,7 +331,7 @@ mod tests {
     fn bss_loads_follow_base_and_content() {
         let mut g = GlobalAnalysis::new(&image_with_init());
         let bss = abi::DATA_BASE + 16; // outside init range
-        // Internal base supersedes uninit content for the load itself...
+                                       // Internal base supersedes uninit content for the load itself...
         g.observe(&load_event(Reg::T0, Reg::GP, bss), false, true);
         assert_eq!(g.counts().overall[GlobalTag::Internal as usize], 1);
         // ...and an operation on a never-written register is uninit.

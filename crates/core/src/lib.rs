@@ -43,6 +43,7 @@ mod classes;
 mod coverage;
 pub mod export;
 mod function;
+pub mod fxhash;
 mod global;
 mod local;
 mod pipeline;
@@ -54,9 +55,13 @@ mod tracker;
 pub use classes::{ClassAnalysis, ClassCounts, InsnClass};
 pub use coverage::Coverage;
 pub use function::{FuncStats, FunctionAnalysis};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
 pub use local::{LocalAnalysis, LocalCat, LocalCounts};
-pub use pipeline::{analyze, steady_state_check, AnalysisConfig, WorkloadReport};
+pub use pipeline::{
+    analyze, analyze_many, default_parallelism, steady_state_check, AnalysisConfig, AnalysisJob,
+    WorkloadReport,
+};
 pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

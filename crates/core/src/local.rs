@@ -21,12 +21,12 @@
 //! remembered), loads from remembered slots are epilogue, and stack
 //! allocation/deallocation instructions join the respective category.
 
-use std::collections::HashMap;
-
 use instrep_asm::Image;
 use instrep_isa::abi::{self, Region};
 use instrep_isa::{ImmOp, Insn, Reg};
 use instrep_sim::{CtrlEffect, Event};
+
+use crate::fxhash::FxHashMap;
 
 /// The ten local-analysis categories, in the paper's row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,7 +154,7 @@ const MAX_LOAD_VALUES: usize = 4096;
 /// Value profile of one static global/heap load instruction.
 #[derive(Debug, Clone, Default)]
 struct LoadProfile {
-    values: HashMap<u32, u64>,
+    values: FxHashMap<u32, u64>,
 }
 
 /// One call-stack frame of the local analysis.
@@ -177,25 +177,25 @@ pub struct LocalAnalysis {
     /// product (derived only from gp / data-segment immediates).
     gaddr: u32,
     /// Shadow tags for stack words (spills preserve provenance).
-    stack_tags: HashMap<u32, SrcTag>,
+    stack_tags: FxHashMap<u32, SrcTag>,
     frames: Vec<LocalFrame>,
     counts: LocalCounts,
     /// Prologue+epilogue repetition per function (paper Table 9).
     pe_repeats: Vec<u64>,
     pe_total: u64,
     /// Figure 6 value profiles per static load index.
-    load_profiles: HashMap<u32, LoadProfile>,
+    load_profiles: FxHashMap<u32, LoadProfile>,
     /// Names/sizes from image metadata, for reports.
     func_names: Vec<(String, u32)>,
     /// Declared arity per function.
     arities: Vec<u8>,
-    by_entry: HashMap<u32, usize>,
+    by_entry: FxHashMap<u32, usize>,
 }
 
 impl LocalAnalysis {
     /// Creates the analysis for a loaded image.
     pub fn new(image: &Image) -> LocalAnalysis {
-        let mut by_entry = HashMap::new();
+        let mut by_entry = FxHashMap::default();
         let mut func_names = Vec::with_capacity(image.funcs.len());
         let mut arities = Vec::with_capacity(image.funcs.len());
         for (i, meta) in image.funcs.iter().enumerate() {
@@ -206,12 +206,12 @@ impl LocalAnalysis {
         LocalAnalysis {
             tags: [SrcTag::FnInternal; 32],
             gaddr: 0,
-            stack_tags: HashMap::new(),
+            stack_tags: FxHashMap::default(),
             frames: vec![LocalFrame { func: None, unwritten: 0, saved_slots: Vec::new() }],
             counts: LocalCounts::default(),
             pe_repeats: vec![0; image.funcs.len()],
             pe_total: 0,
-            load_profiles: HashMap::new(),
+            load_profiles: FxHashMap::default(),
             func_names,
             arities,
             by_entry,
@@ -343,10 +343,12 @@ impl LocalAnalysis {
 
         // SP arithmetic (frame alloc/dealloc already handled above).
         let uses = ev.insn.uses();
-        if !ev.insn.is_load() && !ev.insn.is_store()
-            && uses.into_iter().flatten().any(|r| r == Reg::SP) {
-                return LocalCat::Sp;
-            }
+        if !ev.insn.is_load()
+            && !ev.insn.is_store()
+            && uses.into_iter().flatten().any(|r| r == Reg::SP)
+        {
+            return LocalCat::Sp;
+        }
 
         // Source-based classification.
         let mut tag = SrcTag::FnInternal;
@@ -432,8 +434,7 @@ impl LocalAnalysis {
         match ev.ctrl {
             Some(CtrlEffect::Call { target, sp, .. }) => {
                 let func = self.by_entry.get(&target).copied();
-                let arity =
-                    func.map(|fi| usize::from(self.image_arity(fi))).unwrap_or(4).min(8);
+                let arity = func.map(|fi| usize::from(self.image_arity(fi))).unwrap_or(4).min(8);
                 // Tag argument registers.
                 for i in 0..arity.min(4) {
                     self.set_tag(Reg::arg(i).expect("register argument"), SrcTag::Argument);

@@ -32,23 +32,15 @@ fn ret() -> Event {
 }
 
 fn store(rt: Reg, base: Reg, addr: u32, value: u32) -> Event {
-    let mut e = ev(
-        Insn::Mem { op: MemOp::Store(MemWidth::Word), rt, base, off: 0 },
-        addr,
-        value,
-        None,
-    );
+    let mut e =
+        ev(Insn::Mem { op: MemOp::Store(MemWidth::Word), rt, base, off: 0 }, addr, value, None);
     e.mem = Some(MemEffect { addr, width: MemWidth::Word, value, is_load: false });
     e
 }
 
 fn load(rt: Reg, base: Reg, addr: u32, value: u32) -> Event {
-    let mut e = ev(
-        Insn::Mem { op: MemOp::Load(MemWidth::Word), rt, base, off: 0 },
-        addr,
-        0,
-        Some(value),
-    );
+    let mut e =
+        ev(Insn::Mem { op: MemOp::Load(MemWidth::Word), rt, base, off: 0 }, addr, 0, Some(value));
     e.mem = Some(MemEffect { addr, width: MemWidth::Word, value, is_load: true });
     e
 }
@@ -89,7 +81,12 @@ fn written_register_store_is_not_prologue() {
     let mut la = LocalAnalysis::new(&image());
     la.observe(&call(F_ENTRY, abi::STACK_TOP), false, true, None);
     // Write $s0 first.
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::S0, Reg::ZERO, Reg::ZERO), 0, 0, Some(0)), false, true, None);
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::S0, Reg::ZERO, Reg::ZERO), 0, 0, Some(0)),
+        false,
+        true,
+        None,
+    );
     // Now a store of $s0 is an ordinary (spill) store, not prologue.
     la.observe(&store(Reg::S0, Reg::SP, abi::STACK_TOP - 24, 0), false, true, Some(Region::Stack));
     assert_eq!(cat_count(&la, LocalCat::Prologue), 0);
@@ -109,7 +106,12 @@ fn returns_and_sp_ops() {
 fn glb_addr_calc_sequences() {
     let mut la = LocalAnalysis::new(&image());
     // addi t0, gp, -32000 => gp-relative address formation.
-    let gp_form = ev(Insn::imm(ImmOp::Addi, Reg::T0, Reg::GP, -32000), abi::GP_INIT, 0, Some(abi::DATA_BASE + 768));
+    let gp_form = ev(
+        Insn::imm(ImmOp::Addi, Reg::T0, Reg::GP, -32000),
+        abi::GP_INIT,
+        0,
+        Some(abi::DATA_BASE + 768),
+    );
     la.observe(&gp_form, false, true, None);
     assert_eq!(cat_count(&la, LocalCat::GlbAddrCalc), 1);
 
@@ -134,7 +136,12 @@ fn source_tags_flow_through_loads() {
     la.observe(&load(Reg::T0, Reg::T5, abi::DATA_BASE, 9), false, true, Some(Region::Data));
     assert_eq!(cat_count(&la, LocalCat::Global), 1);
     // Arithmetic on the loaded value stays Global.
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::T1, Reg::T0, Reg::ZERO), 9, 0, Some(9)), false, true, None);
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::T1, Reg::T0, Reg::ZERO), 9, 0, Some(9)),
+        false,
+        true,
+        None,
+    );
     assert_eq!(cat_count(&la, LocalCat::Global), 2);
     // Heap load => Heap.
     let heap = abi::DATA_BASE + 0x10;
@@ -146,11 +153,21 @@ fn source_tags_flow_through_loads() {
 fn argument_tags_set_at_call() {
     let mut la = LocalAnalysis::new(&image());
     la.observe(&call(F_ENTRY, abi::STACK_TOP), false, true, None); // f has arity 2
-    // Use of a0 inside the callee is an argument-slice instruction.
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::T0, Reg::A0, Reg::ZERO), 5, 0, Some(5)), false, true, None);
+                                                                   // Use of a0 inside the callee is an argument-slice instruction.
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::T0, Reg::A0, Reg::ZERO), 5, 0, Some(5)),
+        false,
+        true,
+        None,
+    );
     assert_eq!(cat_count(&la, LocalCat::Argument), 1);
     // a2 is beyond f's arity: not tagged argument.
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::T1, Reg::A2, Reg::ZERO), 0, 0, Some(0)), false, true, None);
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::T1, Reg::A2, Reg::ZERO), 0, 0, Some(0)),
+        false,
+        true,
+        None,
+    );
     assert_eq!(cat_count(&la, LocalCat::Argument), 1);
     // FuncInternal: the jal itself plus the a2 use.
     assert_eq!(cat_count(&la, LocalCat::FuncInternal), 2);
@@ -161,7 +178,12 @@ fn return_value_tags_after_return() {
     let mut la = LocalAnalysis::new(&image());
     la.observe(&call(F_ENTRY, abi::STACK_TOP), false, true, None);
     la.observe(&ret(), false, true, None);
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::T0, Reg::V0, Reg::ZERO), 1, 0, Some(1)), false, true, None);
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::T0, Reg::V0, Reg::ZERO), 1, 0, Some(1)),
+        false,
+        true,
+        None,
+    );
     assert_eq!(cat_count(&la, LocalCat::ReturnValue), 1);
 }
 
@@ -170,7 +192,12 @@ fn spills_preserve_provenance() {
     let mut la = LocalAnalysis::new(&image());
     la.observe(&call(F_ENTRY, abi::STACK_TOP), false, true, None);
     // Write a0's tag into t0 first (argument), then spill t0 and reload.
-    la.observe(&ev(Insn::alu(AluOp::Add, Reg::T0, Reg::A0, Reg::ZERO), 5, 0, Some(5)), false, true, None);
+    la.observe(
+        &ev(Insn::alu(AluOp::Add, Reg::T0, Reg::A0, Reg::ZERO), 5, 0, Some(5)),
+        false,
+        true,
+        None,
+    );
     let slot = abi::STACK_TOP - 40;
     la.observe(&store(Reg::T0, Reg::SP, slot, 5), false, true, Some(Region::Stack));
     la.observe(&load(Reg::T3, Reg::SP, slot, 5), false, true, Some(Region::Stack));

@@ -197,9 +197,8 @@ pub fn analyze(
     let mut outcome = RunOutcome::MaxedOut;
     if cfg.skip > 0 {
         outcome = machine.run(cfg.skip, |ev| {
-            let region = ev.mem.map(|m| {
-                instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk)
-            });
+            let region =
+                ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
             global.observe(ev, false, false);
             function.observe(ev, false, region);
             local.observe(ev, false, false, region);
@@ -209,9 +208,8 @@ pub fn analyze(
     // Measurement window.
     if machine.exit_code().is_none() {
         outcome = machine.run(cfg.window, |ev| {
-            let region = ev.mem.map(|m| {
-                instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk)
-            });
+            let region =
+                ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
             let repeated = tracker.observe(ev);
             global.observe(ev, repeated, true);
             function.observe(ev, true, region);
@@ -223,12 +221,8 @@ pub fn analyze(
         })?;
     }
 
-    let static_coverage = tracker
-        .static_stats()
-        .iter()
-        .filter(|s| s.repeated > 0)
-        .map(|s| s.repeated)
-        .collect();
+    let static_coverage =
+        tracker.static_stats().iter().filter(|s| s.repeated > 0).map(|s| s.repeated).collect();
     let instance_coverage = Coverage::new(tracker.instance_repeat_counts());
     let (prologue_top, prologue_coverage) = local.prologue_report(cfg.top_k);
 
@@ -261,6 +255,92 @@ pub fn analyze(
         predict: *predict.stats(),
         stride: *stride.stats(),
     })
+}
+
+/// One unit of work for [`analyze_many`]: a built image plus its input
+/// stream.
+#[derive(Debug)]
+pub struct AnalysisJob<'a> {
+    /// The compiled workload image.
+    pub image: &'a Image,
+    /// The workload's input stream (consumed by the run).
+    pub input: Vec<u8>,
+}
+
+/// Runs [`analyze`] over many workloads on a pool of scoped threads.
+///
+/// Results come back **in job order**, regardless of which thread
+/// finished first — combined with the analyses' internal determinism
+/// (fixed-seed hashing, no global state) this makes the merged output
+/// bit-identical for every `threads` value, including 1.
+///
+/// `threads` is clamped to `[1, jobs.len()]`; pass
+/// [`default_parallelism`] for "use the machine".
+///
+/// # Errors
+///
+/// Each slot carries its own simulator outcome; one trapped workload
+/// does not poison the others.
+pub fn analyze_many(
+    jobs: Vec<AnalysisJob<'_>>,
+    cfg: &AnalysisConfig,
+    threads: usize,
+) -> Vec<Result<WorkloadReport, SimError>> {
+    parallel_map(jobs, threads, |job| analyze(job.image, job.input, cfg))
+}
+
+/// The number of worker threads [`analyze_many`] should default to: the
+/// machine's available parallelism, or 1 if that cannot be determined.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel map over owned items using scoped threads.
+///
+/// Items are claimed from a shared atomic cursor, so long and short jobs
+/// balance across workers; each result lands in its item's original
+/// slot, which is what makes downstream iteration deterministic.
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items move to whichever worker claims their index; results are
+    // written back under a short-lived lock (contention is negligible —
+    // one lock per *workload*, not per instruction).
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("each index claimed once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
 }
 
 /// The paper's §3 steady-state verification: runs the overall local
@@ -367,5 +447,34 @@ mod tests {
         let cfg = AnalysisConfig { skip: 2000, window: 4000, ..AnalysisConfig::default() };
         let dev = steady_state_check(&image, Vec::new(), &cfg, 4).unwrap();
         assert!(dev < 0.15, "deviation {dev}");
+    }
+
+    #[test]
+    fn analyze_many_matches_serial_for_every_thread_count() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let serial: Vec<u64> =
+            (0..4).map(|_| analyze(&image, Vec::new(), &cfg).unwrap().dynamic_repeated).collect();
+        for threads in [1, 2, 7] {
+            let jobs: Vec<AnalysisJob<'_>> =
+                (0..4).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect();
+            let parallel: Vec<u64> = analyze_many(jobs, &cfg, threads)
+                .into_iter()
+                .map(|r| r.unwrap().dynamic_repeated)
+                .collect();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        // Later items finish first (they sleep less); results must still
+        // come back in input order.
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map(items, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (16 - i)));
+            i * i
+        });
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
     }
 }

@@ -8,9 +8,9 @@
 //! hit rates on the same trace quantifies the paper's point that
 //! repetition characteristics should inform both mechanisms.
 
-use std::collections::HashMap;
-
 use instrep_sim::Event;
+
+use crate::fxhash::FxHashMap;
 
 /// Statistics from the predictor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,7 +52,7 @@ impl PredictStats {
 /// last-value predictor, the cleanest comparison against Table 10.
 #[derive(Debug, Default)]
 pub struct LastValuePredictor {
-    last: HashMap<u32, u32>,
+    last: FxHashMap<u32, u32>,
     stats: PredictStats,
 }
 
@@ -119,7 +119,7 @@ impl StrideStats {
 pub struct StridePredictor {
     /// Per static instruction: (last value, confirmed stride, candidate
     /// stride).
-    table: HashMap<u32, (u32, u32, u32)>,
+    table: FxHashMap<u32, (u32, u32, u32)>,
     stats: StrideStats,
 }
 
@@ -219,7 +219,7 @@ mod tests {
         // stride, after which every value hits.
         let mut hits = 0;
         for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
-            hits += u32::from(p.observe(&ev(0, i as u32, Some(v))));
+            hits += u32::from(p.observe(&ev(0, i, Some(v))));
         }
         // First value is cold; second has stride 0; third confirms the
         // candidate stride; values from the fourth onward all hit.
@@ -228,7 +228,7 @@ mod tests {
         let mut lvp = LastValuePredictor::new();
         let mut lvp_hits = 0;
         for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
-            lvp_hits += u32::from(lvp.observe(&ev(0, i as u32, Some(v)), false));
+            lvp_hits += u32::from(lvp.observe(&ev(0, i, Some(v)), false));
         }
         assert_eq!(lvp_hits, 0);
     }

@@ -84,8 +84,7 @@ pub fn table2(reports: &[Named<'_>]) -> String {
     let _ = writeln!(s, "{:<12}{:>14}{:>14}", "bench", "count", "avg repeats");
     let _ = writeln!(s, "{}", "-".repeat(40));
     for (name, r) in reports {
-        let _ =
-            writeln!(s, "{:<12}{:>14}{:>14.0}", name, r.unique_repeatable, r.avg_repeats);
+        let _ = writeln!(s, "{:<12}{:>14}{:>14.0}", name, r.unique_repeatable, r.avg_repeats);
     }
     s
 }
@@ -212,13 +211,7 @@ pub fn table8(reports: &[Named<'_>]) -> String {
     let _ = writeln!(s, "{:<12}{:>16}{:>24}", "bench", "% of all calls", "% of all-arg-rep calls");
     let _ = writeln!(s, "{}", "-".repeat(52));
     for (name, r) in reports {
-        let _ = writeln!(
-            s,
-            "{:<12}{:>16}{:>24}",
-            name,
-            pct(r.pure_rate),
-            pct(r.pure_all_arg_rate)
-        );
+        let _ = writeln!(s, "{:<12}{:>16}{:>24}", name, pct(r.pure_rate), pct(r.pure_all_arg_rate));
     }
     s
 }
@@ -300,9 +293,7 @@ pub fn table10(reports: &[Named<'_>]) -> String {
 pub fn ext_classes(reports: &[Named<'_>]) -> String {
     let names: Vec<&str> = reports.iter().map(|(n, _)| *n).collect();
     let mut s = String::new();
-    for (section, f) in
-        [("share of dynamic instructions", 0), ("propensity to repeat", 1)]
-    {
+    for (section, f) in [("share of dynamic instructions", 0), ("propensity to repeat", 1)] {
         s.push_str(&header(
             &format!("Extension — instruction classes ({section})"),
             &names,

@@ -154,7 +154,8 @@ impl ReuseBuffer {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("ways is non-empty");
-        *victim = Entry { valid: true, pc: ev.pc, in1: ev.in1, in2: ev.in2, outcome, lru: self.clock };
+        *victim =
+            Entry { valid: true, pc: ev.pc, in1: ev.in1, in2: ev.in2, outcome, lru: self.clock };
         false
     }
 
@@ -220,8 +221,8 @@ mod tests {
         // Insert a third; evicts pc 0x40_0004 (the LRU way).
         b.observe(&ev(0x40_0008, 3, 3, 3), false);
         assert!(!b.observe(&ev(0x40_0004, 2, 2, 2), true)); // miss: was evicted
-        // That miss re-inserted pc 0x40_0004 over the now-LRU pc 0x40_0000;
-        // pc 0x40_0008 must still be resident.
+                                                            // That miss re-inserted pc 0x40_0004 over the now-LRU pc 0x40_0000;
+                                                            // pc 0x40_0008 must still be resident.
         assert!(b.observe(&ev(0x40_0008, 3, 3, 3), true));
     }
 

@@ -11,9 +11,9 @@
 //! that has been repeated at least once; the first occurrence of an
 //! instance is never itself a repetition.
 
-use std::collections::HashMap;
-
 use instrep_sim::Event;
+
+use crate::fxhash::FxHashMap;
 
 /// Configuration for [`RepetitionTracker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ type InstanceKey = (u32, u32, u32);
 struct StaticEntry {
     /// Buffered unique instances and how many times each was *repeated*
     /// (count excludes the first occurrence).
-    instances: HashMap<InstanceKey, u64>,
+    instances: FxHashMap<InstanceKey, u64>,
     /// Dynamic executions observed.
     exec: u64,
     /// Dynamic executions classified repeated.
@@ -143,10 +143,7 @@ impl RepetitionTracker {
     /// Total unique repeatable instances across all static instructions
     /// (paper Table 2, *Count*).
     pub fn unique_repeatable_instances(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| e.instances.values().filter(|&&c| c > 0).count() as u64)
-            .sum()
+        self.entries.iter().map(|e| e.instances.values().filter(|&&c| c > 0).count() as u64).sum()
     }
 
     /// Average number of repeats per unique repeatable instance (paper
@@ -247,8 +244,7 @@ mod tests {
         // I5, I6, I7 => 2 unique repeatable instances, 4 repetitions.
         let mut t = RepetitionTracker::new(TrackerConfig::default(), 1);
         let seq = [(10, 20, 30), (1, 2, 3), (1, 2, 3), (4, 5, 9), (4, 5, 9), (4, 5, 9), (4, 5, 9)];
-        let repeated: Vec<bool> =
-            seq.iter().map(|&(a, b, c)| t.observe(&ev(0, a, b, c))).collect();
+        let repeated: Vec<bool> = seq.iter().map(|&(a, b, c)| t.observe(&ev(0, a, b, c))).collect();
         assert_eq!(repeated, [false, false, true, false, true, true, true]);
         assert_eq!(t.dynamic_total(), 7);
         assert_eq!(t.dynamic_repeated(), 4);

@@ -1,3 +1,6 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests checking the analyses against naive reference models.
 
 use std::collections::{HashMap, HashSet};

@@ -111,10 +111,7 @@ fn r(op: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u32, funct: u32) -> u32 {
 }
 
 fn i(op: u32, rs: Reg, rt: Reg, imm: u32) -> u32 {
-    (op << 26)
-        | (u32::from(rs.number()) << 21)
-        | (u32::from(rt.number()) << 16)
-        | (imm & 0xffff)
+    (op << 26) | (u32::from(rs.number()) << 21) | (u32::from(rt.number()) << 16) | (imm & 0xffff)
 }
 
 /// Encodes an instruction to its 32-bit binary form.

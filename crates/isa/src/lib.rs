@@ -44,7 +44,7 @@ pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use insn::Insn;
 pub use op::{AluOp, BranchOp, ImmOp, MemOp, MemWidth, ShiftOp};
-pub use reg::{Reg, ParseRegError};
+pub use reg::{ParseRegError, Reg};
 
 /// Size of one instruction in bytes. All instructions are fixed-width.
 pub const INSN_BYTES: u32 = 4;

@@ -151,14 +151,8 @@ pub enum ImmOp {
 
 impl ImmOp {
     /// All immediate operations, for exhaustive testing.
-    pub const ALL: [ImmOp; 6] = [
-        ImmOp::Addi,
-        ImmOp::Slti,
-        ImmOp::Sltiu,
-        ImmOp::Andi,
-        ImmOp::Ori,
-        ImmOp::Xori,
-    ];
+    pub const ALL: [ImmOp; 6] =
+        [ImmOp::Addi, ImmOp::Slti, ImmOp::Sltiu, ImmOp::Andi, ImmOp::Ori, ImmOp::Xori];
 
     /// Assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
@@ -425,10 +419,7 @@ mod tests {
         assert_eq!(AluOp::Rem.apply((-7i32) as u32, 2), Some((-1i32) as u32));
         assert_eq!(AluOp::Divu.apply((-7i32) as u32, 2), Some(0x7fff_fffc));
         // i32::MIN / -1 must not panic.
-        assert_eq!(
-            AluOp::Div.apply(0x8000_0000, u32::MAX),
-            Some(0x8000_0000)
-        );
+        assert_eq!(AluOp::Div.apply(0x8000_0000, u32::MAX), Some(0x8000_0000));
         assert_eq!(AluOp::Rem.apply(0x8000_0000, u32::MAX), Some(0));
     }
 

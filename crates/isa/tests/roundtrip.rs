@@ -1,9 +1,10 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests: every constructible instruction encodes to a word that
 //! decodes back to itself, and decodable words re-encode to themselves.
 
-use instrep_isa::{
-    decode, encode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp,
-};
+use instrep_isa::{decode, encode, AluOp, BranchOp, ImmOp, Insn, MemOp, MemWidth, Reg, ShiftOp};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {

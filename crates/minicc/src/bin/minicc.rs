@@ -18,9 +18,7 @@ use instrep_minicc::{build, check, compile};
 use instrep_sim::{Machine, RunOutcome};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: minicc <run|emit-asm|disasm|check> FILE.c [--input FILE] [--max-insns N]"
-    );
+    eprintln!("usage: minicc <run|emit-asm|disasm|check> FILE.c [--input FILE] [--max-insns N]");
     ExitCode::FAILURE
 }
 
@@ -114,10 +112,7 @@ fn main() -> ExitCode {
             match machine.run(max_insns, |_| {}) {
                 Ok(RunOutcome::Exited(code)) => {
                     let _ = std::io::stdout().write_all(machine.output());
-                    eprintln!(
-                        "[{} instructions, exit {code}]",
-                        machine.icount()
-                    );
+                    eprintln!("[{} instructions, exit {code}]", machine.icount());
                     ExitCode::from((code & 0xff) as u8)
                 }
                 Ok(RunOutcome::MaxedOut) => {

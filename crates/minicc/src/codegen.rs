@@ -26,30 +26,11 @@ fn err(line: u32, msg: impl Into<String>) -> CompileError {
 }
 
 /// Temporaries used as the expression evaluation stack, in order.
-const T_REGS: [Reg; 10] = [
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::T3,
-    Reg::T4,
-    Reg::T5,
-    Reg::T6,
-    Reg::T7,
-    Reg::T8,
-    Reg::T9,
-];
+const T_REGS: [Reg; 10] =
+    [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7, Reg::T8, Reg::T9];
 
 /// Callee-saved registers available for scalar locals.
-const S_REGS: [Reg; 8] = [
-    Reg::S0,
-    Reg::S1,
-    Reg::S2,
-    Reg::S3,
-    Reg::S4,
-    Reg::S5,
-    Reg::S6,
-    Reg::S7,
-];
+const S_REGS: [Reg; 8] = [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7];
 
 /// Bytes reserved in every non-leaf frame for spilling live temporaries
 /// around calls (one word per entry of the evaluation stack).
@@ -152,7 +133,11 @@ struct FnGen<'a> {
 }
 
 impl<'a> FnGen<'a> {
-    fn new(program: &'a Program, func: &'a Func, out: &'a mut String) -> Result<Self, CompileError> {
+    fn new(
+        program: &'a Program,
+        func: &'a Func,
+        out: &'a mut String,
+    ) -> Result<Self, CompileError> {
         // Pre-pass: leaf detection and maximum stack-argument count.
         let mut max_args = 0usize;
         let mut has_call = false;
@@ -556,9 +541,7 @@ impl<'a> FnGen<'a> {
                                     self.emit(format!("lw {r}, {off}($sp)"));
                                 }
                             }
-                            (Home::Stack(off), false) => {
-                                self.emit(format!("addi {r}, $sp, {off}"))
-                            }
+                            (Home::Stack(off), false) => self.emit(format!("addi {r}, $sp, {off}")),
                         }
                     }
                     Storage::Global => {
@@ -626,9 +609,7 @@ impl<'a> FnGen<'a> {
                             self.emit(format!("addi {r}, $sp, {off}"));
                             Ok(())
                         }
-                        Home::SReg(_) => {
-                            Err(err(line, "address of register local (sema bug)"))
-                        }
+                        Home::SReg(_) => Err(err(line, "address of register local (sema bug)")),
                     },
                     Storage::Global => {
                         let r = self.push(line)?;

@@ -373,10 +373,7 @@ mod tests {
             "#),
             3
         );
-        assert_eq!(
-            run("int main() { int a[2]; a[0] = 3; a[0] *= 7; return a[0]; }"),
-            21
-        );
+        assert_eq!(run("int main() { int a[2]; a[0] = 3; a[0] *= 7; return a[0]; }"), 21);
     }
 
     #[test]
@@ -425,8 +422,8 @@ mod tests {
 
     #[test]
     fn compile_produces_func_metadata() {
-        let image = build("int helper(int x) { return x; } int main() { return helper(3); }")
-            .unwrap();
+        let image =
+            build("int helper(int x) { return x; } int main() { return helper(3); }").unwrap();
         let names: Vec<&str> = image.funcs.iter().map(|f| f.name.as_str()).collect();
         assert!(names.contains(&"main"));
         assert!(names.contains(&"helper"));
@@ -454,10 +451,7 @@ mod tests {
         assert_eq!(run("int main() { return sizeof(char); }"), 1);
         assert_eq!(run("int main() { return sizeof(int*); }"), 4);
         assert_eq!(run("int main() { return sizeof(int[10]); }"), 40);
-        assert_eq!(
-            run("struct p { int a; char b; }; int main() { return sizeof(struct p); }"),
-            8
-        );
+        assert_eq!(run("struct p { int a; char b; }; int main() { return sizeof(struct p); }"), 8);
     }
 }
 

@@ -450,11 +450,8 @@ impl Parser {
                 if ty == Type::Void {
                     return Err(self.err("local cannot be void"));
                 }
-                let init = if self.eat_punct(Punct::Assign) {
-                    Some(self.parse_expr()?)
-                } else {
-                    None
-                };
+                let init =
+                    if self.eat_punct(Punct::Assign) { Some(self.parse_expr()?) } else { None };
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Decl { name, ty, init, local: usize::MAX, line })
             }
@@ -586,7 +583,10 @@ impl Parser {
                 TokenKind::Punct(Punct::Dot) => {
                     self.bump();
                     let field = self.expect_ident()?;
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field, arrow: false }, line);
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field, arrow: false },
+                        line,
+                    );
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.bump();
@@ -654,9 +654,7 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 Ok(e)
             }
-            other => {
-                Err(CompileError::new(line, format!("expected expression, found {other}")))
-            }
+            other => Err(CompileError::new(line, format!("expected expression, found {other}"))),
         }
     }
 }
@@ -733,10 +731,7 @@ mod tests {
     fn postfix_chains() {
         let p = parse_src("int f(int* p) { return p[1] + p[2]; }").unwrap();
         assert_eq!(p.funcs[0].arity, 1);
-        let p2 = parse_src(
-            "struct s { int v; }; int f(struct s* q) { return q->v; }",
-        )
-        .unwrap();
+        let p2 = parse_src("struct s { int v; }; int f(struct s* q) { return q->v; }").unwrap();
         let Stmt::Return { value: Some(e), .. } = &p2.funcs[0].body[0] else { panic!() };
         assert!(matches!(&e.kind, ExprKind::Member { arrow: true, .. }));
     }
@@ -790,7 +785,10 @@ mod tests {
         assert!(parse_src("int f() { 1 +; }").is_err());
         assert!(parse_src("void x;").is_err());
         assert!(parse_src("int f() {").is_err()); // unterminated block
-        assert!(parse_src("int f(int a, int b, int c, int d, int e, int g, int h, int i, int j) { return 0; }").is_err());
+        assert!(parse_src(
+            "int f(int a, int b, int c, int d, int e, int g, int h, int i, int j) { return 0; }"
+        )
+        .is_err());
         assert!(parse_src("int t[0];").is_err());
         assert!(parse_src("int g = {1};").is_err()); // brace init on scalar
         assert!(parse_src("int f() { return x(1,; }").is_err());

@@ -230,28 +230,24 @@ impl Checker<'_> {
                 self.loop_depth -= 1;
                 Ok(())
             }
-            Stmt::Return { value, line } => {
-                match (value, &self.func_ret) {
-                    (None, Type::Void) => Ok(()),
-                    (None, ret) => {
-                        Err(err(*line, format!("missing return value (function returns {ret})")))
-                    }
-                    (Some(_), Type::Void) => {
-                        Err(err(*line, "void function cannot return a value"))
-                    }
-                    (Some(e), _) => {
-                        self.expr(e)?;
-                        let ret = self.func_ret.clone();
-                        if !ret.accepts(&e.ty) {
-                            return Err(err(
-                                *line,
-                                format!("cannot return `{}` from function returning `{ret}`", e.ty),
-                            ));
-                        }
-                        Ok(())
-                    }
+            Stmt::Return { value, line } => match (value, &self.func_ret) {
+                (None, Type::Void) => Ok(()),
+                (None, ret) => {
+                    Err(err(*line, format!("missing return value (function returns {ret})")))
                 }
-            }
+                (Some(_), Type::Void) => Err(err(*line, "void function cannot return a value")),
+                (Some(e), _) => {
+                    self.expr(e)?;
+                    let ret = self.func_ret.clone();
+                    if !ret.accepts(&e.ty) {
+                        return Err(err(
+                            *line,
+                            format!("cannot return `{}` from function returning `{ret}`", e.ty),
+                        ));
+                    }
+                    Ok(())
+                }
+            },
             Stmt::Break { line } => {
                 if self.loop_depth == 0 {
                     return Err(err(*line, "`break` outside a loop"));
@@ -409,10 +405,7 @@ impl Checker<'_> {
                     return Err(err(line, format!("cannot assign to `{}`", lhs.ty)));
                 }
                 if !lhs.ty.accepts(&rhs.ty) {
-                    return Err(err(
-                        line,
-                        format!("cannot assign `{}` to `{}`", rhs.ty, lhs.ty),
-                    ));
+                    return Err(err(line, format!("cannot assign `{}` to `{}`", rhs.ty, lhs.ty)));
                 }
                 lhs.ty.clone()
             }
@@ -482,11 +475,9 @@ impl Checker<'_> {
                     }
                 };
                 let sdef = &self.structs[sid.0];
-                let f = sdef
-                    .field(field)
-                    .ok_or_else(|| {
-                        err(line, format!("no field `{field}` in struct `{}`", sdef.name))
-                    })?;
+                let f = sdef.field(field).ok_or_else(|| {
+                    err(line, format!("no field `{field}` in struct `{}`", sdef.name))
+                })?;
                 f.ty.clone()
             }
         };
@@ -599,7 +590,8 @@ mod tests {
         assert!(check("int f() { int a; int a; return 0; }").is_err());
         assert!(check("int t[2] = {1,2,3};").is_err());
         assert!(check("char s[2] = \"abc\";").is_err());
-        assert!(check("struct s {int v;}; int f() { struct s a; struct s b; a = b; return 0; }").is_err());
+        assert!(check("struct s {int v;}; int f() { struct s a; struct s b; a = b; return 0; }")
+            .is_err());
     }
 
     #[test]

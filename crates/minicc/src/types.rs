@@ -170,11 +170,7 @@ mod tests {
     fn struct_layout_pads_fields() {
         let s = StructDef::layout(
             "s".into(),
-            vec![
-                ("c".into(), Type::Char),
-                ("i".into(), Type::Int),
-                ("c2".into(), Type::Char),
-            ],
+            vec![("c".into(), Type::Char), ("i".into(), Type::Int), ("c2".into(), Type::Char)],
             &[],
         );
         assert_eq!(s.field("c").unwrap().offset, 0);

@@ -1,3 +1,6 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Differential property tests: random MiniC expressions compiled and
 //! executed on the simulator must agree with a Rust reference evaluator
 //! using two's-complement semantics.
@@ -104,10 +107,7 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
         (0usize..3).prop_map(Expr::Var),
         // Mix small and extreme constants.
-        prop_oneof![
-            (-64i32..64).prop_map(Expr::Const),
-            any::<i32>().prop_map(Expr::Const),
-        ],
+        prop_oneof![(-64i32..64).prop_map(Expr::Const), any::<i32>().prop_map(Expr::Const),],
     ];
     if depth == 0 {
         return leaf.boxed();

@@ -1,3 +1,6 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Differential property tests for statements: random programs built
 //! from assignments, `if`/`else`, bounded `for` loops, and `while` loops
 //! with decreasing counters must compute the same variable state as a
@@ -109,9 +112,8 @@ fn exec_stmts(stmts: &[S], vars: &mut [i32; NVARS], in_loop: bool) -> u8 {
             }
             S::For(k, body) => {
                 'iter: for _ in 0..*k {
-                    match exec_stmts(body, vars, true) {
-                        1 => break 'iter,
-                        _ => {}
+                    if exec_stmts(body, vars, true) == 1 {
+                        break 'iter;
                     }
                 }
             }
@@ -131,10 +133,7 @@ fn exec_stmts(stmts: &[S], vars: &mut [i32; NVARS], in_loop: bool) -> u8 {
 }
 
 fn arb_e(depth: u32) -> BoxedStrategy<E> {
-    let leaf = prop_oneof![
-        (0usize..NVARS).prop_map(E::Var),
-        (-50i32..50).prop_map(E::Const),
-    ];
+    let leaf = prop_oneof![(0usize..NVARS).prop_map(E::Var), (-50i32..50).prop_map(E::Const),];
     if depth == 0 {
         return leaf.boxed();
     }
@@ -165,9 +164,8 @@ fn run_program(stmts: &[S], init: [i32; NVARS]) -> [i32; NVARS] {
     let mut body = String::new();
     let mut loop_id = 0;
     emit_stmts(stmts, 0, &mut body, &mut loop_id);
-    let decls: String = (0..NVARS)
-        .map(|i| format!("    int v{i} = {};\n", E::Const(init[i]).to_c()))
-        .collect();
+    let decls: String =
+        (0..NVARS).map(|i| format!("    int v{i} = {};\n", E::Const(init[i]).to_c())).collect();
     let dumps: String = (0..NVARS)
         .map(|i| {
             format!(

@@ -4,22 +4,29 @@
 //!
 //! ```text
 //! instrep-repro [--scale tiny|small|full] [--seed N] [--only BENCH]
-//!               [--table N]... [--figure N]... [--steady-state] [--all]
+//!               [--jobs N] [--table N]... [--figure N]... [--steady-state]
+//!               [--all]
 //! ```
 //!
 //! With no table/figure selection, everything is printed. One simulation
-//! pass per workload feeds all tables.
+//! pass per workload feeds all tables. Workloads run on `--jobs` threads
+//! (default: available parallelism); output is identical for every jobs
+//! count because reports merge in fixed workload order.
 
 use std::process::ExitCode;
 
 use instrep_core::report::{self, Named};
-use instrep_core::{analyze, steady_state_check, AnalysisConfig, WorkloadReport};
+use instrep_core::{
+    analyze, analyze_many, default_parallelism, steady_state_check, AnalysisConfig, AnalysisJob,
+    WorkloadReport,
+};
 use instrep_workloads::{all, Scale, Workload};
 
 struct Options {
     scale: Scale,
     seed: u64,
     only: Option<String>,
+    jobs: usize,
     tables: Vec<u32>,
     figures: Vec<u32>,
     steady: bool,
@@ -32,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         scale: Scale::Small,
         seed: 1998,
         only: None,
+        jobs: default_parallelism(),
         tables: Vec::new(),
         figures: Vec::new(),
         steady: false,
@@ -57,6 +65,13 @@ fn parse_args() -> Result<Options, String> {
             "--only" => {
                 opts.only = Some(args.next().ok_or("--only needs a benchmark name")?);
             }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a thread count")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--table" => {
                 let v = args.next().ok_or("--table needs a number")?;
                 opts.tables.push(v.parse().map_err(|_| format!("bad table `{v}`"))?);
@@ -81,8 +96,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: instrep-repro [--scale tiny|small|full] [--seed N] \
-                     [--only BENCH] [--table N]... [--figure N]... [--steady-state] \
-                     [--input-check] [--csv PREFIX] [--list]"
+                     [--only BENCH] [--jobs N] [--table N]... [--figure N]... \
+                     [--steady-state] [--input-check] [--csv PREFIX] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -114,39 +129,45 @@ fn main() -> ExitCode {
 
     let (skip, window) = windows(opts.scale);
     let cfg = AnalysisConfig { skip, window, ..AnalysisConfig::default() };
-    let workloads: Vec<Workload> = all()
-        .into_iter()
-        .filter(|w| opts.only.as_deref().is_none_or(|o| o == w.name))
-        .collect();
+    let workloads: Vec<Workload> =
+        all().into_iter().filter(|w| opts.only.as_deref().is_none_or(|o| o == w.name)).collect();
     if workloads.is_empty() {
         eprintln!("error: no benchmark matches --only filter");
         return ExitCode::FAILURE;
     }
 
+    let threads = opts.jobs.clamp(1, workloads.len());
     eprintln!(
-        "running {} workload(s) at {:?} scale (skip {skip}, window {window})...",
+        "running {} workload(s) at {:?} scale (skip {skip}, window {window}, \
+         {threads} thread(s))...",
         workloads.len(),
         opts.scale
     );
-    let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
+    let start = std::time::Instant::now();
+    let mut images = Vec::with_capacity(workloads.len());
     for wl in &workloads {
-        let start = std::time::Instant::now();
-        let image = match wl.build() {
-            Ok(i) => i,
+        match wl.build() {
+            Ok(i) => images.push(i),
             Err(e) => {
                 eprintln!("error: building {} failed: {e}", wl.name);
                 return ExitCode::FAILURE;
             }
-        };
-        let input = wl.input(opts.scale, opts.seed);
-        match analyze(&image, input, &cfg) {
+        }
+    }
+    let jobs: Vec<AnalysisJob<'_>> = workloads
+        .iter()
+        .zip(&images)
+        .map(|(wl, image)| AnalysisJob { image, input: wl.input(opts.scale, opts.seed) })
+        .collect();
+    let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
+    for (wl, result) in workloads.iter().zip(analyze_many(jobs, &cfg, threads)) {
+        match result {
             Ok(r) => {
                 eprintln!(
-                    "  {:<10} {:>12} insns measured, {:>5.1}% repeated   ({} ms)",
+                    "  {:<10} {:>12} insns measured, {:>5.1}% repeated",
                     wl.name,
                     r.dynamic_total,
                     r.repetition_rate() * 100.0,
-                    start.elapsed().as_millis()
                 );
                 reports.push((wl.name.to_string(), r));
             }
@@ -156,6 +177,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    eprintln!("  analysis took {} ms on {threads} thread(s)", start.elapsed().as_millis());
     let named: Vec<Named<'_>> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
 
     let everything =
@@ -222,14 +244,11 @@ fn main() -> ExitCode {
     if opts.input_check || everything {
         // The paper's input-sensitivity check (§3): a second input set
         // must show the same trends.
-        println!(
-            "Input-sensitivity check (paper §3): repetition rate with a second input set"
-        );
+        println!("Input-sensitivity check (paper §3): repetition rate with a second input set");
         println!("{:<12}{:>14}{:>14}{:>10}", "bench", "seed A", "seed B", "delta");
-        for (wl, (_, r)) in workloads.iter().zip(&reports) {
-            let image = wl.build().expect("already built once");
+        for ((wl, image), (_, r)) in workloads.iter().zip(&images).zip(&reports) {
             let alt = wl.input(opts.scale, opts.seed.wrapping_add(7919));
-            match analyze(&image, alt, &cfg) {
+            match analyze(image, alt, &cfg) {
                 Ok(r2) => {
                     let a = r.repetition_rate() * 100.0;
                     let b = r2.repetition_rate() * 100.0;
@@ -243,10 +262,9 @@ fn main() -> ExitCode {
 
     if opts.steady || everything {
         println!("Steady-state check (paper §3): max local-category share deviation, window vs 3x window");
-        for wl in &workloads {
-            let image = wl.build().expect("already built once");
+        for (wl, image) in workloads.iter().zip(&images) {
             let input = wl.input(opts.scale, opts.seed);
-            match steady_state_check(&image, input, &cfg, 3) {
+            match steady_state_check(image, input, &cfg, 3) {
                 Ok(dev) => println!("    {:<10} {:>6.2}%", wl.name, dev * 100.0),
                 Err(e) => println!("    {:<10} trapped: {e}", wl.name),
             }

@@ -1,0 +1,67 @@
+//! Smoke tests for the `instrep-repro` command-line interface: argument
+//! errors must exit non-zero with a clear message, and a real (tiny,
+//! parallel) run must succeed.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_instrep-repro"))
+        .args(args)
+        .output()
+        .expect("spawn instrep-repro")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_scale_fails_with_message() {
+    let out = run(&["--scale", "galactic"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown scale `galactic`"), "stderr: {err}");
+}
+
+#[test]
+fn missing_seed_value_fails_with_message() {
+    let out = run(&["--seed"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--seed needs a value"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_only_benchmark_fails_with_message() {
+    let out = run(&["--only", "no-such-bench"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("no benchmark matches --only filter"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_flag_fails_with_message() {
+    let out = run(&["--frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown argument `--frobnicate`"), "stderr: {err}");
+}
+
+#[test]
+fn zero_jobs_fails_with_message() {
+    let out = run(&["--jobs", "0"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--jobs must be at least 1"), "stderr: {err}");
+}
+
+#[test]
+fn tiny_parallel_table_run_succeeds() {
+    let out = run(&["--scale", "tiny", "--table", "1", "--jobs", "2"]);
+    let err = stderr_of(&out);
+    assert!(out.status.success(), "stderr: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "stdout: {stdout}");
+    // Table-only selection must not drag in the other reports.
+    assert!(!stdout.contains("Table 2"), "stdout: {stdout}");
+}

@@ -60,10 +60,8 @@ impl Machine {
             .iter()
             .enumerate()
             .map(|(i, &w)| {
-                decode(w).map_err(|_| SimError::BadText {
-                    pc: abi::TEXT_BASE + (i as u32) * 4,
-                    word: w,
-                })
+                decode(w)
+                    .map_err(|_| SimError::BadText { pc: abi::TEXT_BASE + (i as u32) * 4, word: w })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut mem = Memory::new();
@@ -259,7 +257,12 @@ impl Machine {
                     let ra = pc.wrapping_add(4);
                     self.set_reg(Reg::RA, ra);
                     out = Some(ra);
-                    ctrl = Some(CtrlEffect::Call { target, args: self.peek_args(), sp: self.reg(Reg::SP), ra });
+                    ctrl = Some(CtrlEffect::Call {
+                        target,
+                        args: self.peek_args(),
+                        sp: self.reg(Reg::SP),
+                        ra,
+                    });
                 } else {
                     ctrl = Some(CtrlEffect::Jump { target });
                 }
@@ -341,8 +344,7 @@ impl Machine {
                 let avail = self.input.len() - self.input_pos;
                 let n = len.min(avail);
                 // Borrow juggling: copy out of the input first.
-                let bytes: Vec<u8> =
-                    self.input[self.input_pos..self.input_pos + n].to_vec();
+                let bytes: Vec<u8> = self.input[self.input_pos..self.input_pos + n].to_vec();
                 self.input_pos += n;
                 self.mem.write_bytes(buf, &bytes);
                 n as u32
@@ -575,13 +577,17 @@ mod tests {
 
     #[test]
     fn zero_register_is_immutable() {
-        let (_, out) = run_asm(".text\n__start: li $zero, 5\nmove $a0, $zero\nli $v0, 0\nsyscall\n");
+        let (_, out) =
+            run_asm(".text\n__start: li $zero, 5\nmove $a0, $zero\nli $v0, 0\nsyscall\n");
         assert_eq!(out, RunOutcome::Exited(0));
     }
 
     #[test]
     fn event_fields_for_alu() {
-        let image = assemble(".text\n__start: li $t0, 3\nli $t1, 4\nadd $t2, $t0, $t1\n li $v0,0\nsyscall\n").unwrap();
+        let image = assemble(
+            ".text\n__start: li $t0, 3\nli $t1, 4\nadd $t2, $t0, $t1\n li $v0,0\nsyscall\n",
+        )
+        .unwrap();
         let mut m = Machine::new(&image);
         let mut seen = None;
         m.run(100, |ev| {

@@ -1,3 +1,6 @@
+// Property tests are feature-gated: run with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property test: the paged [`Memory`] agrees with a naive
 //! byte-map reference model under arbitrary interleavings of
 //! byte/half/word stores and loads.

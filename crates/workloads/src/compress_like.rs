@@ -236,7 +236,12 @@ mod tests {
         }
         assert_eq!(decoded, payload, "LZW round-trip mismatch");
         // Compression actually happened on repetitive text.
-        assert!(packed.len() < payload.len(), "no compression: {} vs {}", packed.len(), payload.len());
+        assert!(
+            packed.len() < payload.len(),
+            "no compression: {} vs {}",
+            packed.len(),
+            payload.len()
+        );
     }
 
     #[test]

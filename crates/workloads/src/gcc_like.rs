@@ -14,9 +14,8 @@
 //! and a fold checksum.
 
 use crate::inputs::{rng, InputStream};
+use crate::rng::Rng;
 use crate::{Scale, Workload};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
@@ -24,8 +23,8 @@ pub fn workload() -> Workload {
 }
 
 /// Generates a random well-formed source program.
-pub(crate) fn gen_source(r: &mut StdRng, approx_len: usize) -> Vec<u8> {
-    fn gen_expr(r: &mut StdRng, out: &mut Vec<u8>, depth: u32) {
+pub(crate) fn gen_source(r: &mut Rng, approx_len: usize) -> Vec<u8> {
+    fn gen_expr(r: &mut Rng, out: &mut Vec<u8>, depth: u32) {
         if depth >= 4 || r.gen_bool(0.4) {
             if r.gen_bool(0.5) {
                 out.extend_from_slice(r.gen_range(0..500).to_string().as_bytes());

@@ -13,7 +13,6 @@
 
 use crate::inputs::{rng, InputStream};
 use crate::{Scale, Workload};
-use rand::Rng;
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
@@ -221,7 +220,7 @@ mod tests {
         let (stream, bits, nz) = run(Scale::Tiny, 3);
         assert!(bits > 0 && nz > 0);
         // The packed stream length matches the bit counter.
-        assert_eq!(stream.len(), ((bits as usize) + 7) / 8);
+        assert_eq!(stream.len(), (bits as usize).div_ceil(8));
         // Quantization compresses: far fewer than 64 coefficients per
         // block survive. 32x32 image, 2 passes => 32 block encodings.
         assert!(nz < 32 * 64);

@@ -1,7 +1,6 @@
 //! Seeded input-stream builders shared by the workload modules.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// A little-endian binary input stream under construction.
 #[derive(Debug, Default)]
@@ -32,18 +31,39 @@ impl InputStream {
 }
 
 /// Deterministic RNG for input generation.
-pub(crate) fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Synthetic English-ish text with a bounded vocabulary — the kind of
 /// byte stream `compress`'s `bigtest.in` models: repetitive words with
 /// occasional noise.
-pub(crate) fn pseudo_text(rng: &mut StdRng, len: usize) -> Vec<u8> {
+pub(crate) fn pseudo_text(rng: &mut Rng, len: usize) -> Vec<u8> {
     const VOCAB: [&str; 24] = [
-        "the", "of", "instruction", "repetition", "value", "locality", "program", "dynamic",
-        "static", "cache", "buffer", "reuse", "table", "slice", "global", "argument", "function",
-        "prologue", "epilogue", "memo", "spec", "simulator", "register", "result",
+        "the",
+        "of",
+        "instruction",
+        "repetition",
+        "value",
+        "locality",
+        "program",
+        "dynamic",
+        "static",
+        "cache",
+        "buffer",
+        "reuse",
+        "table",
+        "slice",
+        "global",
+        "argument",
+        "function",
+        "prologue",
+        "epilogue",
+        "memo",
+        "spec",
+        "simulator",
+        "register",
+        "result",
     ];
     let mut out = Vec::with_capacity(len + 16);
     while out.len() < len {
@@ -62,7 +82,7 @@ pub(crate) fn pseudo_text(rng: &mut StdRng, len: usize) -> Vec<u8> {
 
 /// Lowercase pseudo-words, newline separated, drawn from a Zipf-ish
 /// distribution (frequent short words, rarer long ones).
-pub(crate) fn word_list(rng: &mut StdRng, count: usize) -> Vec<u8> {
+pub(crate) fn word_list(rng: &mut Rng, count: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(count * 7);
     for _ in 0..count {
         // Re-use a small set of stems frequently.

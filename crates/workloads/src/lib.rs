@@ -45,6 +45,7 @@ mod inputs;
 pub mod li_like;
 pub mod m88ksim_like;
 pub mod perl_like;
+pub mod rng;
 pub mod vortex_like;
 
 use instrep_asm::Image;
@@ -164,10 +165,7 @@ mod tests {
     #[test]
     fn roster_is_complete_and_ordered() {
         let names: Vec<&str> = all().iter().map(|w| w.name).collect();
-        assert_eq!(
-            names,
-            ["go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc", "compress"]
-        );
+        assert_eq!(names, ["go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc", "compress"]);
         assert!(by_name("go").is_some());
         assert!(by_name("nope").is_none());
     }

@@ -200,8 +200,7 @@ mod tests {
         use instrep_core::{analyze, AnalysisConfig};
         let wl = workload();
         let image = wl.build().unwrap();
-        let report =
-            analyze(&image, wl.input(Scale::Tiny, 0), &AnalysisConfig::default()).unwrap();
+        let report = analyze(&image, wl.input(Scale::Tiny, 0), &AnalysisConfig::default()).unwrap();
         assert!(
             report.repetition_rate() > 0.9,
             "m88ksim-like repetition rate = {}",

@@ -219,9 +219,8 @@ mod tests {
         m.output().chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
-    const VALS: [i32; 26] = [
-        1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
-    ];
+    const VALS: [i32; 26] =
+        [1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10];
 
     fn score(w: &str) -> i32 {
         let s: i32 = w.bytes().map(|c| VALS[(c - b'a') as usize]).sum();

@@ -234,10 +234,8 @@ mod tests {
                 }
             } else {
                 let kind = id & 7;
-                let s: i32 = db
-                    .iter()
-                    .filter(|r| r.1 == kind)
-                    .fold(0i32, |a, r| a.wrapping_add(r.2));
+                let s: i32 =
+                    db.iter().filter(|r| r.1 == kind).fold(0i32, |a, r| a.wrapping_add(r.2));
                 checksum = checksum.wrapping_add(s);
             }
         }

@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     })?;
 
-    let (&hot, &count) =
-        per_func.iter().max_by_key(|(_, &c)| c).ok_or("nothing executed")?;
+    let (&hot, &count) = per_func.iter().max_by_key(|(_, &c)| c).ok_or("nothing executed")?;
     let f = &image.funcs[hot];
     println!(
         "hottest function of `{}`: {} ({} dynamic instructions in the sample)\n",

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(68));
     let mut rows: Vec<_> = funcs.funcs().iter().filter(|f| f.calls > 0).collect();
-    rows.sort_by(|a, b| b.calls.cmp(&a.calls));
+    rows.sort_by_key(|f| std::cmp::Reverse(f.calls));
     for f in rows {
         let all_arg = f.all_args_repeated as f64 / f.calls as f64 * 100.0;
         let pure = f.pure_calls as f64 / f.calls as f64 * 100.0;

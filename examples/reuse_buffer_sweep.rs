@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.set_input(wl.input(Scale::Tiny, 7));
     let trace = Trace::record(&mut machine, 5_000_000)?;
     let mut tracker = RepetitionTracker::new(TrackerConfig::default(), image.text.len());
-    let repeated_flags: Vec<bool> =
-        trace.events().iter().map(|ev| tracker.observe(ev)).collect();
+    let repeated_flags: Vec<bool> = trace.events().iter().map(|ev| tracker.observe(ev)).collect();
     println!(
         "workload {}: {} instructions, {:.1}% repeated\n",
         wl.name,
@@ -35,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tracker.repetition_rate() * 100.0
     );
 
-    println!("{:<10}{:>8}{:>16}{:>22}", "entries", "ways", "% insts reused", "% repetition captured");
+    println!(
+        "{:<10}{:>8}{:>16}{:>22}",
+        "entries", "ways", "% insts reused", "% repetition captured"
+    );
     println!("{}", "-".repeat(56));
     for entries in [256usize, 1024, 4096, 8192, 32768] {
         for ways in [1usize, 4] {
@@ -44,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 buf.observe(ev, *repeated);
             }
             let s = buf.stats();
-            let marker =
-                if entries == 8192 && ways == 4 { "   <- paper Table 10" } else { "" };
+            let marker = if entries == 8192 && ways == 4 { "   <- paper Table 10" } else { "" };
             println!(
                 "{:<10}{:>8}{:>15.1}%{:>21.1}%{}",
                 entries,

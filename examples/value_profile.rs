@@ -16,8 +16,7 @@ use instrep::workloads::{by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "li".to_string());
-    let top_n: usize =
-        std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(15);
+    let top_n: usize = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(15);
     let wl = by_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let image = wl.build()?;
 
@@ -29,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     let mut stats = tracker.static_stats();
-    stats.sort_by(|a, b| b.repeated.cmp(&a.repeated));
+    stats.sort_by_key(|s| std::cmp::Reverse(s.repeated));
 
     println!(
         "workload {}: {} dynamic instructions, {:.1}% repeated",

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate. Mirrors what the tier-1 check runs, plus lints.
+# Everything is offline: the workspace has zero registry dependencies
+# (see third_party/ for the in-tree proptest/criterion shims).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo test --features proptest (property tests, offline)"
+cargo test -q --workspace --offline --features proptest
+
+echo "CI OK"

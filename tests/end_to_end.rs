@@ -181,7 +181,9 @@ fn reports_render_for_real_runs() {
 fn abi_constants_consistent_across_crates() {
     // The gp window the assembler assumes matches the ABI the simulator
     // initializes.
-    let image = instrep::asm::assemble(".data\nx: .word 1\n.text\n__start: lw $t0, x\nli $v0,0\nsyscall\n").unwrap();
+    let image =
+        instrep::asm::assemble(".data\nx: .word 1\n.text\n__start: lw $t0, x\nli $v0,0\nsyscall\n")
+            .unwrap();
     let mut m = Machine::new(&image);
     assert_eq!(m.reg(instrep::isa::Reg::GP), abi::GP_INIT);
     assert_eq!(m.reg(instrep::isa::Reg::SP), abi::STACK_TOP);

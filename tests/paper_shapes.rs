@@ -56,7 +56,10 @@ fn table1_most_instructions_repeat() {
     // compress is at the low end (paper: lowest by a wide margin).
     let compress = reports()["compress"].repetition_rate();
     let min = reports().values().map(|r| r.repetition_rate()).fold(f64::MAX, f64::min);
-    assert!(compress <= min + 0.1, "compress ({compress:.3}) should be near the minimum ({min:.3})");
+    assert!(
+        compress <= min + 0.1,
+        "compress ({compress:.3}) should be near the minimum ({min:.3})"
+    );
 }
 
 #[test]
@@ -124,10 +127,7 @@ fn table3_computation_is_mostly_hardwired() {
         let internals = r.global.overall_share(GlobalTag::Internal)
             + r.global.overall_share(GlobalTag::GlobalInit);
         assert!(internals > 0.35, "{name}: internal+init share {internals:.3}");
-        assert!(
-            r.global.overall_share(GlobalTag::Uninit) < 0.05,
-            "{name}: uninit share too high"
-        );
+        assert!(r.global.overall_share(GlobalTag::Uninit) < 0.05, "{name}: uninit share too high");
     }
     let go_ext = reports()["go"].global.overall_share(GlobalTag::External);
     assert!(go_ext < 0.05, "go external share {go_ext:.3} (paper: 0.0)");
@@ -166,8 +166,8 @@ fn tables5_6_prologue_epilogue_matter() {
     // and symmetric; most repetition falls on argument/global/heap/
     // internal slices.
     for (name, r) in reports() {
-        let pe = r.local.overall_share(LocalCat::Prologue)
-            + r.local.overall_share(LocalCat::Epilogue);
+        let pe =
+            r.local.overall_share(LocalCat::Prologue) + r.local.overall_share(LocalCat::Epilogue);
         assert!(pe > 0.02, "{name}: P/E share {pe:.3}");
         assert!(pe < 0.45, "{name}: P/E share {pe:.3} absurdly high");
         let p = r.local.overall[LocalCat::Prologue as usize] as f64;
@@ -201,8 +201,7 @@ fn table8_memoizable_functions_are_rare() {
     for (name, r) in reports() {
         assert!(r.pure_rate < 0.15, "{name}: pure rate {:.3}", r.pure_rate);
     }
-    let zeroes =
-        reports().values().filter(|r| r.pure_rate < 0.01).count();
+    let zeroes = reports().values().filter(|r| r.pure_rate < 0.01).count();
     assert!(zeroes >= 4, "most workloads should have ~0% memoizable calls, got {zeroes}/8");
 }
 
@@ -292,15 +291,11 @@ fn section3_repetition_is_input_insensitive() {
         // The dominant global source category is also stable.
         let dom_a = GlobalTag::ALL
             .into_iter()
-            .max_by(|x, y| {
-                a.global.overall_share(*x).total_cmp(&a.global.overall_share(*y))
-            })
+            .max_by(|x, y| a.global.overall_share(*x).total_cmp(&a.global.overall_share(*y)))
             .unwrap();
         let dom_b = GlobalTag::ALL
             .into_iter()
-            .max_by(|x, y| {
-                b.global.overall_share(*x).total_cmp(&b.global.overall_share(*y))
-            })
+            .max_by(|x, y| b.global.overall_share(*x).total_cmp(&b.global.overall_share(*y)))
             .unwrap();
         assert_eq!(dom_a, dom_b, "{}: dominant source category flipped", wl.name);
     }

@@ -1,0 +1,298 @@
+//! Hermetic in-tree shim for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds with **zero external dependencies**, so the real
+//! criterion cannot be fetched. This shim keeps `cargo bench` working
+//! offline with the same bench sources: it implements benchmark groups,
+//! `bench_function`/`bench_with_input`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros, timing each benchmark
+//! with `std::time::Instant` and printing a compact report.
+//!
+//! Compared to the real crate there is no warm-up modeling, outlier
+//! analysis, plotting, or statistical regression — each benchmark runs
+//! `sample_size` samples (after one untimed warm-up call per sample
+//! batch sizing) and reports min/median/mean. Numbers are indicative,
+//! not publication grade; swapping back to the real criterion needs no
+//! source changes.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, throughput: None }
+    }
+
+    /// Ungrouped convenience: benches directly under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(name);
+        g.bench_function("", f);
+        g.finish();
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates subsequent benches with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into().0, &mut |b| f(b));
+    }
+
+    /// Runs one benchmark closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into().0, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// incremental).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let label = if id.is_empty() { self.name.clone() } else { format!("{}/{}", self.name, id) };
+        if samples.is_empty() {
+            println!("{label:<44} (no iterations)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12}/s", human_count(n as f64 / median))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12}/s", human_bytes(n as f64 / median))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<44} median {:>12}  min {:>12}{rate}",
+            human_time(median),
+            human_time(min),
+        );
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.id)
+    }
+}
+
+/// Passed to each benchmark closure; times the working closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed call to warm caches and page in code.
+        black_box(routine());
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+fn human_bytes(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} GB", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} MB", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} KB", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} B")
+    }
+}
+
+/// Declares a bench group: compatible with both the `name/config/targets`
+/// form and the plain list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        // 3 samples × (1 warm-up + 1 timed) calls.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_time(2.0), "2.000 s");
+        assert_eq!(human_time(2e-3), "2.000 ms");
+        assert_eq!(human_time(2e-6), "2.000 µs");
+        assert_eq!(human_time(2e-9), "2.0 ns");
+        assert_eq!(human_count(5e6), "5.00 M");
+        assert_eq!(human_bytes(5e3), "5.00 KB");
+    }
+}

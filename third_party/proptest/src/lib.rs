@@ -1,0 +1,143 @@
+//! Hermetic in-tree shim for the [proptest](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! The workspace builds with **zero external dependencies** (the build
+//! environment has no crates-io access), so the real proptest cannot be
+//! fetched. This shim implements the subset of its API the workspace's
+//! property tests use — `proptest!`, `Strategy`/`BoxedStrategy`,
+//! `prop_map`, `prop_oneof!`, `Just`, `Union`, `any::<T>()`, integer
+//! ranges, tuples/arrays of strategies, `collection::vec`, and the
+//! `prop_assert*` macros — on top of a seeded xoshiro256** generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case number; the
+//!   run is fully deterministic (seeds derive from the test name), so
+//!   re-running reproduces the same failure.
+//! * **No persistence files**, forks, or timeouts.
+//! * Values are generated uniformly rather than with proptest's biased
+//!   distributions (e.g. `any::<i32>()` here is uniform, not
+//!   edge-case-weighted).
+//!
+//! If a future environment has registry access, deleting this crate and
+//! restoring `proptest = "1"` in the workspace manifest restores the
+//! real engine; the test sources need no changes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-case driver: deterministic RNG plus run configuration.
+pub mod runner_impl {
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+
+    /// Derives a stable 64-bit seed from a test's name. FNV-1a — the
+    /// point is stability across runs and platforms, not quality (the
+    /// RNG's SplitMix64 seeding whitens it).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Defines property tests. Supports the real crate's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in collection::vec(any::<u8>(), 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::runner_impl::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                        seed ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat), &mut rng,
+                        );
+                    )+
+                    // The body sees the bound values; an assertion
+                    // failure panics and fails the whole test. `case`
+                    // identifies which draw failed (runs are
+                    // deterministic, so it is reproducible).
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// One strategy chosen uniformly from several (boxed) alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        // The 1-tuple wrap keeps `unused_parens` quiet for arms written
+        // as `(2i32..100)` — the real crate's expansion tuples arms with
+        // their weights, which has the same effect.
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed(($strat,).0)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

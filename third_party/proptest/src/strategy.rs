@@ -1,0 +1,219 @@
+//! The `Strategy` trait and the combinators the workspace's tests use.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate (which separates strategies from value *trees*
+/// to support shrinking), a shim strategy simply draws a value from the
+/// RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among alternative strategies (`prop_oneof!`'s
+/// engine; also constructed directly by tests over `Vec<BoxedStrategy>`).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new<I>(options: I) -> Union<T>
+    where
+        I: IntoIterator<Item = BoxedStrategy<T>>,
+    {
+        let options: Vec<_> = options.into_iter().collect();
+        assert!(!options.is_empty(), "Union::new: no alternatives");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Integer ranges are strategies, e.g. `0u8..32` or `0u32..=0x3ff_ffff`.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                let v = if span > u128::from(u64::MAX) {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Tuples of strategies generate tuples of values, left to right.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Arrays of strategies generate arrays of values, index order.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_tuples_arrays_compose() {
+        let mut r = rng();
+        let strat = (0u8..4, (-5i32..=5), [0usize..3, 0usize..3]);
+        for _ in 0..500 {
+            let (a, b, [c, d]) = strat.generate(&mut r);
+            assert!(a < 4);
+            assert!((-5..=5).contains(&b));
+            assert!(c < 3 && d < 3);
+        }
+    }
+
+    #[test]
+    fn map_union_just_and_boxing() {
+        let mut r = rng();
+        let evens = (0u32..10).prop_map(|v| v * 2).boxed();
+        let u = Union::new(vec![evens.clone(), Just(1u32).boxed()]);
+        let mut saw_odd = false;
+        let mut saw_even = false;
+        for _ in 0..200 {
+            let v = u.generate(&mut r);
+            assert!(v == 1 || (v % 2 == 0 && v < 20));
+            saw_odd |= v == 1;
+            saw_even |= v % 2 == 0 && v != 1;
+        }
+        assert!(saw_odd && saw_even, "both union arms should fire");
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut r = rng();
+        // Must not overflow or panic.
+        let _: u64 = (0u64..=u64::MAX).generate(&mut r);
+        let _: i64 = (i64::MIN..=i64::MAX).generate(&mut r);
+    }
+}

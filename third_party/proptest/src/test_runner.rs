@@ -1,0 +1,99 @@
+//! Run configuration and the deterministic generator behind every
+//! strategy.
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (the real crate's constructor).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching the real crate's default.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// xoshiro256** seeded through SplitMix64. Deterministic per seed; the
+/// `proptest!` macro derives the seed from the test's module path and
+/// name, so every run of a test generates the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..bound` (`bound` > 0), Lemire-debiased.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let span = u128::from(bound);
+        let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+        loop {
+            let x = u128::from(self.next_u64());
+            if x <= zone {
+                return (x % span) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.below(10), b.below(10));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::seed_from_u64(2);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}
