@@ -225,6 +225,12 @@ impl FunctionAnalysis {
         self.total_calls
     }
 
+    /// Total distinct argument tuples buffered across all functions
+    /// (occupancy gauge for the argument-set tables).
+    pub fn distinct_argtuples(&self) -> u64 {
+        self.funcs.iter().map(|f| f.distinct_tuples() as u64).sum()
+    }
+
     /// Fraction of dynamic calls with all arguments repeated (Table 4).
     pub fn all_arg_rate(&self) -> f64 {
         ratio(self.funcs.iter().map(|f| f.all_args_repeated).sum(), self.total_calls)

@@ -245,6 +245,12 @@ impl GlobalAnalysis {
     pub fn counts(&self) -> &GlobalCounts {
         &self.counts
     }
+
+    /// Number of memory words carrying a shadow tag (occupancy gauge for
+    /// the dataflow state).
+    pub fn shadow_words(&self) -> u64 {
+        self.mem.len() as u64
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,9 @@
 //! * [`analyze`] — a one-pass pipeline wiring all of the above, with the
 //!   paper's skip-then-measure methodology.
 //! * [`report`] — text renderers matching the paper's table layouts.
+//! * [`metrics`] — pull-based observability: phase timers, throughput,
+//!   occupancy gauges, and the versioned JSON documents behind
+//!   `instrep-repro --metrics-out` and the `BENCH_*.json` trajectory.
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@ mod function;
 pub mod fxhash;
 mod global;
 mod local;
+pub mod metrics;
 mod pipeline;
 mod predict;
 pub mod report;
@@ -58,9 +62,12 @@ pub use function::{FuncStats, FunctionAnalysis};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
 pub use local::{LocalAnalysis, LocalCat, LocalCounts};
+pub use metrics::{
+    BenchSummary, MetricsReport, PhaseMetrics, WorkloadMetrics, METRICS_SCHEMA_VERSION,
+};
 pub use pipeline::{
-    analyze, analyze_many, default_parallelism, steady_state_check, AnalysisConfig, AnalysisJob,
-    WorkloadReport,
+    analyze, analyze_many, analyze_many_with_metrics, analyze_with_metrics, default_parallelism,
+    steady_state_check, AnalysisConfig, AnalysisJob, WorkloadReport,
 };
 pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};

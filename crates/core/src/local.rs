@@ -484,6 +484,22 @@ impl LocalAnalysis {
         &self.counts
     }
 
+    /// Stack words carrying a shadow source tag (occupancy gauge).
+    pub fn shadow_stack_words(&self) -> u64 {
+        self.stack_tags.len() as u64
+    }
+
+    /// Global/heap load sites with a value profile (occupancy gauge).
+    pub fn load_sites(&self) -> u64 {
+        self.load_profiles.len() as u64
+    }
+
+    /// Distinct values tracked across all load-site profiles (occupancy
+    /// gauge for the Figure 6 tables).
+    pub fn load_values_tracked(&self) -> u64 {
+        self.load_profiles.values().map(|p| p.values.len() as u64).sum()
+    }
+
     /// Top contributors to prologue+epilogue repetition (paper Table 9):
     /// `(name, static size in instructions, repeated P/E instructions)`,
     /// sorted descending, plus the fraction of all P/E repetition the

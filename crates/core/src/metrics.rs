@@ -1,0 +1,549 @@
+//! Observability layer for the analysis pipeline: phase timers,
+//! event-throughput counters, per-analysis occupancy gauges, and peak-RSS
+//! sampling, emitted as a versioned machine-readable JSON document.
+//!
+//! Collection is strictly *pull-based*: the pipeline samples monotonic
+//! timestamps at phase boundaries and queries each analysis for its table
+//! occupancy after the run. Nothing executes per event, so enabling
+//! metrics cannot perturb the analyses' output — the tables stay
+//! byte-identical with metrics on or off, for every `--jobs` count — and
+//! disabling them costs exactly one `Option` branch per phase boundary.
+//!
+//! Two document kinds share [`METRICS_SCHEMA_VERSION`] (both documented
+//! in `DESIGN.md` §9):
+//!
+//! * `"metrics"` — one run: per-workload phases (wall time, events,
+//!   events/sec) and gauges ([`MetricsReport::to_json`]).
+//! * `"bench"` — N repeated runs summarized as median + IQR per
+//!   workload/phase ([`BenchSummary::to_json`]), the unit of the
+//!   `BENCH_*.json` performance trajectory written by `scripts/bench.sh`.
+
+use std::time::Instant;
+
+/// Version of the JSON documents this module emits. Bump on any change
+/// to field names, meanings, or structure; `scripts/ci.sh` greps for the
+/// current value to catch accidental drift.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// A monotonic-clock stopwatch for one pipeline phase.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::metrics::PhaseTimer;
+///
+/// let t = PhaseTimer::start();
+/// let ns = t.elapsed_ns();
+/// assert!(t.elapsed_ns() >= ns);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer {
+    start: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> PhaseTimer {
+        PhaseTimer { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`PhaseTimer::start`]. Monotonic —
+    /// never goes backwards, even if the wall clock is adjusted.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Wall time and event count for one phase of one workload's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Phase name (`"build"`, `"setup"`, `"skip"`, `"measure"`,
+    /// `"finalize"`).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u64,
+    /// Simulator events (retired instructions) processed in the phase;
+    /// 0 for phases that process no event stream.
+    pub events: u64,
+}
+
+impl PhaseMetrics {
+    /// Throughput in events per second (0.0 when no time was observed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Wall time in fractional milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+}
+
+/// Everything the pipeline records about one workload's analysis run:
+/// an ordered list of phases plus end-of-run occupancy gauges.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::metrics::WorkloadMetrics;
+///
+/// let mut m = WorkloadMetrics::default();
+/// m.record_phase_ns("measure", 2_000_000, 1000);
+/// m.gauge("tracker_instances_buffered", 42);
+/// assert_eq!(m.events_total(), 1000);
+/// assert_eq!(m.phase("measure").unwrap().events, 1000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadMetrics {
+    /// Phases in execution order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Named occupancy/size gauges sampled at the end of the run, in a
+    /// fixed order (deterministic output).
+    pub gauges: Vec<(&'static str, u64)>,
+}
+
+impl WorkloadMetrics {
+    /// Appends a completed phase from a running [`PhaseTimer`].
+    pub fn record_phase(&mut self, name: &'static str, timer: PhaseTimer, events: u64) {
+        self.record_phase_ns(name, timer.elapsed_ns(), events);
+    }
+
+    /// Appends a completed phase from a raw nanosecond duration.
+    pub fn record_phase_ns(&mut self, name: &'static str, wall_ns: u64, events: u64) {
+        self.phases.push(PhaseMetrics { name, wall_ns, events });
+    }
+
+    /// Prepends a phase (used for the per-workload build step, which
+    /// happens before the pipeline runs).
+    pub fn prepend_phase_ns(&mut self, name: &'static str, wall_ns: u64, events: u64) {
+        self.phases.insert(0, PhaseMetrics { name, wall_ns, events });
+    }
+
+    /// Records one named gauge.
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.push((name, value));
+    }
+
+    /// Looks up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseMetrics> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Total events across all phases.
+    pub fn events_total(&self) -> u64 {
+        self.phases.iter().map(|p| p.events).sum()
+    }
+}
+
+/// One run's metrics document (kind `"metrics"`).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Workload scale label (`"tiny"`, `"small"`, `"full"`).
+    pub scale: String,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Worker threads the pipeline ran with.
+    pub jobs: usize,
+    /// Per-workload metrics, in workload order.
+    pub workloads: Vec<(String, WorkloadMetrics)>,
+    /// Process peak resident set size, if the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Wall time of the whole pipeline invocation (all workloads).
+    pub wall_ns_total: u64,
+}
+
+impl MetricsReport {
+    /// Renders the versioned JSON document. Key order is fixed, so the
+    /// output is deterministic for deterministic inputs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        push_kv_u64(&mut s, 1, "schema_version", u64::from(METRICS_SCHEMA_VERSION), true);
+        push_kv_str(&mut s, 1, "kind", "metrics", true);
+        push_kv_str(&mut s, 1, "scale", &self.scale, true);
+        push_kv_u64(&mut s, 1, "seed", self.seed, true);
+        push_kv_u64(&mut s, 1, "jobs", self.jobs as u64, true);
+        push_kv_f64(&mut s, 1, "wall_ms_total", self.wall_ns_total as f64 / 1e6, true);
+        match self.peak_rss_bytes {
+            Some(b) => push_kv_u64(&mut s, 1, "peak_rss_bytes", b, true),
+            None => push_kv_raw(&mut s, 1, "peak_rss_bytes", "null", true),
+        }
+        indent(&mut s, 1);
+        s.push_str("\"workloads\": [\n");
+        for (wi, (name, m)) in self.workloads.iter().enumerate() {
+            indent(&mut s, 2);
+            s.push_str("{\n");
+            push_kv_str(&mut s, 3, "name", name, true);
+            push_kv_u64(&mut s, 3, "events_total", m.events_total(), true);
+            indent(&mut s, 3);
+            s.push_str("\"phases\": [\n");
+            for (pi, p) in m.phases.iter().enumerate() {
+                indent(&mut s, 4);
+                s.push_str(&format!(
+                    "{{\"name\": {}, \"wall_ms\": {}, \"events\": {}, \
+                     \"events_per_sec\": {}}}{}\n",
+                    json_string(p.name),
+                    json_f64(p.wall_ms()),
+                    p.events,
+                    json_f64(p.events_per_sec()),
+                    comma(pi + 1 < m.phases.len()),
+                ));
+            }
+            indent(&mut s, 3);
+            s.push_str("],\n");
+            indent(&mut s, 3);
+            s.push_str("\"gauges\": {\n");
+            for (gi, (gname, gval)) in m.gauges.iter().enumerate() {
+                indent(&mut s, 4);
+                s.push_str(&format!(
+                    "{}: {}{}\n",
+                    json_string(gname),
+                    gval,
+                    comma(gi + 1 < m.gauges.len())
+                ));
+            }
+            indent(&mut s, 3);
+            s.push_str("}\n");
+            indent(&mut s, 2);
+            s.push_str(&format!("}}{}\n", comma(wi + 1 < self.workloads.len())));
+        }
+        indent(&mut s, 1);
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Median + IQR summary for one phase across N bench runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPhase {
+    /// Phase name.
+    pub name: &'static str,
+    /// Median wall time in milliseconds.
+    pub median_ms: f64,
+    /// Interquartile range of wall time in milliseconds.
+    pub iqr_ms: f64,
+    /// Median throughput in events/sec (0.0 for event-free phases).
+    pub median_events_per_sec: f64,
+}
+
+/// Per-workload bench summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Phase summaries in phase order.
+    pub phases: Vec<BenchPhase>,
+}
+
+/// N repeated runs summarized as a perf-trajectory entry (kind
+/// `"bench"`). Produced by [`summarize_runs`], consumed by
+/// `scripts/bench.sh`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Number of runs summarized.
+    pub runs: usize,
+    /// Workload scale label.
+    pub scale: String,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Per-workload summaries, in workload order.
+    pub workloads: Vec<BenchWorkload>,
+}
+
+impl BenchSummary {
+    /// Renders the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        push_kv_u64(&mut s, 1, "schema_version", u64::from(METRICS_SCHEMA_VERSION), true);
+        push_kv_str(&mut s, 1, "kind", "bench", true);
+        push_kv_u64(&mut s, 1, "runs", self.runs as u64, true);
+        push_kv_str(&mut s, 1, "scale", &self.scale, true);
+        push_kv_u64(&mut s, 1, "seed", self.seed, true);
+        push_kv_u64(&mut s, 1, "jobs", self.jobs as u64, true);
+        indent(&mut s, 1);
+        s.push_str("\"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            indent(&mut s, 2);
+            s.push_str(&format!("{{\"name\": {}, \"phases\": [\n", json_string(&w.name)));
+            for (pi, p) in w.phases.iter().enumerate() {
+                indent(&mut s, 3);
+                s.push_str(&format!(
+                    "{{\"name\": {}, \"median_ms\": {}, \"iqr_ms\": {}, \
+                     \"median_events_per_sec\": {}}}{}\n",
+                    json_string(p.name),
+                    json_f64(p.median_ms),
+                    json_f64(p.iqr_ms),
+                    json_f64(p.median_events_per_sec),
+                    comma(pi + 1 < w.phases.len()),
+                ));
+            }
+            indent(&mut s, 2);
+            s.push_str(&format!("]}}{}\n", comma(wi + 1 < self.workloads.len())));
+        }
+        indent(&mut s, 1);
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Collapses N single-run [`MetricsReport`]s (same scale/seed/jobs and
+/// workload set) into a [`BenchSummary`] of per-phase medians and IQRs.
+///
+/// # Errors
+///
+/// Returns a description of the mismatch if `runs` is empty or the runs
+/// do not cover the same workloads and phases.
+pub fn summarize_runs(runs: &[MetricsReport]) -> Result<BenchSummary, String> {
+    let first = runs.first().ok_or("no runs to summarize")?;
+    let mut workloads = Vec::with_capacity(first.workloads.len());
+    for (wi, (name, m0)) in first.workloads.iter().enumerate() {
+        let mut phases = Vec::with_capacity(m0.phases.len());
+        for (pi, p0) in m0.phases.iter().enumerate() {
+            let mut walls = Vec::with_capacity(runs.len());
+            let mut rates = Vec::with_capacity(runs.len());
+            for run in runs {
+                let (wname, m) = run
+                    .workloads
+                    .get(wi)
+                    .ok_or_else(|| format!("run missing workload #{wi} ({name})"))?;
+                if wname != name {
+                    return Err(format!("workload order mismatch: {wname} vs {name}"));
+                }
+                let p = m
+                    .phases
+                    .get(pi)
+                    .filter(|p| p.name == p0.name)
+                    .ok_or_else(|| format!("{name}: phase mismatch at #{pi} ({})", p0.name))?;
+                walls.push(p.wall_ms());
+                rates.push(p.events_per_sec());
+            }
+            let median_ms = median(&mut walls);
+            let iqr_ms = iqr(&mut walls);
+            let median_events_per_sec = median(&mut rates);
+            phases.push(BenchPhase { name: p0.name, median_ms, iqr_ms, median_events_per_sec });
+        }
+        workloads.push(BenchWorkload { name: name.clone(), phases });
+    }
+    Ok(BenchSummary {
+        runs: runs.len(),
+        scale: first.scale.clone(),
+        seed: first.seed,
+        jobs: first.jobs,
+        workloads,
+    })
+}
+
+/// Median of a sample (sorts in place). Returns 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::metrics::median;
+///
+/// assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+/// assert_eq!(median(&mut [1.0, 2.0, 3.0, 4.0]), 2.5);
+/// ```
+pub fn median(xs: &mut [f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Interquartile range (Q3 − Q1, linear interpolation) of a sample
+/// (sorts in place). Returns 0.0 for samples of fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::metrics::iqr;
+///
+/// assert_eq!(iqr(&mut [1.0, 2.0, 3.0, 4.0, 5.0]), 2.0);
+/// assert_eq!(iqr(&mut [7.0]), 0.0);
+/// ```
+pub fn iqr(xs: &mut [f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    quantile(xs, 0.75) - quantile(xs, 0.25)
+}
+
+/// Linearly interpolated quantile `q` in `[0, 1]` (sorts in place).
+fn quantile(xs: &mut [f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("metrics values are finite"));
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    xs[lo] + (xs[hi] - xs[lo]) * frac
+}
+
+/// Process peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` on platforms without procfs or if the
+/// field is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+// --- tiny deterministic JSON emission helpers -------------------------
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn comma(more: bool) -> &'static str {
+    if more {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn push_kv_raw(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
+    indent(s, level);
+    s.push_str(&format!("{}: {}{}\n", json_string(key), value, comma(more)));
+}
+
+fn push_kv_u64(s: &mut String, level: usize, key: &str, value: u64, more: bool) {
+    push_kv_raw(s, level, key, &value.to_string(), more);
+}
+
+fn push_kv_f64(s: &mut String, level: usize, key: &str, value: f64, more: bool) {
+    push_kv_raw(s, level, key, &json_f64(value), more);
+}
+
+fn push_kv_str(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
+    push_kv_raw(s, level, key, &json_string(value), more);
+}
+
+/// JSON-escapes and quotes a string.
+fn json_string(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite f64 as a JSON number (3 decimal places; NaN and
+/// infinities — which the pipeline never produces — clamp to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(walls_ms: &[f64]) -> Vec<MetricsReport> {
+        walls_ms
+            .iter()
+            .map(|&w| {
+                let mut m = WorkloadMetrics::default();
+                m.record_phase_ns("measure", (w * 1e6) as u64, 1000);
+                m.gauge("g", 1);
+                MetricsReport {
+                    scale: "tiny".to_string(),
+                    seed: 1,
+                    jobs: 1,
+                    workloads: vec![("w".to_string(), m)],
+                    peak_rss_bytes: None,
+                    wall_ns_total: 0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantiles() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [5.0]), 5.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(iqr(&mut [1.0, 2.0, 3.0, 4.0, 5.0]), 2.0);
+        assert_eq!(iqr(&mut []), 0.0);
+    }
+
+    #[test]
+    fn throughput() {
+        let p = PhaseMetrics { name: "measure", wall_ns: 2_000_000_000, events: 10_000 };
+        assert!((p.events_per_sec() - 5_000.0).abs() < 1e-9);
+        assert_eq!(PhaseMetrics { name: "x", wall_ns: 0, events: 5 }.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn summarize_medians_and_iqr() {
+        let runs = report_with(&[10.0, 30.0, 20.0]);
+        let s = summarize_runs(&runs).unwrap();
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.workloads.len(), 1);
+        let p = &s.workloads[0].phases[0];
+        assert_eq!(p.name, "measure");
+        assert!((p.median_ms - 20.0).abs() < 1e-9);
+        assert!(p.median_events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn summarize_rejects_mismatched_runs() {
+        assert!(summarize_runs(&[]).is_err());
+        let mut runs = report_with(&[10.0, 20.0]);
+        runs[1].workloads[0].0 = "other".to_string();
+        assert!(summarize_runs(&runs).is_err());
+    }
+
+    #[test]
+    fn json_documents_carry_schema_version() {
+        let runs = report_with(&[10.0]);
+        let metrics_json = runs[0].to_json();
+        assert!(metrics_json.contains("\"schema_version\": 1"));
+        assert!(metrics_json.contains("\"kind\": \"metrics\""));
+        assert!(metrics_json.contains("\"events_per_sec\""));
+        let bench_json = summarize_runs(&runs).unwrap().to_json();
+        assert!(bench_json.contains("\"schema_version\": 1"));
+        assert!(bench_json.contains("\"kind\": \"bench\""));
+        assert!(bench_json.contains("\"median_ms\""));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "0.000");
+    }
+
+    #[test]
+    fn peak_rss_is_sane_on_linux() {
+        if let Some(b) = peak_rss_bytes() {
+            // A running test binary has touched at least a few pages.
+            assert!(b > 4096, "peak RSS {b} implausibly small");
+        }
+    }
+}

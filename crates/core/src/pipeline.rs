@@ -14,6 +14,7 @@ use crate::coverage::Coverage;
 use crate::function::FunctionAnalysis;
 use crate::global::{GlobalAnalysis, GlobalCounts};
 use crate::local::{LocalAnalysis, LocalCounts};
+use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::tracker::{RepetitionTracker, TrackerConfig};
@@ -174,6 +175,27 @@ pub fn analyze(
     input: Vec<u8>,
     cfg: &AnalysisConfig,
 ) -> Result<WorkloadReport, SimError> {
+    analyze_with_metrics(image, input, cfg, None)
+}
+
+/// [`analyze`], optionally reporting into a [`WorkloadMetrics`] sink.
+///
+/// Metrics are sampled only at phase boundaries (monotonic timestamps)
+/// and after the run (occupancy gauges), never per event, so the
+/// resulting [`WorkloadReport`] is identical with or without a sink —
+/// `metrics: None` compiles down to the plain [`analyze`] path with one
+/// dead branch per phase.
+///
+/// # Errors
+///
+/// Propagates simulator traps, exactly as [`analyze`].
+pub fn analyze_with_metrics(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+    mut metrics: Option<&mut WorkloadMetrics>,
+) -> Result<WorkloadReport, SimError> {
+    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
     let mut machine = Machine::new(image);
     machine.set_input(input);
 
@@ -194,6 +216,11 @@ pub fn analyze(
     // (data_end, STACK_REGION_BASE) is heap — pass the stack base as the
     // effective break.
     let pseudo_brk = instrep_isa::abi::STACK_REGION_BASE;
+    if let Some(m) = metrics.as_deref_mut() {
+        m.record_phase("setup", timer.expect("timer started with metrics"), 0);
+    }
+
+    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
     let mut outcome = RunOutcome::MaxedOut;
     if cfg.skip > 0 {
         outcome = machine.run(cfg.skip, |ev| {
@@ -204,8 +231,13 @@ pub fn analyze(
             local.observe(ev, false, false, region);
         })?;
     }
+    if let Some(m) = metrics.as_deref_mut() {
+        m.record_phase("skip", timer.expect("timer started with metrics"), machine.icount());
+    }
 
     // Measurement window.
+    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
+    let measured_from = machine.icount();
     if machine.exit_code().is_none() {
         outcome = machine.run(cfg.window, |ev| {
             let region =
@@ -220,13 +252,18 @@ pub fn analyze(
             stride.observe(ev);
         })?;
     }
+    if let Some(m) = metrics.as_deref_mut() {
+        let t = timer.expect("timer started with metrics");
+        m.record_phase("measure", t, machine.icount() - measured_from);
+    }
 
+    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
     let static_coverage =
         tracker.static_stats().iter().filter(|s| s.repeated > 0).map(|s| s.repeated).collect();
     let instance_coverage = Coverage::new(tracker.instance_repeat_counts());
     let (prologue_top, prologue_coverage) = local.prologue_report(cfg.top_k);
 
-    Ok(WorkloadReport {
+    let report = WorkloadReport {
         outcome,
         dynamic_total: tracker.dynamic_total(),
         dynamic_repeated: tracker.dynamic_repeated(),
@@ -254,7 +291,29 @@ pub fn analyze(
         classes: *classes.counts(),
         predict: *predict.stats(),
         stride: *stride.stats(),
-    })
+    };
+
+    if let Some(m) = metrics {
+        m.record_phase("finalize", timer.expect("timer started with metrics"), 0);
+        // Occupancy gauges, in a fixed order (deterministic documents).
+        m.gauge("tracker_static_entries", tracker.static_total() as u64);
+        m.gauge("tracker_instances_buffered", tracker.instances_buffered());
+        m.gauge("tracker_table_bytes_est", tracker.approx_table_bytes());
+        m.gauge("reuse_entries_valid", reuse.occupancy());
+        m.gauge("global_shadow_words", global.shadow_words());
+        m.gauge("function_argtuples", function.distinct_argtuples());
+        m.gauge("local_stack_tag_words", local.shadow_stack_words());
+        m.gauge("local_load_sites", local.load_sites());
+        m.gauge("local_load_values", local.load_values_tracked());
+        m.gauge("predict_lvp_entries", predict.table_entries());
+        m.gauge("predict_stride_entries", stride.table_entries());
+        let fp = machine.footprint();
+        m.gauge("sim_resident_pages", fp.resident_pages as u64);
+        m.gauge("sim_resident_bytes", fp.resident_bytes as u64);
+        m.gauge("sim_output_bytes", fp.output_bytes as u64);
+    }
+
+    Ok(report)
 }
 
 /// One unit of work for [`analyze_many`]: a built image plus its input
@@ -287,6 +346,27 @@ pub fn analyze_many(
     threads: usize,
 ) -> Vec<Result<WorkloadReport, SimError>> {
     parallel_map(jobs, threads, |job| analyze(job.image, job.input, cfg))
+}
+
+/// [`analyze_many`] with a [`WorkloadMetrics`] sink per job.
+///
+/// Reports come back in job order with their metrics attached; the
+/// reports themselves are identical to what [`analyze_many`] returns
+/// (metrics sampling never perturbs the analyses — see
+/// [`analyze_with_metrics`]).
+///
+/// # Errors
+///
+/// Each slot carries its own simulator outcome, as in [`analyze_many`].
+pub fn analyze_many_with_metrics(
+    jobs: Vec<AnalysisJob<'_>>,
+    cfg: &AnalysisConfig,
+    threads: usize,
+) -> Vec<Result<(WorkloadReport, WorkloadMetrics), SimError>> {
+    parallel_map(jobs, threads, |job| {
+        let mut m = WorkloadMetrics::default();
+        analyze_with_metrics(job.image, job.input, cfg, Some(&mut m)).map(|r| (r, m))
+    })
 }
 
 /// The number of worker threads [`analyze_many`] should default to: the
@@ -464,6 +544,45 @@ mod tests {
                 .collect();
             assert_eq!(parallel, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn metrics_sink_does_not_perturb_report() {
+        let image = small_image();
+        let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
+        let plain = analyze(&image, Vec::new(), &cfg).unwrap();
+        let mut m = WorkloadMetrics::default();
+        let instrumented = analyze_with_metrics(&image, Vec::new(), &cfg, Some(&mut m)).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{instrumented:?}"));
+        // Phases arrive in pipeline order with the right event counts.
+        let names: Vec<&str> = m.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["setup", "skip", "measure", "finalize"]);
+        assert_eq!(m.phase("skip").unwrap().events, 500);
+        assert_eq!(m.phase("measure").unwrap().events, instrumented.dynamic_total);
+        // Gauges are present and consistent with the report.
+        let gauge = |n: &str| m.gauges.iter().find(|(g, _)| *g == n).unwrap().1;
+        assert_eq!(gauge("tracker_static_entries"), instrumented.static_total as u64);
+        assert!(gauge("tracker_instances_buffered") >= instrumented.unique_repeatable);
+        assert!(gauge("reuse_entries_valid") > 0);
+        assert!(gauge("sim_resident_pages") > 0);
+    }
+
+    #[test]
+    fn analyze_many_with_metrics_matches_plain() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect()
+        };
+        let plain: Vec<String> = analyze_many(jobs(3), &cfg, 2)
+            .into_iter()
+            .map(|r| format!("{:?}", r.unwrap()))
+            .collect();
+        let with: Vec<String> = analyze_many_with_metrics(jobs(3), &cfg, 2)
+            .into_iter()
+            .map(|r| format!("{:?}", r.unwrap().0))
+            .collect();
+        assert_eq!(plain, with);
     }
 
     #[test]

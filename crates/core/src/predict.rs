@@ -85,6 +85,11 @@ impl LastValuePredictor {
     pub fn stats(&self) -> &PredictStats {
         &self.stats
     }
+
+    /// Static instructions with a table entry (occupancy gauge).
+    pub fn table_entries(&self) -> u64 {
+        self.last.len() as u64
+    }
 }
 
 /// Statistics from the stride predictor.
@@ -161,6 +166,11 @@ impl StridePredictor {
     /// Accumulated statistics.
     pub fn stats(&self) -> &StrideStats {
         &self.stats
+    }
+
+    /// Static instructions with a table entry (occupancy gauge).
+    pub fn table_entries(&self) -> u64 {
+        self.table.len() as u64
     }
 }
 

@@ -164,6 +164,12 @@ impl ReuseBuffer {
         &self.stats
     }
 
+    /// Number of valid entries currently resident (occupancy gauge;
+    /// bounded by `entries`).
+    pub fn occupancy(&self) -> u64 {
+        self.sets.iter().filter(|e| e.valid).count() as u64
+    }
+
     /// The buffer geometry.
     pub fn config(&self) -> ReuseConfig {
         self.cfg
@@ -247,5 +253,76 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_panics() {
         let _ = ReuseBuffer::new(ReuseConfig { entries: 6, ways: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must have entries")]
+    fn zero_entries_rejected() {
+        let _ = ReuseBuffer::new(ReuseConfig { entries: 0, ways: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must have entries")]
+    fn zero_ways_rejected() {
+        let _ = ReuseBuffer::new(ReuseConfig { entries: 8, ways: 0 });
+    }
+
+    #[test]
+    fn invalid_ways_are_filled_before_any_eviction() {
+        // 1 set, 4 ways: four distinct PCs all fit — inserting a new
+        // entry must claim an invalid way, never evict a valid one.
+        let mut b = ReuseBuffer::new(ReuseConfig { entries: 4, ways: 4 });
+        for pc in [0x40_0000u32, 0x40_0004, 0x40_0008, 0x40_000c] {
+            assert!(!b.observe(&ev(pc, pc, 0, pc), false));
+        }
+        assert_eq!(b.occupancy(), 4);
+        for pc in [0x40_0000u32, 0x40_0004, 0x40_0008, 0x40_000c] {
+            assert!(b.observe(&ev(pc, pc, 0, pc), true), "pc {pc:#x} was evicted prematurely");
+        }
+    }
+
+    #[test]
+    fn oracle_refresh_makes_entry_most_recently_used() {
+        // 1 set, 2 ways. A stale refresh must also update recency:
+        // the refreshed entry survives the next eviction.
+        let mut b = ReuseBuffer::new(ReuseConfig { entries: 2, ways: 2 });
+        b.observe(&ev(0x40_0000, 1, 0, 100), false);
+        b.observe(&ev(0x40_0004, 2, 2, 2), false);
+        // Clobbered load at the first pc: outcome changed, refresh.
+        assert!(!b.observe(&ev(0x40_0000, 1, 0, 200), false));
+        assert_eq!(b.stats().stale, 1);
+        // A third pc evicts the LRU way — now pc 0x40_0004.
+        b.observe(&ev(0x40_0008, 3, 3, 3), false);
+        assert!(b.observe(&ev(0x40_0000, 1, 0, 200), true), "refreshed entry was evicted");
+        assert!(!b.observe(&ev(0x40_0004, 2, 2, 2), true), "stale-LRU entry survived");
+    }
+
+    #[test]
+    fn oracle_refresh_only_rewrites_outcome() {
+        let mut b = ReuseBuffer::new(ReuseConfig { entries: 8, ways: 2 });
+        b.observe(&ev(0x40_0000, 1, 0, 100), false);
+        // Clobbered: same operands, new outcome — refresh, not hit.
+        assert!(!b.observe(&ev(0x40_0000, 1, 0, 200), false));
+        // Different operands still miss (the refresh kept the operand
+        // match intact rather than wildcarding the entry).
+        assert!(!b.observe(&ev(0x40_0000, 9, 0, 200), false));
+        // The refreshed (1, 0) -> 200 instance hits; stale counted once.
+        // (The operand-9 miss LRU-inserted into the second way, leaving
+        // the refreshed entry resident.)
+        assert!(b.observe(&ev(0x40_0000, 1, 0, 200), true));
+        assert_eq!(b.stats().stale, 1);
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_entries_only() {
+        let mut b = ReuseBuffer::new(ReuseConfig { entries: 8, ways: 2 });
+        assert_eq!(b.occupancy(), 0);
+        b.observe(&ev(0x40_0000, 1, 1, 1), false);
+        b.observe(&ev(0x40_0000, 2, 2, 2), false);
+        assert_eq!(b.occupancy(), 2);
+        // A hit does not create a new entry.
+        b.observe(&ev(0x40_0000, 1, 1, 1), true);
+        assert_eq!(b.occupancy(), 2);
     }
 }

@@ -210,6 +210,23 @@ impl RepetitionTracker {
         sums.map(|s| s as f64 / total as f64)
     }
 
+    /// Total unique instances currently buffered across all static
+    /// instructions (occupancy gauge; bounded by
+    /// `static_executed * max_instances`).
+    pub fn instances_buffered(&self) -> u64 {
+        self.entries.iter().map(|e| e.instances.len() as u64).sum()
+    }
+
+    /// Rough bytes held by the instance tables (occupancy gauge): buffered
+    /// instances times their map-entry footprint plus the per-static
+    /// entry structs. An estimate — hash-map overhead varies — but
+    /// monotone in the real cost, which is what a trajectory needs.
+    pub fn approx_table_bytes(&self) -> u64 {
+        let per_instance = std::mem::size_of::<(InstanceKey, u64)>() as u64;
+        let per_static = std::mem::size_of::<StaticEntry>() as u64;
+        self.instances_buffered() * per_instance + self.entries.len() as u64 * per_static
+    }
+
     /// Fraction of dynamic instructions repeated, in `[0, 1]`.
     pub fn repetition_rate(&self) -> f64 {
         if self.dyn_total == 0 {

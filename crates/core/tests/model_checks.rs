@@ -6,7 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use instrep_core::{
-    Coverage, LastValuePredictor, RepetitionTracker, ReuseBuffer, ReuseConfig, TrackerConfig,
+    analyze_many, AnalysisConfig, AnalysisJob, Coverage, LastValuePredictor, RepetitionTracker,
+    ReuseBuffer, ReuseConfig, TrackerConfig,
 };
 use instrep_isa::{AluOp, Insn, Reg};
 use instrep_sim::Event;
@@ -74,6 +75,49 @@ proptest! {
     }
 
     #[test]
+    fn tracker_repeated_never_exceeds_exec(events in arb_events()) {
+        // Core accounting invariant: a repetition presupposes an earlier
+        // execution, per static instruction and in aggregate.
+        let mut tracker = RepetitionTracker::new(TrackerConfig::default(), 8);
+        for e in &events {
+            tracker.observe(e);
+        }
+        prop_assert!(tracker.dynamic_repeated() <= tracker.dynamic_total());
+        let mut exec_sum = 0u64;
+        for s in tracker.static_stats() {
+            prop_assert!(s.repeated <= s.exec, "static {}: {} > {}", s.index, s.repeated, s.exec);
+            prop_assert!(s.unique_repeatable <= s.repeated);
+            exec_sum += s.exec;
+        }
+        prop_assert_eq!(exec_sum, tracker.dynamic_total());
+    }
+
+    #[test]
+    fn tracker_respects_instance_cap(events in arb_events(), cap in 1usize..6) {
+        // All events funneled to one static instruction: the buffer may
+        // never hold more than `max_instances` unique instances, and only
+        // buffered instances can repeat.
+        let mut tracker = RepetitionTracker::new(TrackerConfig { max_instances: cap }, 1);
+        for e in &events {
+            let mut e = *e;
+            e.index = 0;
+            e.pc = 0x40_0000;
+            tracker.observe(&e);
+            prop_assert!(tracker.instances_buffered() <= cap as u64);
+        }
+        prop_assert!(tracker.unique_repeatable_instances() <= cap as u64);
+        // First `cap` distinct keys in stream order are exactly the
+        // buffered set.
+        let mut first_keys = HashSet::new();
+        for e in &events {
+            if first_keys.len() < cap {
+                first_keys.insert((e.in1, e.in2, e.out.unwrap()));
+            }
+        }
+        prop_assert_eq!(tracker.instances_buffered(), first_keys.len() as u64);
+    }
+
+    #[test]
     fn fully_associative_reuse_buffer_matches_reference(events in arb_events()) {
         // With one set the buffer is fully associative; with capacity
         // beyond the working set it never evicts, so a hit occurs exactly
@@ -123,5 +167,44 @@ proptest! {
                 prop_assert!(cov.coverage_at(frac) >= target - 1e-9);
             }
         }
+    }
+}
+
+// Few cases: each one compiles a random MiniC workload and analyzes it
+// six times (3 jobs × 2 thread counts).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn parallel_pipeline_matches_serial_on_random_workloads(
+        tab in proptest::collection::vec(1u32..100, 8),
+        iters in 50u32..300,
+        step in 1u32..9,
+    ) {
+        // A randomly parameterized workload: table contents, trip count,
+        // and stride all vary, so repetition structure varies too.
+        let src = format!(
+            "int tab[8] = {{{}}};\n\
+             int lookup(int i) {{ return tab[i & 7]; }}\n\
+             int main() {{\n\
+                 int s = 0;\n\
+                 int i;\n\
+                 for (i = 0; i < {iters}; i = i + {step}) s = s + lookup(i);\n\
+                 return s & 0xff;\n\
+             }}",
+            tab.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let image = instrep_minicc::build(&src).expect("random workload compiles");
+        let cfg = AnalysisConfig::default();
+        let run = |threads: usize| -> Vec<String> {
+            let jobs: Vec<AnalysisJob<'_>> =
+                (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect();
+            analyze_many(jobs, &cfg, threads)
+                .into_iter()
+                .map(|r| format!("{:?}", r.expect("workload runs")))
+                .collect()
+        };
+        // The full report — every table's inputs — must be identical
+        // whether the pipeline runs serial or on 4 threads.
+        prop_assert_eq!(run(1), run(4));
     }
 }

@@ -5,20 +5,27 @@
 //! ```text
 //! instrep-repro [--scale tiny|small|full] [--seed N] [--only BENCH]
 //!               [--jobs N] [--table N]... [--figure N]... [--steady-state]
-//!               [--all]
+//!               [--metrics-out PATH] [--bench N] [--all]
 //! ```
 //!
 //! With no table/figure selection, everything is printed. One simulation
 //! pass per workload feeds all tables. Workloads run on `--jobs` threads
 //! (default: available parallelism); output is identical for every jobs
 //! count because reports merge in fixed workload order.
+//!
+//! `--metrics-out PATH` additionally writes a versioned JSON metrics
+//! document (phase timings, throughput, occupancy gauges, peak RSS — see
+//! `DESIGN.md` §9) without changing a byte of the table output. With
+//! `--bench N` the analysis repeats N times and PATH receives a
+//! median+IQR bench summary instead — the unit of the `BENCH_*.json`
+//! performance trajectory (`scripts/bench.sh`).
 
 use std::process::ExitCode;
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
-    analyze, analyze_many, default_parallelism, steady_state_check, AnalysisConfig, AnalysisJob,
-    WorkloadReport,
+    analyze, analyze_many, analyze_many_with_metrics, default_parallelism, metrics,
+    steady_state_check, AnalysisConfig, AnalysisJob, MetricsReport, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -32,6 +39,8 @@ struct Options {
     steady: bool,
     input_check: bool,
     csv: Option<String>,
+    metrics_out: Option<String>,
+    bench: Option<u32>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +54,8 @@ fn parse_args() -> Result<Options, String> {
         steady: false,
         input_check: false,
         csv: None,
+        metrics_out: None,
+        bench: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,6 +96,17 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => {
                 opts.csv = Some(args.next().ok_or("--csv needs a path prefix")?);
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--bench" => {
+                let v = args.next().ok_or("--bench needs a run count")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad bench run count `{v}`"))?;
+                if n == 0 {
+                    return Err("--bench must be at least 1".to_string());
+                }
+                opts.bench = Some(n);
+            }
             "--all" => {}
             "--list" => {
                 println!("{:<12}{:<16}", "bench", "SPEC analog");
@@ -97,14 +119,27 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: instrep-repro [--scale tiny|small|full] [--seed N] \
                      [--only BENCH] [--jobs N] [--table N]... [--figure N]... \
-                     [--steady-state] [--input-check] [--csv PREFIX] [--list]"
+                     [--steady-state] [--input-check] [--csv PREFIX] \
+                     [--metrics-out PATH] [--bench N] [--list]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.bench.is_some() && opts.metrics_out.is_none() {
+        return Err("--bench requires --metrics-out (the summary is written there)".to_string());
+    }
     Ok(opts)
+}
+
+/// Scale label used in metrics documents.
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
 }
 
 /// Analysis windows per scale: (skip, window), mirroring the paper's
@@ -145,39 +180,108 @@ fn main() -> ExitCode {
     );
     let start = std::time::Instant::now();
     let mut images = Vec::with_capacity(workloads.len());
+    let mut build_ns = Vec::with_capacity(workloads.len());
     for wl in &workloads {
+        let t = std::time::Instant::now();
         match wl.build() {
-            Ok(i) => images.push(i),
+            Ok(i) => {
+                build_ns.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                images.push(i);
+            }
             Err(e) => {
                 eprintln!("error: building {} failed: {e}", wl.name);
                 return ExitCode::FAILURE;
             }
         }
     }
-    let jobs: Vec<AnalysisJob<'_>> = workloads
-        .iter()
-        .zip(&images)
-        .map(|(wl, image)| AnalysisJob { image, input: wl.input(opts.scale, opts.seed) })
-        .collect();
+
+    let want_metrics = opts.metrics_out.is_some();
+    let iterations = opts.bench.unwrap_or(1);
+    let mut runs: Vec<MetricsReport> = Vec::new();
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
-    for (wl, result) in workloads.iter().zip(analyze_many(jobs, &cfg, threads)) {
-        match result {
-            Ok(r) => {
-                eprintln!(
-                    "  {:<10} {:>12} insns measured, {:>5.1}% repeated",
-                    wl.name,
-                    r.dynamic_total,
-                    r.repetition_rate() * 100.0,
-                );
-                reports.push((wl.name.to_string(), r));
+    for iter in 0..iterations {
+        let iter_start = std::time::Instant::now();
+        let jobs: Vec<AnalysisJob<'_>> = workloads
+            .iter()
+            .zip(&images)
+            .map(|(wl, image)| AnalysisJob { image, input: wl.input(opts.scale, opts.seed) })
+            .collect();
+        // Metrics collection is pull-based and cannot perturb the
+        // reports (see core::metrics), so both paths print identical
+        // tables; the split keeps the default path allocation-free.
+        let results: Vec<Result<(WorkloadReport, Option<_>), _>> = if want_metrics {
+            analyze_many_with_metrics(jobs, &cfg, threads)
+                .into_iter()
+                .map(|r| r.map(|(rep, m)| (rep, Some(m))))
+                .collect()
+        } else {
+            analyze_many(jobs, &cfg, threads)
+                .into_iter()
+                .map(|r| r.map(|rep| (rep, None)))
+                .collect()
+        };
+        let mut run_workloads = Vec::new();
+        for ((wl, &built_ns), result) in workloads.iter().zip(&build_ns).zip(results) {
+            match result {
+                Ok((r, m)) => {
+                    if iter == 0 {
+                        eprintln!(
+                            "  {:<10} {:>12} insns measured, {:>5.1}% repeated",
+                            wl.name,
+                            r.dynamic_total,
+                            r.repetition_rate() * 100.0,
+                        );
+                        reports.push((wl.name.to_string(), r));
+                    }
+                    if let Some(mut m) = m {
+                        m.prepend_phase_ns("build", built_ns, 0);
+                        run_workloads.push((wl.name.to_string(), m));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: analyzing {} trapped: {e}", wl.name);
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: analyzing {} trapped: {e}", wl.name);
-                return ExitCode::FAILURE;
-            }
+        }
+        if want_metrics {
+            runs.push(MetricsReport {
+                scale: scale_label(opts.scale).to_string(),
+                seed: opts.seed,
+                jobs: threads,
+                workloads: run_workloads,
+                peak_rss_bytes: metrics::peak_rss_bytes(),
+                wall_ns_total: u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+        if iterations > 1 {
+            eprintln!(
+                "  bench iteration {}/{iterations}: {} ms",
+                iter + 1,
+                iter_start.elapsed().as_millis()
+            );
         }
     }
     eprintln!("  analysis took {} ms on {threads} thread(s)", start.elapsed().as_millis());
+
+    if let Some(path) = &opts.metrics_out {
+        let doc = if opts.bench.is_some() {
+            match metrics::summarize_runs(&runs) {
+                Ok(summary) => summary.to_json(),
+                Err(e) => {
+                    eprintln!("error: summarizing bench runs: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            runs[0].to_json()
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics to {path}");
+    }
     let named: Vec<Named<'_>> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
 
     let everything =

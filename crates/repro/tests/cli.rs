@@ -1,8 +1,13 @@
 //! Smoke tests for the `instrep-repro` command-line interface: argument
-//! errors must exit non-zero with a clear message, and a real (tiny,
-//! parallel) run must succeed.
+//! errors must exit non-zero with a clear message, a real (tiny,
+//! parallel) run must succeed, and `--metrics-out` must write a valid
+//! schema-v1 JSON document without changing a byte of table stdout.
+
+mod json;
 
 use std::process::{Command, Output};
+
+use json::Json;
 
 fn run(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_instrep-repro"))
@@ -53,6 +58,140 @@ fn zero_jobs_fails_with_message() {
     assert!(!out.status.success());
     let err = stderr_of(&out);
     assert!(err.contains("--jobs must be at least 1"), "stderr: {err}");
+}
+
+#[test]
+fn bench_without_metrics_out_fails_with_message() {
+    let out = run(&["--bench", "3"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--bench requires --metrics-out"), "stderr: {err}");
+}
+
+/// `--metrics-out` must emit parseable JSON carrying the documented
+/// schema version, one workload entry per analyzed workload, the
+/// pipeline's phases in order, and non-empty gauges.
+#[test]
+fn metrics_out_writes_schema_v1_json() {
+    let dir = std::env::temp_dir().join(format!("instrep-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--jobs",
+        "2",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics file is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::str), Some("metrics"));
+    assert_eq!(doc.get("scale").and_then(Json::str), Some("tiny"));
+    let workloads = doc.get("workloads").expect("workloads array").items();
+    assert_eq!(workloads.len(), 1, "one entry per analyzed workload");
+    let wl = &workloads[0];
+    assert_eq!(wl.get("name").and_then(Json::str), Some("compress"));
+    let phase_names: Vec<&str> = wl
+        .get("phases")
+        .expect("phases array")
+        .items()
+        .iter()
+        .map(|p| p.get("name").and_then(Json::str).expect("phase name"))
+        .collect();
+    assert_eq!(phase_names, ["build", "setup", "skip", "measure", "finalize"]);
+    for p in wl.get("phases").unwrap().items() {
+        assert!(p.get("wall_ms").and_then(Json::num).expect("wall_ms") >= 0.0);
+        assert!(p.get("events_per_sec").and_then(Json::num).is_some());
+    }
+    let measure = wl
+        .get("phases")
+        .unwrap()
+        .items()
+        .iter()
+        .find(|p| p.get("name").and_then(Json::str) == Some("measure"));
+    assert_eq!(measure.unwrap().get("events").and_then(Json::num), Some(400_000.0));
+    match wl.get("gauges") {
+        Some(Json::Obj(gauges)) => {
+            assert!(gauges.contains_key("tracker_instances_buffered"), "gauges: {gauges:?}");
+            assert!(gauges.contains_key("reuse_entries_valid"), "gauges: {gauges:?}");
+        }
+        other => panic!("gauges must be an object, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--bench N` turns the same path into a median+IQR summary document.
+#[test]
+fn bench_mode_writes_schema_v1_summary() {
+    let dir = std::env::temp_dir().join(format!("instrep-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--jobs",
+        "1",
+        "--bench",
+        "2",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::str), Some("bench"));
+    assert_eq!(doc.get("runs").and_then(Json::num), Some(2.0));
+    let wl = &doc.get("workloads").expect("workloads").items()[0];
+    let measure = wl
+        .get("phases")
+        .expect("phases")
+        .items()
+        .iter()
+        .find(|p| p.get("name").and_then(Json::str) == Some("measure"))
+        .expect("measure phase summarized");
+    assert!(measure.get("median_ms").and_then(Json::num).unwrap() > 0.0);
+    assert!(measure.get("iqr_ms").and_then(Json::num).unwrap() >= 0.0);
+    assert!(measure.get("median_events_per_sec").and_then(Json::num).unwrap() > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Metrics collection must not change a byte of table stdout, at any
+/// jobs count (the acceptance bar for the observability layer).
+#[test]
+fn metrics_out_leaves_stdout_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("instrep-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut baseline: Option<Vec<u8>> = None;
+    for jobs in ["1", "4"] {
+        let args = ["--scale", "tiny", "--only", "compress", "--table", "1", "--jobs", jobs];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let path = dir.join(format!("m{jobs}.json"));
+        let mut with_metrics_args = args.to_vec();
+        with_metrics_args.extend_from_slice(&["--metrics-out", path.to_str().unwrap()]);
+        let instrumented = run(&with_metrics_args);
+        assert!(instrumented.status.success(), "stderr: {}", stderr_of(&instrumented));
+        assert_eq!(
+            plain.stdout, instrumented.stdout,
+            "--metrics-out changed stdout at --jobs {jobs}"
+        );
+        match &baseline {
+            None => baseline = Some(plain.stdout),
+            Some(b) => assert_eq!(b, &plain.stdout, "stdout differs between jobs counts"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

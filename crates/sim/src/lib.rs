@@ -40,6 +40,6 @@ mod trace;
 
 pub use error::SimError;
 pub use event::{CtrlEffect, Event, MemEffect};
-pub use machine::{Machine, RunOutcome};
+pub use machine::{Machine, MachineFootprint, RunOutcome};
 pub use mem::Memory;
 pub use trace::Trace;

@@ -15,6 +15,23 @@ pub enum RunOutcome {
     MaxedOut,
 }
 
+/// Resource footprint of a running [`Machine`], sampled by observability
+/// layers (see `instrep_core::metrics`). Sampling reads existing state
+/// only — it never perturbs execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineFootprint {
+    /// Simulated-memory pages resident (touched at least once).
+    pub resident_pages: usize,
+    /// Bytes backing those pages (page-granular).
+    pub resident_bytes: usize,
+    /// Static instructions in the pre-decoded text segment.
+    pub text_insns: usize,
+    /// Bytes the program has written through the `write` syscall.
+    pub output_bytes: usize,
+    /// Input-stream bytes not yet consumed by `read`.
+    pub input_remaining: usize,
+}
+
 /// A functional SRV32 machine: registers, memory, and an environment
 /// (input stream, output buffer, heap break).
 ///
@@ -146,6 +163,17 @@ impl Machine {
     /// The memory [`Region`] of an address under the current heap break.
     pub fn region_of(&self, addr: u32) -> Region {
         abi::region_of(addr, self.data_end, self.brk)
+    }
+
+    /// Samples the machine's current resource footprint (for metrics).
+    pub fn footprint(&self) -> MachineFootprint {
+        MachineFootprint {
+            resident_pages: self.mem.resident_pages(),
+            resident_bytes: self.mem.resident_bytes(),
+            text_insns: self.text.len(),
+            output_bytes: self.output.len(),
+            input_remaining: self.input.len().saturating_sub(self.input_pos),
+        }
     }
 
     /// Runs until exit or until `max_insns` have retired, feeding every

@@ -118,6 +118,12 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count()
     }
+
+    /// Bytes held by resident pages (page-granular: each touched page
+    /// accounts for its full 4 KiB backing allocation).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_pages() * PAGE_SIZE
+    }
 }
 
 impl Default for Memory {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Performance-trajectory benchmark. Runs the pinned workloads RUNS times
+# per scale via `instrep-repro --bench` (which writes a median+IQR
+# summary per scale) and wraps the per-scale summaries into one
+# `BENCH_<date>.json` trajectory document at the repo root. Commit the
+# file: successive entries across PRs chart the pipeline's throughput
+# over time (see DESIGN.md for the schema and methodology).
+#
+# Tunables (env): RUNS (default 3), SCALES ("tiny small"), JOBS (4),
+# SEED (1998), OUT (BENCH_$(date +%F).json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+SCALES="${SCALES:-tiny small}"
+JOBS="${JOBS:-4}"
+SEED="${SEED:-1998}"
+OUT="${OUT:-BENCH_$(date +%F).json}"
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p instrep-repro
+
+BIN=target/release/instrep-repro
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for scale in $SCALES; do
+    echo "==> bench: scale=$scale runs=$RUNS jobs=$JOBS seed=$SEED"
+    "$BIN" --scale "$scale" --seed "$SEED" --jobs "$JOBS" --table 1 \
+        --bench "$RUNS" --metrics-out "$TMP/$scale.json" >/dev/null
+done
+
+{
+    printf '{\n'
+    printf '  "schema_version": 1,\n'
+    printf '  "kind": "bench-trajectory",\n'
+    printf '  "date": "%s",\n' "$(date +%F)"
+    printf '  "entries": [\n'
+    first=1
+    for scale in $SCALES; do
+        if [ "$first" -eq 0 ]; then printf ',\n'; fi
+        first=0
+        # Indent the per-scale summary; $(...) strips its trailing newline.
+        printf '%s' "$(sed 's/^/    /' "$TMP/$scale.json")"
+    done
+    printf '\n  ]\n'
+    printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"

@@ -20,4 +20,21 @@ cargo test -q --workspace --offline
 echo "==> cargo test --features proptest (property tests, offline)"
 cargo test -q --workspace --offline --features proptest
 
+echo "==> golden snapshots (byte-for-byte table output)"
+cargo test -q -p instrep-repro --offline --test golden
+
+echo "==> metrics smoke run (--metrics-out schema check)"
+SMOKE="$(mktemp)"
+trap 'rm -f "$SMOKE"' EXIT
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --metrics-out "$SMOKE" >/dev/null
+grep -q '"schema_version": 1,' "$SMOKE" || {
+    echo "metrics schema drift: expected schema_version 1 in $SMOKE" >&2
+    exit 1
+}
+grep -q '"kind": "metrics",' "$SMOKE" || {
+    echo "metrics schema drift: expected kind \"metrics\" in $SMOKE" >&2
+    exit 1
+}
+
 echo "CI OK"
