@@ -1,0 +1,312 @@
+//! Windowed repetition time series: how repetition evolves *over* a
+//! program's execution, which the paper's end-of-run totals cannot show.
+//!
+//! An [`IntervalSampler`] closes a window every `interval` retired
+//! instructions of the measurement phase and records, per window, the
+//! repetition fraction, the reuse-buffer hit rate, the tracker's
+//! instance-buffer occupancy, and how many new unique instances were
+//! buffered. Sampling is boundary-only: per event the pipeline pays one
+//! counter increment and one comparison; gauges are read only when a
+//! window closes, so the analyses' output is byte-identical with the
+//! sampler on or off.
+//!
+//! The series is emitted as JSONL ([`to_jsonl`]): a versioned header
+//! line ([`INTERVAL_SCHEMA_VERSION`], `"kind": "intervals"`) followed by
+//! one line per window, in workload order. Every value derives from the
+//! deterministic analyses, so the document is byte-reproducible across
+//! runs and `--jobs` counts. Schema in `DESIGN.md` §10.
+
+use crate::metrics::{json_f64, json_string};
+
+/// Version of the interval JSONL document. Bump on any change to field
+/// names, meanings, or structure; `scripts/ci.sh` greps for the current
+/// value to catch accidental drift.
+pub const INTERVAL_SCHEMA_VERSION: u32 = 1;
+
+/// One closed measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalWindow {
+    /// Measured instructions retired when the window closed (an exact
+    /// multiple of the interval, except for a final partial window).
+    pub end: u64,
+    /// Instructions in this window (the interval, or the remainder for
+    /// a final partial window).
+    pub insns: u64,
+    /// Instructions classified repeated within the window.
+    pub repeated: u64,
+    /// Reuse-buffer hits within the window.
+    pub reuse_hits: u64,
+    /// Tracker instances buffered when the window closed (absolute).
+    pub occupancy: u64,
+    /// Instances newly buffered during the window (unique-instance
+    /// growth).
+    pub unique_growth: u64,
+    /// Whether this is a final window shorter than the interval.
+    pub partial: bool,
+}
+
+impl IntervalWindow {
+    /// Fraction of the window's instructions classified repeated.
+    pub fn repeat_frac(&self) -> f64 {
+        frac(self.repeated, self.insns)
+    }
+
+    /// Fraction of the window's instructions that hit the reuse buffer.
+    pub fn reuse_hit_frac(&self) -> f64 {
+        frac(self.reuse_hits, self.insns)
+    }
+}
+
+fn frac(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Accumulates [`IntervalWindow`]s over one workload's measurement
+/// phase.
+///
+/// The pipeline drives it with [`IntervalSampler::tick`] once per
+/// retired instruction and flushes gauges at the boundaries `tick`
+/// reports; [`IntervalSampler::finish`] closes a trailing partial
+/// window, if any.
+///
+/// # Examples
+///
+/// ```
+/// use instrep_core::IntervalSampler;
+///
+/// let mut s = IntervalSampler::new(2);
+/// for step in 1..=5u64 {
+///     if s.tick() {
+///         s.flush(step / 2, step, step * 10); // boundary gauges
+///     }
+/// }
+/// s.finish(2, 5, 50);
+/// let w = s.windows();
+/// assert_eq!(w.len(), 3);
+/// assert_eq!((w[0].end, w[0].insns, w[0].partial), (2, 2, false));
+/// assert_eq!((w[2].end, w[2].insns, w[2].partial), (5, 1, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalSampler {
+    interval: u64,
+    in_window: u64,
+    measured: u64,
+    last_repeated: u64,
+    last_hits: u64,
+    last_buffered: u64,
+    windows: Vec<IntervalWindow>,
+}
+
+impl IntervalSampler {
+    /// Creates a sampler closing a window every `interval` instructions
+    /// (clamped to at least 1).
+    pub fn new(interval: u64) -> IntervalSampler {
+        IntervalSampler {
+            interval: interval.max(1),
+            in_window: 0,
+            measured: 0,
+            last_repeated: 0,
+            last_hits: 0,
+            last_buffered: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The configured window size.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Counts one retired instruction; returns `true` when it completes
+    /// a window (the caller must then call [`IntervalSampler::flush`]).
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        self.in_window += 1;
+        self.measured += 1;
+        self.in_window == self.interval
+    }
+
+    /// Closes the current (full) window with cumulative gauges:
+    /// instructions classified repeated so far, reuse-buffer hits so
+    /// far, and the tracker's current buffered-instance count.
+    pub fn flush(&mut self, repeated: u64, reuse_hits: u64, buffered: u64) {
+        self.close(false, repeated, reuse_hits, buffered);
+    }
+
+    /// Closes a trailing partial window, if any instructions retired
+    /// since the last boundary. Call once, after the run.
+    pub fn finish(&mut self, repeated: u64, reuse_hits: u64, buffered: u64) {
+        if self.in_window > 0 {
+            self.close(true, repeated, reuse_hits, buffered);
+        }
+    }
+
+    fn close(&mut self, partial: bool, repeated: u64, reuse_hits: u64, buffered: u64) {
+        self.windows.push(IntervalWindow {
+            end: self.measured,
+            insns: self.in_window,
+            repeated: repeated - self.last_repeated,
+            reuse_hits: reuse_hits - self.last_hits,
+            occupancy: buffered,
+            unique_growth: buffered - self.last_buffered,
+            partial,
+        });
+        self.in_window = 0;
+        self.last_repeated = repeated;
+        self.last_hits = reuse_hits;
+        self.last_buffered = buffered;
+    }
+
+    /// The closed windows so far.
+    pub fn windows(&self) -> &[IntervalWindow] {
+        &self.windows
+    }
+
+    /// Consumes the sampler, returning its closed windows.
+    pub fn into_windows(self) -> Vec<IntervalWindow> {
+        self.windows
+    }
+}
+
+/// Renders the interval JSONL document: a header line followed by one
+/// line per window, workloads in the given order.
+pub fn to_jsonl(
+    scale: &str,
+    seed: u64,
+    jobs: usize,
+    interval: u64,
+    series: &[(String, Vec<IntervalWindow>)],
+) -> String {
+    let mut s =
+        String::with_capacity(128 + series.iter().map(|(_, w)| w.len() * 160).sum::<usize>());
+    s.push_str(&format!(
+        "{{\"schema_version\": {INTERVAL_SCHEMA_VERSION}, \"kind\": \"intervals\", \
+         \"scale\": {}, \"seed\": {seed}, \"jobs\": {jobs}, \"interval\": {interval}}}\n",
+        json_string(scale),
+    ));
+    for (name, windows) in series {
+        for (i, w) in windows.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"workload\": {}, \"window\": {}, \"end\": {}, \"insns\": {}, \
+                 \"repeated\": {}, \"repeat_frac\": {}, \"reuse_hits\": {}, \
+                 \"reuse_hit_frac\": {}, \"occupancy\": {}, \"unique_growth\": {}, \
+                 \"partial\": {}}}\n",
+                json_string(name),
+                i + 1,
+                w.end,
+                w.insns,
+                w.repeated,
+                json_f64(w.repeat_frac()),
+                w.reuse_hits,
+                json_f64(w.reuse_hit_frac()),
+                w.occupancy,
+                w.unique_growth,
+                w.partial,
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fall_on_exact_multiples() {
+        let mut s = IntervalSampler::new(3);
+        let mut closed = Vec::new();
+        for step in 1..=10u64 {
+            if s.tick() {
+                s.flush(step / 2, step / 3, step);
+                closed.push(step);
+            }
+        }
+        s.finish(5, 3, 10);
+        assert_eq!(closed, [3, 6, 9]);
+        let w = s.windows();
+        assert_eq!(w.len(), 4);
+        assert!(w[..3].iter().all(|w| !w.partial && w.insns == 3 && w.end % 3 == 0));
+        let last = w[3];
+        assert!(last.partial);
+        assert_eq!((last.end, last.insns), (10, 1));
+        // Window deltas reconstruct the cumulative gauges.
+        assert_eq!(w.iter().map(|w| w.repeated).sum::<u64>(), 5);
+        assert_eq!(w.iter().map(|w| w.reuse_hits).sum::<u64>(), 3);
+        assert_eq!(w.iter().map(|w| w.unique_growth).sum::<u64>(), 10);
+        assert_eq!(last.occupancy, 10);
+    }
+
+    #[test]
+    fn exact_fit_leaves_no_partial_window() {
+        let mut s = IntervalSampler::new(2);
+        for step in 1..=4u64 {
+            if s.tick() {
+                s.flush(0, 0, step);
+            }
+        }
+        s.finish(0, 0, 4);
+        assert_eq!(s.windows().len(), 2);
+        assert!(s.windows().iter().all(|w| !w.partial));
+    }
+
+    #[test]
+    fn zero_interval_clamps_to_one() {
+        let mut s = IntervalSampler::new(0);
+        assert_eq!(s.interval(), 1);
+        assert!(s.tick());
+    }
+
+    #[test]
+    fn fractions() {
+        let w = IntervalWindow {
+            end: 10,
+            insns: 4,
+            repeated: 3,
+            reuse_hits: 1,
+            occupancy: 5,
+            unique_growth: 2,
+            partial: false,
+        };
+        assert!((w.repeat_frac() - 0.75).abs() < 1e-12);
+        assert!((w.reuse_hit_frac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let windows = vec![
+            IntervalWindow {
+                end: 2,
+                insns: 2,
+                repeated: 1,
+                reuse_hits: 1,
+                occupancy: 2,
+                unique_growth: 2,
+                partial: false,
+            },
+            IntervalWindow {
+                end: 3,
+                insns: 1,
+                repeated: 1,
+                reuse_hits: 0,
+                occupancy: 2,
+                unique_growth: 0,
+                partial: true,
+            },
+        ];
+        let doc = to_jsonl("tiny", 7, 2, 2, &[("compress".to_string(), windows)]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"schema_version\": 1"));
+        assert!(lines[0].contains("\"kind\": \"intervals\""));
+        assert!(lines[0].contains("\"interval\": 2"));
+        assert!(lines[1].contains("\"workload\": \"compress\""));
+        assert!(lines[1].contains("\"window\": 1"));
+        assert!(lines[1].contains("\"partial\": false"));
+        assert!(lines[2].contains("\"partial\": true"));
+    }
+}

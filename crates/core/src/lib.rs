@@ -24,6 +24,13 @@
 //! * [`metrics`] — pull-based observability: phase timers, throughput,
 //!   occupancy gauges, and the versioned JSON documents behind
 //!   `instrep-repro --metrics-out` and the `BENCH_*.json` trajectory.
+//! * [`trace_span`] — explicit span tracer exporting Chrome trace-event
+//!   JSON (`instrep-repro --trace-out`): one lane per pipeline worker
+//!   thread, one span per phase, Perfetto-loadable.
+//! * [`interval`] — windowed repetition time series
+//!   (`instrep-repro --interval/--interval-out`): per-window repetition
+//!   fraction, reuse hit rate, tracker occupancy, and unique-instance
+//!   growth as JSONL.
 //!
 //! # Examples
 //!
@@ -48,12 +55,14 @@ pub mod export;
 mod function;
 pub mod fxhash;
 mod global;
+pub mod interval;
 mod local;
 pub mod metrics;
 mod pipeline;
 mod predict;
 pub mod report;
 mod reuse;
+pub mod trace_span;
 mod tracker;
 
 pub use classes::{ClassAnalysis, ClassCounts, InsnClass};
@@ -61,14 +70,17 @@ pub use coverage::Coverage;
 pub use function::{FuncStats, FunctionAnalysis};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
+pub use interval::{IntervalSampler, IntervalWindow, INTERVAL_SCHEMA_VERSION};
 pub use local::{LocalAnalysis, LocalCat, LocalCounts};
 pub use metrics::{
     BenchSummary, MetricsReport, PhaseMetrics, WorkloadMetrics, METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::{
-    analyze, analyze_many, analyze_many_with_metrics, analyze_with_metrics, default_parallelism,
-    steady_state_check, AnalysisConfig, AnalysisJob, WorkloadReport,
+    analyze, analyze_many, analyze_many_instrumented, analyze_many_with_metrics,
+    analyze_with_metrics, analyze_with_probes, default_parallelism, steady_state_check,
+    AnalysisConfig, AnalysisJob, InstrumentedReport, ProbeConfig, Probes, WorkloadReport,
 };
 pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+pub use trace_span::{OpenSpan, Span, SpanLane, SpanTracer, TRACE_SCHEMA_VERSION};
 pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

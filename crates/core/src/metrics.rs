@@ -150,8 +150,9 @@ pub struct MetricsReport {
     pub jobs: usize,
     /// Per-workload metrics, in workload order.
     pub workloads: Vec<(String, WorkloadMetrics)>,
-    /// Process peak resident set size, if the platform exposes it.
-    pub peak_rss_bytes: Option<u64>,
+    /// Process peak resident set size; 0 when the platform does not
+    /// expose it (see [`peak_rss_bytes`]).
+    pub peak_rss_bytes: u64,
     /// Wall time of the whole pipeline invocation (all workloads).
     pub wall_ns_total: u64,
 }
@@ -168,10 +169,7 @@ impl MetricsReport {
         push_kv_u64(&mut s, 1, "seed", self.seed, true);
         push_kv_u64(&mut s, 1, "jobs", self.jobs as u64, true);
         push_kv_f64(&mut s, 1, "wall_ms_total", self.wall_ns_total as f64 / 1e6, true);
-        match self.peak_rss_bytes {
-            Some(b) => push_kv_u64(&mut s, 1, "peak_rss_bytes", b, true),
-            None => push_kv_raw(&mut s, 1, "peak_rss_bytes", "null", true),
-        }
+        push_kv_u64(&mut s, 1, "peak_rss_bytes", self.peak_rss_bytes, true);
         indent(&mut s, 1);
         s.push_str("\"workloads\": [\n");
         for (wi, (name, m)) in self.workloads.iter().enumerate() {
@@ -386,20 +384,29 @@ fn quantile(xs: &mut [f64], q: f64) -> f64 {
 }
 
 /// Process peak resident set size in bytes (`VmHWM` from
-/// `/proc/self/status`). `None` on platforms without procfs or if the
-/// field is missing.
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
-        }
-    }
-    None
+/// `/proc/self/status`). Degrades to 0 on platforms without procfs or
+/// when the field is missing or unparseable — a 0 gauge, never a
+/// garbage value.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status").map_or(0, |s| parse_vm_hwm(&s))
+}
+
+/// Extracts `VmHWM` from a `/proc/self/status`-shaped document, in
+/// bytes. Any surprise — missing line, non-numeric value, unexpected
+/// unit — yields 0, and huge values saturate instead of wrapping.
+fn parse_vm_hwm(status: &str) -> u64 {
+    let Some(rest) = status.lines().find_map(|l| l.strip_prefix("VmHWM:")) else {
+        return 0;
+    };
+    let Some(kb) = rest.trim().strip_suffix("kB") else {
+        return 0;
+    };
+    kb.trim().parse::<u64>().map_or(0, |kb| kb.saturating_mul(1024))
 }
 
 // --- tiny deterministic JSON emission helpers -------------------------
+// Shared with the trace_span and interval emitters (same crate), which
+// version their documents the same way.
 
 fn indent(s: &mut String, level: usize) {
     for _ in 0..level {
@@ -433,7 +440,7 @@ fn push_kv_str(s: &mut String, level: usize, key: &str, value: &str, more: bool)
 }
 
 /// JSON-escapes and quotes a string.
-fn json_string(v: &str) -> String {
+pub(crate) fn json_string(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {
@@ -453,7 +460,7 @@ fn json_string(v: &str) -> String {
 
 /// Formats a finite f64 as a JSON number (3 decimal places; NaN and
 /// infinities — which the pipeline never produces — clamp to 0).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
     } else {
@@ -477,7 +484,7 @@ mod tests {
                     seed: 1,
                     jobs: 1,
                     workloads: vec![("w".to_string(), m)],
-                    peak_rss_bytes: None,
+                    peak_rss_bytes: 0,
                     wall_ns_total: 0,
                 }
             })
@@ -541,9 +548,23 @@ mod tests {
 
     #[test]
     fn peak_rss_is_sane_on_linux() {
-        if let Some(b) = peak_rss_bytes() {
-            // A running test binary has touched at least a few pages.
-            assert!(b > 4096, "peak RSS {b} implausibly small");
-        }
+        let b = peak_rss_bytes();
+        // A running test binary has touched at least a few pages; off
+        // Linux the probe degrades to exactly 0.
+        assert!(b == 0 || b > 4096, "peak RSS {b} implausible");
+    }
+
+    #[test]
+    fn vm_hwm_parsing_degrades_to_zero() {
+        let good = "VmPeak:\t  999 kB\nVmHWM:\t   5432 kB\nThreads: 4\n";
+        assert_eq!(parse_vm_hwm(good), 5432 * 1024);
+        // Missing field, garbage value, wrong unit: all degrade to 0.
+        assert_eq!(parse_vm_hwm(""), 0);
+        assert_eq!(parse_vm_hwm("VmPeak: 999 kB\n"), 0);
+        assert_eq!(parse_vm_hwm("VmHWM: lots kB\n"), 0);
+        assert_eq!(parse_vm_hwm("VmHWM: 5432 MB\n"), 0);
+        assert_eq!(parse_vm_hwm("VmHWM: 5432\n"), 0);
+        // Absurd values saturate rather than wrapping.
+        assert_eq!(parse_vm_hwm("VmHWM: 18446744073709551615 kB\n"), u64::MAX);
     }
 }

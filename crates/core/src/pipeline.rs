@@ -13,10 +13,12 @@ use crate::classes::{ClassAnalysis, ClassCounts};
 use crate::coverage::Coverage;
 use crate::function::FunctionAnalysis;
 use crate::global::{GlobalAnalysis, GlobalCounts};
+use crate::interval::{IntervalSampler, IntervalWindow};
 use crate::local::{LocalAnalysis, LocalCounts};
 use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+use crate::trace_span::{SpanLane, SpanTracer};
 use crate::tracker::{RepetitionTracker, TrackerConfig};
 
 /// Configuration for [`analyze`].
@@ -193,9 +195,52 @@ pub fn analyze_with_metrics(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
-    mut metrics: Option<&mut WorkloadMetrics>,
+    metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
+    analyze_with_probes(image, input, cfg, Probes { metrics, spans: None, sampler: None })
+}
+
+/// The pipeline's optional observability hooks, all riding the same
+/// `Option<&mut …>` pattern: any subset may be attached, none of them
+/// can perturb the [`WorkloadReport`], and an all-`None` bundle is the
+/// plain [`analyze`] path.
+#[derive(Debug, Default)]
+pub struct Probes<'a> {
+    /// Phase timers, throughput, and end-of-run gauges (`core::metrics`).
+    pub metrics: Option<&'a mut WorkloadMetrics>,
+    /// Span lane for Chrome-trace export (`core::trace_span`); one
+    /// span per pipeline phase is recorded into it.
+    pub spans: Option<&'a mut SpanLane>,
+    /// Windowed repetition time-series sampler (`core::interval`),
+    /// driven every retired instruction of the measurement phase.
+    pub sampler: Option<&'a mut IntervalSampler>,
+}
+
+impl Probes<'_> {
+    /// No probes attached: exactly the [`analyze`] path.
+    pub fn none() -> Probes<'static> {
+        Probes::default()
+    }
+}
+
+/// [`analyze`] with any combination of [`Probes`] attached.
+///
+/// Metrics and spans sample the clock at phase boundaries only; the
+/// interval sampler adds one counter increment per measured instruction
+/// and reads gauges at window boundaries. None of them feed back into
+/// the analyses, so the report is byte-identical whatever is attached.
+///
+/// # Errors
+///
+/// Propagates simulator traps, exactly as [`analyze`].
+pub fn analyze_with_probes(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+    mut probes: Probes<'_>,
+) -> Result<WorkloadReport, SimError> {
+    let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
+    let span = probes.spans.as_mut().map(|l| l.begin());
     let mut machine = Machine::new(image);
     machine.set_input(input);
 
@@ -216,11 +261,15 @@ pub fn analyze_with_metrics(
     // (data_end, STACK_REGION_BASE) is heap — pass the stack base as the
     // effective break.
     let pseudo_brk = instrep_isa::abi::STACK_REGION_BASE;
-    if let Some(m) = metrics.as_deref_mut() {
+    if let Some(m) = probes.metrics.as_deref_mut() {
         m.record_phase("setup", timer.expect("timer started with metrics"), 0);
     }
+    if let Some(l) = probes.spans.as_deref_mut() {
+        l.end(span.expect("span opened with lane"), "setup", "phase", 0);
+    }
 
-    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
+    let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
+    let span = probes.spans.as_mut().map(|l| l.begin());
     let mut outcome = RunOutcome::MaxedOut;
     if cfg.skip > 0 {
         outcome = machine.run(cfg.skip, |ev| {
@@ -231,33 +280,62 @@ pub fn analyze_with_metrics(
             local.observe(ev, false, false, region);
         })?;
     }
-    if let Some(m) = metrics.as_deref_mut() {
+    if let Some(m) = probes.metrics.as_deref_mut() {
         m.record_phase("skip", timer.expect("timer started with metrics"), machine.icount());
     }
-
-    // Measurement window.
-    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
-    let measured_from = machine.icount();
-    if machine.exit_code().is_none() {
-        outcome = machine.run(cfg.window, |ev| {
-            let region =
-                ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
-            let repeated = tracker.observe(ev);
-            global.observe(ev, repeated, true);
-            function.observe(ev, true, region);
-            local.observe(ev, repeated, true, region);
-            reuse.observe(ev, repeated);
-            classes.observe(ev, repeated, true);
-            predict.observe(ev, repeated);
-            stride.observe(ev);
-        })?;
+    if let Some(l) = probes.spans.as_deref_mut() {
+        l.end(span.expect("span opened with lane"), "skip", "phase", machine.icount());
     }
-    if let Some(m) = metrics.as_deref_mut() {
+
+    // Measurement window. The loop body is a macro so the sampled and
+    // unsampled paths cannot drift apart; the sampler variant adds one
+    // tick per event and reads gauges only at window boundaries.
+    let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
+    let span = probes.spans.as_mut().map(|l| l.begin());
+    let measured_from = machine.icount();
+    macro_rules! measure_event {
+        ($ev:ident) => {{
+            let region =
+                $ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
+            let repeated = tracker.observe($ev);
+            global.observe($ev, repeated, true);
+            function.observe($ev, true, region);
+            local.observe($ev, repeated, true, region);
+            reuse.observe($ev, repeated);
+            classes.observe($ev, repeated, true);
+            predict.observe($ev, repeated);
+            stride.observe($ev);
+        }};
+    }
+    if machine.exit_code().is_none() {
+        outcome = match probes.sampler.as_deref_mut() {
+            None => machine.run(cfg.window, |ev| measure_event!(ev))?,
+            Some(s) => machine.run(cfg.window, |ev| {
+                measure_event!(ev);
+                if s.tick() {
+                    s.flush(
+                        tracker.dynamic_repeated(),
+                        reuse.stats().hits,
+                        tracker.instances_buffered(),
+                    );
+                }
+            })?,
+        };
+    }
+    if let Some(s) = probes.sampler.as_deref_mut() {
+        s.finish(tracker.dynamic_repeated(), reuse.stats().hits, tracker.instances_buffered());
+    }
+    if let Some(m) = probes.metrics.as_deref_mut() {
         let t = timer.expect("timer started with metrics");
         m.record_phase("measure", t, machine.icount() - measured_from);
     }
+    if let Some(l) = probes.spans.as_deref_mut() {
+        let sp = span.expect("span opened with lane");
+        l.end(sp, "measure", "phase", machine.icount() - measured_from);
+    }
 
-    let timer = metrics.as_ref().map(|_| PhaseTimer::start());
+    let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
+    let span = probes.spans.as_mut().map(|l| l.begin());
     let static_coverage =
         tracker.static_stats().iter().filter(|s| s.repeated > 0).map(|s| s.repeated).collect();
     let instance_coverage = Coverage::new(tracker.instance_repeat_counts());
@@ -293,7 +371,7 @@ pub fn analyze_with_metrics(
         stride: *stride.stats(),
     };
 
-    if let Some(m) = metrics {
+    if let Some(m) = probes.metrics {
         m.record_phase("finalize", timer.expect("timer started with metrics"), 0);
         // Occupancy gauges, in a fixed order (deterministic documents).
         m.gauge("tracker_static_entries", tracker.static_total() as u64);
@@ -312,6 +390,9 @@ pub fn analyze_with_metrics(
         m.gauge("sim_resident_bytes", fp.resident_bytes as u64);
         m.gauge("sim_output_bytes", fp.output_bytes as u64);
     }
+    if let Some(l) = probes.spans {
+        l.end(span.expect("span opened with lane"), "finalize", "phase", 0);
+    }
 
     Ok(report)
 }
@@ -324,6 +405,9 @@ pub struct AnalysisJob<'a> {
     pub image: &'a Image,
     /// The workload's input stream (consumed by the run).
     pub input: Vec<u8>,
+    /// Display label (workload name) used for span traces; `""` is fine
+    /// when tracing is off.
+    pub label: &'a str,
 }
 
 /// Runs [`analyze`] over many workloads on a pool of scoped threads.
@@ -363,10 +447,91 @@ pub fn analyze_many_with_metrics(
     cfg: &AnalysisConfig,
     threads: usize,
 ) -> Vec<Result<(WorkloadReport, WorkloadMetrics), SimError>> {
-    parallel_map(jobs, threads, |job| {
-        let mut m = WorkloadMetrics::default();
-        analyze_with_metrics(job.image, job.input, cfg, Some(&mut m)).map(|r| (r, m))
-    })
+    let probes = ProbeConfig { metrics: true, interval: None };
+    analyze_many_instrumented(jobs, cfg, threads, probes, None)
+        .into_iter()
+        .map(|r| r.map(|ir| (ir.report, ir.metrics.expect("metrics were requested"))))
+        .collect()
+}
+
+/// Which per-job telemetry [`analyze_many_instrumented`] collects.
+/// Span tracing is switched by passing a [`SpanTracer`], not here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeConfig {
+    /// Collect a [`WorkloadMetrics`] per job.
+    pub metrics: bool,
+    /// Sample an interval time series per job, closing a window every
+    /// this many measured instructions.
+    pub interval: Option<u64>,
+}
+
+/// One job's report plus whatever telemetry [`ProbeConfig`] requested.
+#[derive(Debug)]
+pub struct InstrumentedReport {
+    /// The analysis report — byte-identical to the uninstrumented run.
+    pub report: WorkloadReport,
+    /// Phase metrics, when [`ProbeConfig::metrics`] was set.
+    pub metrics: Option<WorkloadMetrics>,
+    /// Interval windows, when [`ProbeConfig::interval`] was set.
+    pub intervals: Option<Vec<IntervalWindow>>,
+}
+
+/// [`analyze_many`] with the full observability stack attached: metrics
+/// and/or interval sampling per [`ProbeConfig`], plus span tracing when
+/// a [`SpanTracer`] is passed.
+///
+/// Each worker thread records into its own span lane (lane `1 + worker
+/// index`; lane 0 is reserved for the driver's main thread): one
+/// `"workload"` span per job wrapping the pipeline's `"phase"` spans.
+/// Lanes are merged into the tracer in job order, which — workers
+/// claiming jobs in cursor order — keeps every lane's spans in
+/// chronological order too. Reports still come back in job order and
+/// are byte-identical to [`analyze_many`]'s for every `threads` value.
+///
+/// # Errors
+///
+/// Each slot carries its own simulator outcome, as in [`analyze_many`];
+/// spans closed before a trap are still merged into the tracer.
+pub fn analyze_many_instrumented(
+    jobs: Vec<AnalysisJob<'_>>,
+    cfg: &AnalysisConfig,
+    threads: usize,
+    probes: ProbeConfig,
+    mut tracer: Option<&mut SpanTracer>,
+) -> Vec<Result<InstrumentedReport, SimError>> {
+    let epoch = tracer.as_ref().map(|t| t.epoch());
+    let results = parallel_map_indexed(jobs, threads, |worker, job| {
+        let mut metrics = probes.metrics.then(WorkloadMetrics::default);
+        let mut sampler = probes.interval.map(IntervalSampler::new);
+        let mut lane = epoch.map(|e| SpanLane::new(worker as u32 + 1, e));
+        let label = job.label.to_string();
+        let job_span = lane.as_mut().map(|l| l.begin());
+        let result = analyze_with_probes(
+            job.image,
+            job.input,
+            cfg,
+            Probes { metrics: metrics.as_mut(), spans: lane.as_mut(), sampler: sampler.as_mut() },
+        );
+        if let (Some(l), Ok(_)) = (lane.as_mut(), &result) {
+            l.end(job_span.expect("span opened with lane"), label, "workload", 0);
+        }
+        let spans = lane.map(SpanLane::into_spans);
+        let instrumented = result.map(|report| InstrumentedReport {
+            report,
+            metrics,
+            intervals: sampler.map(IntervalSampler::into_windows),
+        });
+        (instrumented, spans)
+    });
+    results
+        .into_iter()
+        .map(|(r, spans)| {
+            if let (Some(t), Some(spans)) = (tracer.as_deref_mut(), spans) {
+                t.extend(spans);
+            }
+            r
+        })
+        .collect()
 }
 
 /// The number of worker threads [`analyze_many`] should default to: the
@@ -376,15 +541,26 @@ pub fn default_parallelism() -> usize {
 }
 
 /// Order-preserving parallel map over owned items using scoped threads.
-///
-/// Items are claimed from a shared atomic cursor, so long and short jobs
-/// balance across workers; each result lands in its item's original
-/// slot, which is what makes downstream iteration deterministic.
 pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
+{
+    parallel_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`parallel_map`], passing each call the index of the worker thread
+/// running it (`0..threads`) — the span tracer's lane key.
+///
+/// Items are claimed from a shared atomic cursor, so long and short jobs
+/// balance across workers; each result lands in its item's original
+/// slot, which is what makes downstream iteration deterministic.
+pub(crate) fn parallel_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -392,7 +568,7 @@ where
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(|item| f(0, item)).collect();
     }
 
     // Items move to whichever worker claims their index; results are
@@ -401,17 +577,19 @@ where
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    let f = &f;
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        let (f, work, results, cursor) = (&f, &work, &results, &cursor);
+        for worker in 0..threads {
+            // `move` captures only the shared references plus this
+            // worker's index.
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = work[i].lock().unwrap().take().expect("each index claimed once");
-                let r = f(item);
+                let r = f(worker, item);
                 *results[i].lock().unwrap() = Some(r);
             });
         }
@@ -452,6 +630,7 @@ pub fn steady_state_check(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace_span::Span;
     use instrep_minicc::build;
 
     fn small_image() -> Image {
@@ -536,8 +715,9 @@ mod tests {
         let serial: Vec<u64> =
             (0..4).map(|_| analyze(&image, Vec::new(), &cfg).unwrap().dynamic_repeated).collect();
         for threads in [1, 2, 7] {
-            let jobs: Vec<AnalysisJob<'_>> =
-                (0..4).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect();
+            let jobs: Vec<AnalysisJob<'_>> = (0..4)
+                .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" })
+                .collect();
             let parallel: Vec<u64> = analyze_many(jobs, &cfg, threads)
                 .into_iter()
                 .map(|r| r.unwrap().dynamic_repeated)
@@ -572,7 +752,7 @@ mod tests {
         let image = small_image();
         let cfg = AnalysisConfig::default();
         let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
-            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect()
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
         };
         let plain: Vec<String> = analyze_many(jobs(3), &cfg, 2)
             .into_iter()
@@ -583,6 +763,85 @@ mod tests {
             .map(|r| format!("{:?}", r.unwrap().0))
             .collect();
         assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn probes_do_not_perturb_report() {
+        let image = small_image();
+        let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
+        let plain = analyze(&image, Vec::new(), &cfg).unwrap();
+        let tracer = SpanTracer::new();
+        let mut lane = SpanLane::new(0, tracer.epoch());
+        let mut sampler = IntervalSampler::new(700);
+        let mut m = WorkloadMetrics::default();
+        let probed = analyze_with_probes(
+            &image,
+            Vec::new(),
+            &cfg,
+            Probes { metrics: Some(&mut m), spans: Some(&mut lane), sampler: Some(&mut sampler) },
+        )
+        .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{probed:?}"));
+        // One span per pipeline phase, closed in pipeline order.
+        let names: Vec<&str> = lane.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["setup", "skip", "measure", "finalize"]);
+        assert_eq!(lane.spans()[2].events, probed.dynamic_total);
+        // Windows tile the measurement exactly and sum to the report.
+        let w = sampler.windows();
+        assert!(!w.is_empty());
+        assert_eq!(w.iter().map(|w| w.insns).sum::<u64>(), probed.dynamic_total);
+        assert_eq!(w.iter().map(|w| w.repeated).sum::<u64>(), probed.dynamic_repeated);
+        assert_eq!(w.iter().map(|w| w.reuse_hits).sum::<u64>(), probed.reuse.hits);
+        assert!(w[..w.len() - 1].iter().all(|w| !w.partial && w.insns == 700 && w.end % 700 == 0));
+        assert_eq!(w.last().unwrap().occupancy, w.iter().map(|w| w.unique_growth).sum::<u64>());
+    }
+
+    #[test]
+    fn instrumented_many_traces_every_job_and_phase() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let jobs: Vec<AnalysisJob<'_>> = (0..3)
+            .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "lookup" })
+            .collect();
+        let mut tracer = SpanTracer::new();
+        let probes = ProbeConfig { metrics: true, interval: Some(1000) };
+        let results = analyze_many_instrumented(jobs, &cfg, 2, probes, Some(&mut tracer));
+        assert_eq!(results.len(), 3);
+        for r in results {
+            let ir = r.unwrap();
+            assert!(ir.metrics.is_some());
+            let windows = ir.intervals.unwrap();
+            assert_eq!(windows.iter().map(|w| w.insns).sum::<u64>(), ir.report.dynamic_total);
+        }
+        // One workload span per job, each wrapping the four phase spans,
+        // on worker lanes >= 1.
+        let spans = tracer.spans();
+        let workloads: Vec<&Span> = spans.iter().filter(|s| s.cat == "workload").collect();
+        assert_eq!(workloads.len(), 3);
+        assert!(workloads.iter().all(|s| s.name == "lookup" && s.lane >= 1));
+        for lane in spans.iter().map(|s| s.lane).collect::<crate::FxHashSet<u32>>() {
+            let names: Vec<&str> = spans
+                .iter()
+                .filter(|s| s.lane == lane && s.cat == "phase")
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(names.len() % 4, 0, "lane {lane} has whole jobs only");
+            for chunk in names.chunks(4) {
+                assert_eq!(chunk, ["setup", "skip", "measure", "finalize"]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_indexed_reports_valid_worker_ids() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let out = parallel_map_indexed((0..8u64).collect(), 3, |worker, i| {
+            seen.lock().unwrap().push(worker);
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(seen.lock().unwrap().iter().all(|w| *w < 3));
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub struct RepetitionTracker {
     entries: Vec<StaticEntry>,
     dyn_total: u64,
     dyn_repeated: u64,
+    buffered: u64,
 }
 
 impl RepetitionTracker {
@@ -87,6 +88,7 @@ impl RepetitionTracker {
             entries: vec![StaticEntry::default(); static_count],
             dyn_total: 0,
             dyn_repeated: 0,
+            buffered: 0,
         }
     }
 
@@ -110,6 +112,7 @@ impl RepetitionTracker {
         }
         if entry.instances.len() < self.cfg.max_instances {
             entry.instances.insert(key, 0);
+            self.buffered += 1;
         }
         false
     }
@@ -212,9 +215,11 @@ impl RepetitionTracker {
 
     /// Total unique instances currently buffered across all static
     /// instructions (occupancy gauge; bounded by
-    /// `static_executed * max_instances`).
+    /// `static_executed * max_instances`). Maintained incrementally, so
+    /// it is O(1) — the interval sampler reads it at every window
+    /// boundary.
     pub fn instances_buffered(&self) -> u64 {
-        self.entries.iter().map(|e| e.instances.len() as u64).sum()
+        self.buffered
     }
 
     /// Rough bytes held by the instance tables (occupancy gauge): buffered
@@ -324,6 +329,17 @@ mod tests {
         assert!((h[0] - 5.0 / 8.0).abs() < 1e-9);
         assert!((h[1] - 3.0 / 8.0).abs() < 1e-9);
         assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn buffered_counter_matches_recount() {
+        let mut t = RepetitionTracker::new(TrackerConfig { max_instances: 2 }, 2);
+        for (idx, v) in [(0, 1u32), (0, 2), (0, 3), (0, 1), (1, 1), (1, 1)] {
+            t.observe(&ev(idx, v, v, v));
+        }
+        let recount: u64 = t.entries.iter().map(|e| e.instances.len() as u64).sum();
+        assert_eq!(t.instances_buffered(), recount);
+        assert_eq!(t.instances_buffered(), 3); // cap of 2 at static 0, 1 at static 1
     }
 
     #[test]

@@ -197,7 +197,7 @@ proptest! {
         let cfg = AnalysisConfig::default();
         let run = |threads: usize| -> Vec<String> {
             let jobs: Vec<AnalysisJob<'_>> =
-                (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new() }).collect();
+                (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect();
             analyze_many(jobs, &cfg, threads)
                 .into_iter()
                 .map(|r| format!("{:?}", r.expect("workload runs")))

@@ -89,12 +89,25 @@ pub fn check(src: &str) -> Result<ast::Program, CompileError> {
 /// [`BuildError::Asm`] indicates a code-generation bug and should be
 /// reported.
 pub fn build(src: &str) -> Result<Image, BuildError> {
+    let asm_text = compile_to_asm(src)?;
+    Ok(instrep_asm::assemble(&asm_text)?)
+}
+
+/// The compile half of [`build`]: checks the source (including the
+/// `main` requirement) and returns the full assembly module, runtime
+/// included, ready for [`instrep_asm::assemble`]. Drivers that want to
+/// time or trace the compile and assemble stages separately use this;
+/// `build(src)` is exactly `assemble(&compile_to_asm(src)?)`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Compile`] for source errors, as [`build`].
+pub fn compile_to_asm(src: &str) -> Result<String, BuildError> {
     let program = check(src)?;
     if program.func("main").is_none() {
         return Err(CompileError::new(0, "program has no `main` function").into());
     }
-    let asm_text = codegen_text(&program)?;
-    Ok(instrep_asm::assemble(&asm_text)?)
+    codegen_text(&program)
 }
 
 /// Compiles an analyzed program plus runtime to one assembly module.
@@ -417,7 +430,19 @@ mod tests {
     #[test]
     fn build_errors_surface() {
         assert!(matches!(build("int f() { return 0; }"), Err(BuildError::Compile(_)))); // no main
+        assert!(matches!(compile_to_asm("int f() { return 0; }"), Err(BuildError::Compile(_))));
         assert!(build("int main() { return undefined_fn(); }").is_err());
+    }
+
+    #[test]
+    fn build_is_compile_to_asm_plus_assemble() {
+        let src = "int sq(int x) { return x * x; } int main() { return sq(6); }";
+        let asm = compile_to_asm(src).unwrap();
+        assert!(asm.contains("sq:"));
+        let split = instrep_asm::assemble(&asm).unwrap();
+        let joined = build(src).unwrap();
+        assert_eq!(split.text, joined.text);
+        assert_eq!(split.data, joined.data);
     }
 
     #[test]

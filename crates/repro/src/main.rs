@@ -5,7 +5,8 @@
 //! ```text
 //! instrep-repro [--scale tiny|small|full] [--seed N] [--only BENCH]
 //!               [--jobs N] [--table N]... [--figure N]... [--steady-state]
-//!               [--metrics-out PATH] [--bench N] [--all]
+//!               [--metrics-out PATH] [--bench N] [--trace-out PATH]
+//!               [--interval N --interval-out PATH] [--all]
 //! ```
 //!
 //! With no table/figure selection, everything is printed. One simulation
@@ -19,13 +20,22 @@
 //! `--bench N` the analysis repeats N times and PATH receives a
 //! median+IQR bench summary instead — the unit of the `BENCH_*.json`
 //! performance trajectory (`scripts/bench.sh`).
+//!
+//! `--trace-out PATH` writes a Chrome trace-event JSON document
+//! (Perfetto-loadable) spanning compile, assemble, the analysis phases
+//! of every workload (one lane per worker thread), and table rendering.
+//! `--interval N --interval-out PATH` samples each workload's
+//! measurement every N retired instructions and writes the repetition
+//! time series as JSONL. Both are pull-based like `--metrics-out`: the
+//! table output stays byte-identical (see `DESIGN.md` §10).
 
 use std::process::ExitCode;
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
-    analyze, analyze_many, analyze_many_with_metrics, default_parallelism, metrics,
-    steady_state_check, AnalysisConfig, AnalysisJob, MetricsReport, WorkloadReport,
+    analyze, analyze_many, analyze_many_instrumented, default_parallelism, interval, metrics,
+    steady_state_check, AnalysisConfig, AnalysisJob, InstrumentedReport, IntervalWindow,
+    MetricsReport, ProbeConfig, SpanLane, SpanTracer, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -41,6 +51,9 @@ struct Options {
     csv: Option<String>,
     metrics_out: Option<String>,
     bench: Option<u32>,
+    trace_out: Option<String>,
+    interval: Option<u64>,
+    interval_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -56,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
         csv: None,
         metrics_out: None,
         bench: None,
+        trace_out: None,
+        interval: None,
+        interval_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +123,20 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.bench = Some(n);
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--interval" => {
+                let v = args.next().ok_or("--interval needs an instruction count")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad interval `{v}`"))?;
+                if n == 0 {
+                    return Err("--interval must be at least 1".to_string());
+                }
+                opts.interval = Some(n);
+            }
+            "--interval-out" => {
+                opts.interval_out = Some(args.next().ok_or("--interval-out needs a path")?);
+            }
             "--all" => {}
             "--list" => {
                 println!("{:<12}{:<16}", "bench", "SPEC analog");
@@ -120,7 +150,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: instrep-repro [--scale tiny|small|full] [--seed N] \
                      [--only BENCH] [--jobs N] [--table N]... [--figure N]... \
                      [--steady-state] [--input-check] [--csv PREFIX] \
-                     [--metrics-out PATH] [--bench N] [--list]"
+                     [--metrics-out PATH] [--bench N] [--trace-out PATH] \
+                     [--interval N --interval-out PATH] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -129,6 +160,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.bench.is_some() && opts.metrics_out.is_none() {
         return Err("--bench requires --metrics-out (the summary is written there)".to_string());
+    }
+    if opts.interval.is_some() != opts.interval_out.is_some() {
+        return Err("--interval and --interval-out must be given together".to_string());
+    }
+    if opts.bench.is_some() && (opts.trace_out.is_some() || opts.interval_out.is_some()) {
+        return Err("--bench cannot be combined with --trace-out or --interval-out".to_string());
     }
     Ok(opts)
 }
@@ -178,12 +215,33 @@ fn main() -> ExitCode {
         workloads.len(),
         opts.scale
     );
+    // The tracer (when --trace-out is given) records the driver's own
+    // work on lane 0; the pipeline's worker threads get lanes 1..=jobs.
+    let mut tracer = opts.trace_out.as_ref().map(|_| SpanTracer::new());
+    let mut main_lane = tracer.as_ref().map(|t| SpanLane::new(0, t.epoch()));
+
     let start = std::time::Instant::now();
     let mut images = Vec::with_capacity(workloads.len());
     let mut build_ns = Vec::with_capacity(workloads.len());
     for wl in &workloads {
         let t = std::time::Instant::now();
-        match wl.build() {
+        let built = match main_lane.as_mut() {
+            None => wl.build(),
+            // Traced builds run the same two stages `Workload::build`
+            // fuses, each under its own span.
+            Some(lane) => {
+                let sp = lane.begin();
+                let asm = instrep_minicc::compile_to_asm(&wl.full_source());
+                lane.end(sp, format!("compile: {}", wl.name), "build", 0);
+                asm.and_then(|text| {
+                    let sp = lane.begin();
+                    let image = instrep_asm::assemble(&text);
+                    lane.end(sp, format!("assemble: {}", wl.name), "build", 0);
+                    image.map_err(instrep_minicc::BuildError::from)
+                })
+            }
+        };
+        match built {
             Ok(i) => {
                 build_ns.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 images.push(i);
@@ -196,34 +254,44 @@ fn main() -> ExitCode {
     }
 
     let want_metrics = opts.metrics_out.is_some();
+    let probe_cfg = ProbeConfig { metrics: want_metrics, interval: opts.interval };
+    let any_probe = want_metrics || opts.interval.is_some() || tracer.is_some();
     let iterations = opts.bench.unwrap_or(1);
     let mut runs: Vec<MetricsReport> = Vec::new();
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
+    let mut interval_series: Vec<(String, Vec<IntervalWindow>)> = Vec::new();
     for iter in 0..iterations {
         let iter_start = std::time::Instant::now();
         let jobs: Vec<AnalysisJob<'_>> = workloads
             .iter()
             .zip(&images)
-            .map(|(wl, image)| AnalysisJob { image, input: wl.input(opts.scale, opts.seed) })
+            .map(|(wl, image)| AnalysisJob {
+                image,
+                input: wl.input(opts.scale, opts.seed),
+                label: wl.name,
+            })
             .collect();
-        // Metrics collection is pull-based and cannot perturb the
-        // reports (see core::metrics), so both paths print identical
-        // tables; the split keeps the default path allocation-free.
-        let results: Vec<Result<(WorkloadReport, Option<_>), _>> = if want_metrics {
-            analyze_many_with_metrics(jobs, &cfg, threads)
-                .into_iter()
-                .map(|r| r.map(|(rep, m)| (rep, Some(m))))
-                .collect()
+        // All probes are pull-based and cannot perturb the reports (see
+        // core::pipeline), so both paths print identical tables; the
+        // split keeps the default path allocation-free.
+        let span = main_lane.as_mut().map(|l| l.begin());
+        let results: Vec<Result<InstrumentedReport, _>> = if any_probe {
+            analyze_many_instrumented(jobs, &cfg, threads, probe_cfg, tracer.as_mut())
         } else {
             analyze_many(jobs, &cfg, threads)
                 .into_iter()
-                .map(|r| r.map(|rep| (rep, None)))
+                .map(|r| {
+                    r.map(|report| InstrumentedReport { report, metrics: None, intervals: None })
+                })
                 .collect()
         };
+        let mut analyzed_events = 0;
         let mut run_workloads = Vec::new();
         for ((wl, &built_ns), result) in workloads.iter().zip(&build_ns).zip(results) {
             match result {
-                Ok((r, m)) => {
+                Ok(ir) => {
+                    let r = ir.report;
+                    analyzed_events += r.dynamic_total;
                     if iter == 0 {
                         eprintln!(
                             "  {:<10} {:>12} insns measured, {:>5.1}% repeated",
@@ -232,8 +300,11 @@ fn main() -> ExitCode {
                             r.repetition_rate() * 100.0,
                         );
                         reports.push((wl.name.to_string(), r));
+                        if let Some(windows) = ir.intervals {
+                            interval_series.push((wl.name.to_string(), windows));
+                        }
                     }
-                    if let Some(mut m) = m {
+                    if let Some(mut m) = ir.metrics {
                         m.prepend_phase_ns("build", built_ns, 0);
                         run_workloads.push((wl.name.to_string(), m));
                     }
@@ -243,6 +314,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+        if let Some(l) = main_lane.as_mut() {
+            l.end(span.expect("span opened with lane"), "analyze", "phase", analyzed_events);
         }
         if want_metrics {
             runs.push(MetricsReport {
@@ -283,6 +357,7 @@ fn main() -> ExitCode {
         eprintln!("wrote metrics to {path}");
     }
     let named: Vec<Named<'_>> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    let render_span = main_lane.as_mut().map(|l| l.begin());
 
     let everything =
         opts.tables.is_empty() && opts.figures.is_empty() && !opts.steady && !opts.input_check;
@@ -332,6 +407,9 @@ fn main() -> ExitCode {
         println!("{}", report::ext_classes(&named));
         println!("{}", report::ext_predict(&named));
     }
+    if let Some(l) = main_lane.as_mut() {
+        l.end(render_span.expect("span opened with lane"), "render", "report", 0);
+    }
     if let Some(prefix) = &opts.csv {
         use instrep_core::export;
         let summary = format!("{prefix}_summary.csv");
@@ -373,6 +451,30 @@ fn main() -> ExitCode {
                 Err(e) => println!("    {:<10} trapped: {e}", wl.name),
             }
         }
+    }
+
+    if let (Some(path), Some(mut t)) = (opts.trace_out.as_ref(), tracer) {
+        if let Some(lane) = main_lane {
+            t.extend(lane.into_spans());
+        }
+        t.name_lane(0, "main");
+        for w in 0..threads {
+            t.name_lane(w as u32 + 1, &format!("worker-{w}"));
+        }
+        if let Err(e) = std::fs::write(path, t.to_json()) {
+            eprintln!("error: writing trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote trace to {path} (open in https://ui.perfetto.dev)");
+    }
+    if let (Some(path), Some(n)) = (opts.interval_out.as_ref(), opts.interval) {
+        let doc =
+            interval::to_jsonl(scale_label(opts.scale), opts.seed, threads, n, &interval_series);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing interval series to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote interval series to {path}");
     }
 
     ExitCode::SUCCESS

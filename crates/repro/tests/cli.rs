@@ -1,7 +1,8 @@
 //! Smoke tests for the `instrep-repro` command-line interface: argument
 //! errors must exit non-zero with a clear message, a real (tiny,
-//! parallel) run must succeed, and `--metrics-out` must write a valid
-//! schema-v1 JSON document without changing a byte of table stdout.
+//! parallel) run must succeed, and the observability exports
+//! (`--metrics-out`, `--trace-out`, `--interval-out`) must write valid
+//! schema-v1 documents without changing a byte of table stdout.
 
 mod json;
 
@@ -189,6 +190,261 @@ fn metrics_out_leaves_stdout_byte_identical() {
         match &baseline {
             None => baseline = Some(plain.stdout),
             Some(b) => assert_eq!(b, &plain.stdout, "stdout differs between jobs counts"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interval_flags_must_come_together() {
+    for args in [&["--interval", "1000"] as &[&str], &["--interval-out", "i.jsonl"]] {
+        let out = run(args);
+        assert!(!out.status.success());
+        let err = stderr_of(&out);
+        assert!(err.contains("--interval and --interval-out must be given together"), "{err}");
+    }
+}
+
+#[test]
+fn zero_interval_fails_with_message() {
+    let out = run(&["--interval", "0", "--interval-out", "i.jsonl"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--interval must be at least 1"), "stderr: {err}");
+}
+
+#[test]
+fn bench_excludes_tracing_and_intervals() {
+    let out = run(&["--bench", "2", "--metrics-out", "m.json", "--trace-out", "t.json"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--bench cannot be combined with --trace-out"), "stderr: {err}");
+}
+
+#[test]
+fn help_covers_observability_flags() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--metrics-out PATH", "--trace-out PATH", "--interval N --interval-out PATH"] {
+        assert!(stdout.contains(flag), "--help missing `{flag}`: {stdout}");
+    }
+}
+
+/// Every pair of spans on one lane must nest or be disjoint — the
+/// guarantee the LIFO close discipline makes.
+fn assert_strictly_nested(tid: f64, spans: &[(f64, f64)]) {
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            let disjoint = a.1 <= b.0 || b.1 <= a.0;
+            let a_in_b = b.0 <= a.0 && a.1 <= b.1;
+            let b_in_a = a.0 <= b.0 && b.1 <= a.1;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans {a:?} and {b:?} on lane {tid} partially overlap"
+            );
+        }
+    }
+}
+
+/// `--trace-out` must emit a schema-v1 Chrome trace-event document with
+/// one span per pipeline phase of every workload, build and render
+/// spans on the driver lane, strictly nested spans per lane, and
+/// chronological phase timestamps in file order.
+#[test]
+fn trace_out_writes_schema_v1_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("instrep-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--table",
+        "1",
+        "--jobs",
+        "2",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::str), Some("trace"));
+    let events = doc.get("traceEvents").expect("traceEvents array").items();
+
+    // Lane names cover the driver and both workers.
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::str) == Some("thread_name"))
+        .map(|e| e.get("args").unwrap().get("name").and_then(Json::str).unwrap())
+        .collect();
+    for name in ["main", "worker-0", "worker-1"] {
+        assert!(thread_names.contains(&name), "missing thread_name {name}: {thread_names:?}");
+    }
+
+    let spans: Vec<&Json> =
+        events.iter().filter(|e| e.get("ph").and_then(Json::str) == Some("X")).collect();
+    let named = |cat: &str, name: &str| {
+        spans
+            .iter()
+            .filter(|s| {
+                s.get("cat").and_then(Json::str) == Some(cat)
+                    && s.get("name").and_then(Json::str) == Some(name)
+            })
+            .count()
+    };
+    // One span per pipeline phase per workload (8 workloads at tiny).
+    for phase in ["setup", "skip", "measure", "finalize"] {
+        assert_eq!(named("phase", phase), 8, "phase {phase}");
+    }
+    // The driver lane wraps compile + assemble per workload, the
+    // analysis fan-out, and table rendering.
+    assert_eq!(named("build", "compile: compress"), 1);
+    assert_eq!(named("build", "assemble: compress"), 1);
+    assert_eq!(named("phase", "analyze"), 1);
+    assert_eq!(named("report", "render"), 1);
+    assert_eq!(named("workload", "compress"), 1);
+
+    // Every workload span runs on a worker lane, and with 2 jobs both
+    // workers take work.
+    let worker_tids: std::collections::BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.get("cat").and_then(Json::str) == Some("workload"))
+        .map(|s| s.get("tid").and_then(Json::num).unwrap() as u64)
+        .collect();
+    assert!(worker_tids.iter().all(|t| *t >= 1), "workload spans on driver lane: {worker_tids:?}");
+    assert_eq!(worker_tids.len(), 2, "both workers traced: {worker_tids:?}");
+
+    // Per lane: strict nesting, and phase spans chronological in file
+    // order (workers claim jobs in increasing cursor order).
+    let tids: std::collections::BTreeSet<u64> =
+        spans.iter().map(|s| s.get("tid").and_then(Json::num).unwrap() as u64).collect();
+    for tid in tids {
+        let lane: Vec<&&Json> =
+            spans.iter().filter(|s| s.get("tid").and_then(Json::num) == Some(tid as f64)).collect();
+        let intervals: Vec<(f64, f64)> = lane
+            .iter()
+            .map(|s| {
+                let ts = s.get("ts").and_then(Json::num).unwrap();
+                (ts, ts + s.get("dur").and_then(Json::num).unwrap())
+            })
+            .collect();
+        assert_strictly_nested(tid as f64, &intervals);
+        let phase_ts: Vec<f64> = lane
+            .iter()
+            .filter(|s| s.get("cat").and_then(Json::str) == Some("phase"))
+            .map(|s| s.get("ts").and_then(Json::num).unwrap())
+            .collect();
+        assert!(
+            phase_ts.windows(2).all(|w| w[0] <= w[1]),
+            "phase timestamps not monotonic on lane {tid}: {phase_ts:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--interval-out` must emit a JSONL series whose header carries the
+/// schema version and whose windows close at exact multiples of the
+/// interval, with only the final window flagged partial.
+#[test]
+fn interval_out_writes_jsonl_series() {
+    let dir = std::env::temp_dir().join(format!("instrep-interval-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("series.jsonl");
+    // 400_000 measured instructions / 7000 = 57 full windows + a 1000-
+    // instruction partial tail.
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--interval",
+        "7000",
+        "--interval-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("interval file written");
+    let lines: Vec<Json> =
+        text.lines().map(|l| Json::parse(l).expect("each line is valid JSON")).collect();
+    let header = &lines[0];
+    assert_eq!(header.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(header.get("kind").and_then(Json::str), Some("intervals"));
+    assert_eq!(header.get("scale").and_then(Json::str), Some("tiny"));
+    assert_eq!(header.get("interval").and_then(Json::num), Some(7000.0));
+
+    let windows = &lines[1..];
+    assert_eq!(windows.len(), 58, "57 full windows + 1 partial");
+    let mut insns_total = 0.0;
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.get("workload").and_then(Json::str), Some("compress"));
+        assert_eq!(w.get("window").and_then(Json::num), Some((i + 1) as f64));
+        let end = w.get("end").and_then(Json::num).unwrap();
+        let insns = w.get("insns").and_then(Json::num).unwrap();
+        let partial = w.get("partial").and_then(Json::bool).unwrap();
+        insns_total += insns;
+        if i < windows.len() - 1 {
+            assert!(!partial, "window {} partial", i + 1);
+            assert_eq!(insns, 7000.0);
+            assert_eq!(end % 7000.0, 0.0, "window {} ends at {end}", i + 1);
+        } else {
+            assert!(partial, "final window not flagged partial");
+            assert_eq!(insns, 1000.0);
+        }
+        assert!(w.get("repeat_frac").and_then(Json::num).unwrap() <= 1.0);
+        assert!(w.get("reuse_hit_frac").and_then(Json::num).is_some());
+        assert!(w.get("occupancy").and_then(Json::num).is_some());
+        assert!(w.get("unique_growth").and_then(Json::num).is_some());
+    }
+    assert_eq!(insns_total, 400_000.0, "windows tile the whole measurement");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tracing and interval sampling must not change a byte of table
+/// stdout at any jobs count, and the interval windows themselves must
+/// be identical across jobs counts (full determinism).
+#[test]
+fn tracing_leaves_stdout_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("instrep-trace-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut baseline_stdout: Option<Vec<u8>> = None;
+    let mut baseline_windows: Option<String> = None;
+    for jobs in ["1", "4"] {
+        let args = ["--scale", "tiny", "--only", "compress", "--table", "1", "--jobs", jobs];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let trace = dir.join(format!("t{jobs}.json"));
+        let series = dir.join(format!("i{jobs}.jsonl"));
+        let mut traced_args = args.to_vec();
+        traced_args.extend_from_slice(&[
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--interval",
+            "1000",
+            "--interval-out",
+            series.to_str().unwrap(),
+        ]);
+        let traced = run(&traced_args);
+        assert!(traced.status.success(), "stderr: {}", stderr_of(&traced));
+        assert_eq!(plain.stdout, traced.stdout, "tracing changed stdout at --jobs {jobs}");
+        // The window lines (everything after the header, which records
+        // the jobs count) are deterministic across jobs counts.
+        let text = std::fs::read_to_string(&series).unwrap();
+        let windows = text.split_once('\n').expect("header + windows").1.to_string();
+        assert!(!windows.is_empty());
+        match (&baseline_stdout, &baseline_windows) {
+            (None, _) => {
+                baseline_stdout = Some(plain.stdout);
+                baseline_windows = Some(windows);
+            }
+            (Some(b), Some(w)) => {
+                assert_eq!(b, &plain.stdout, "stdout differs between jobs counts");
+                assert_eq!(w, &windows, "interval windows differ between jobs counts");
+            }
+            _ => unreachable!(),
         }
     }
     std::fs::remove_dir_all(&dir).ok();

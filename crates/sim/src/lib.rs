@@ -42,4 +42,4 @@ pub use error::SimError;
 pub use event::{CtrlEffect, Event, MemEffect};
 pub use machine::{Machine, MachineFootprint, RunOutcome};
 pub use mem::Memory;
-pub use trace::Trace;
+pub use trace::{RecordError, Trace};

@@ -6,9 +6,34 @@
 //! [`Trace::replay`] feeds it to any observer without re-simulating,
 //! guaranteeing every configuration sees an identical instruction stream.
 
+use std::fmt;
+
 use crate::error::SimError;
 use crate::event::Event;
 use crate::machine::{Machine, RunOutcome};
+
+/// A trap during [`Trace::record`], carrying everything retired before
+/// the trap so partial executions remain analyzable (e.g. replaying the
+/// prefix of a buggy workload through the analyses).
+#[derive(Debug, Clone)]
+pub struct RecordError {
+    /// The recorded prefix: every event retired before the trap.
+    pub partial: Trace,
+    /// The trap that ended recording.
+    pub trap: SimError,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {} recorded events", self.trap, self.partial.len())
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.trap)
+    }
+}
 
 /// A recorded event stream.
 ///
@@ -45,12 +70,14 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates simulator traps; events retired before the trap are
-    /// kept in the trace.
-    pub fn record(machine: &mut Machine, max_insns: u64) -> Result<Trace, SimError> {
+    /// Propagates simulator traps as a [`RecordError`]; events retired
+    /// before the trap are kept in its `partial` trace.
+    pub fn record(machine: &mut Machine, max_insns: u64) -> Result<Trace, RecordError> {
         let mut events = Vec::new();
-        let outcome = machine.run(max_insns, |ev| events.push(*ev))?;
-        Ok(Trace { events, outcome: Some(outcome) })
+        match machine.run(max_insns, |ev| events.push(*ev)) {
+            Ok(outcome) => Ok(Trace { events, outcome: Some(outcome) }),
+            Err(trap) => Err(RecordError { partial: Trace { events, outcome: None }, trap }),
+        }
     }
 
     /// Number of recorded events.
@@ -162,6 +189,38 @@ mod tests {
         let trace = Trace::record(&mut m, 10).unwrap();
         assert_eq!(trace.len(), 10);
         assert_eq!(trace.outcome(), Some(RunOutcome::MaxedOut));
+    }
+
+    #[test]
+    fn trap_keeps_retired_prefix() {
+        // Three instructions retire, then a division by zero traps.
+        let src = r#"
+            .text
+            __start:
+                li   $t0, 6
+                li   $t1, 2
+                add  $t2, $t0, $t1
+                div  $t3, $t0, $zero
+            "#;
+        let image = assemble(src).unwrap();
+        let err = Trace::record(&mut Machine::new(&image), 1_000).unwrap_err();
+        assert!(matches!(err.trap, SimError::DivideByZero { .. }));
+        assert_eq!(err.partial.len(), 3);
+        assert_eq!(err.partial.outcome(), None);
+        assert!(err.to_string().contains("3 recorded events"));
+
+        // Replaying the partial trace matches a fresh run cut at the
+        // trap point.
+        let mut fresh = Machine::new(&assemble(src).unwrap());
+        let mut direct = Vec::new();
+        for _ in 0..3 {
+            let ev = fresh.step().unwrap();
+            direct.push((ev.pc, ev.in1, ev.in2, ev.outcome()));
+        }
+        assert!(fresh.step().is_err());
+        let mut replayed = Vec::new();
+        err.partial.replay(|ev| replayed.push((ev.pc, ev.in1, ev.in2, ev.outcome())));
+        assert_eq!(replayed, direct);
     }
 
     #[test]

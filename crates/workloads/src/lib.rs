@@ -93,10 +93,18 @@ impl Workload {
     /// the test suite compiles every workload, so this is effectively
     /// infallible for shipped sources.
     pub fn build(&self) -> Result<Image, BuildError> {
-        let mut src = String::with_capacity(PRELUDE.len() + self.source.len() + 1);
+        instrep_minicc::build(&self.full_source())
+    }
+
+    /// The complete MiniC source (shared prelude + program) that
+    /// [`Workload::build`] compiles. Drivers that trace or time the
+    /// compile and assemble stages separately feed this through
+    /// [`instrep_minicc::compile_to_asm`].
+    pub fn full_source(&self) -> String {
+        let mut src = String::with_capacity(PRELUDE.len() + self.source.len());
         src.push_str(PRELUDE);
         src.push_str(self.source);
-        instrep_minicc::build(&src)
+        src
     }
 
     /// Generates the deterministic input stream for a scale and seed.

@@ -6,10 +6,86 @@
 # file: successive entries across PRs chart the pipeline's throughput
 # over time (see DESIGN.md for the schema and methodology).
 #
+# Modes:
+#   scripts/bench.sh            run the benchmark and write BENCH_<date>.json
+#   scripts/bench.sh --check    validate every committed BENCH_*.json
+#                               (schema version + kind); non-zero on drift
+#   scripts/bench.sh --concat   merge all BENCH_*.json, ordered by file
+#                               name (dates sort chronologically), into one
+#                               bench-history document on stdout
+#
 # Tunables (env): RUNS (default 3), SCALES ("tiny small"), JOBS (4),
 # SEED (1998), OUT (BENCH_$(date +%F).json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Trajectory files, oldest first (ISO dates in the name sort correctly).
+trajectory_files() {
+    ls BENCH_*.json 2>/dev/null | LC_ALL=C sort
+}
+
+check_trajectories() {
+    local files status=0
+    files="$(trajectory_files)"
+    if [ -z "$files" ]; then
+        echo "no BENCH_*.json trajectory files to check"
+        return 0
+    fi
+    for f in $files; do
+        if ! grep -q '"schema_version": 1,' "$f"; then
+            echo "bench schema drift: expected schema_version 1 in $f" >&2
+            status=1
+        fi
+        if ! grep -q '"kind": "bench-trajectory",' "$f"; then
+            echo "bench schema drift: expected kind \"bench-trajectory\" in $f" >&2
+            status=1
+        fi
+        if ! grep -q '"kind": "bench",' "$f"; then
+            echo "bench schema drift: $f carries no per-scale bench summaries" >&2
+            status=1
+        fi
+    done
+    [ "$status" -eq 0 ] && echo "bench trajectories OK ($(echo "$files" | wc -l) file(s))"
+    return "$status"
+}
+
+concat_trajectories() {
+    local files n first=1
+    files="$(trajectory_files)"
+    if [ -z "$files" ]; then
+        echo "no BENCH_*.json trajectory files to concatenate" >&2
+        return 1
+    fi
+    n="$(echo "$files" | wc -l | tr -d ' ')"
+    printf '{\n'
+    printf '  "schema_version": 1,\n'
+    printf '  "kind": "bench-history",\n'
+    printf '  "files": %s,\n' "$n"
+    printf '  "entries": [\n'
+    for f in $files; do
+        if [ "$first" -eq 0 ]; then printf ',\n'; fi
+        first=0
+        printf '%s' "$(sed 's/^/    /' "$f")"
+    done
+    printf '\n  ]\n'
+    printf '}\n'
+}
+
+case "${1:-}" in
+--check)
+    check_trajectories
+    exit
+    ;;
+--concat)
+    concat_trajectories
+    exit
+    ;;
+"") ;;
+*)
+    echo "usage: scripts/bench.sh [--check | --concat]" >&2
+    exit 2
+    ;;
+esac
 
 RUNS="${RUNS:-3}"
 SCALES="${SCALES:-tiny small}"

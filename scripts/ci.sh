@@ -24,8 +24,9 @@ echo "==> golden snapshots (byte-for-byte table output)"
 cargo test -q -p instrep-repro --offline --test golden
 
 echo "==> metrics smoke run (--metrics-out schema check)"
-SMOKE="$(mktemp)"
-trap 'rm -f "$SMOKE"' EXIT
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE="$SMOKE_DIR/metrics.json"
 target/debug/instrep-repro --scale tiny --only compress --table 1 \
     --jobs 2 --metrics-out "$SMOKE" >/dev/null
 grep -q '"schema_version": 1,' "$SMOKE" || {
@@ -36,5 +37,32 @@ grep -q '"kind": "metrics",' "$SMOKE" || {
     echo "metrics schema drift: expected kind \"metrics\" in $SMOKE" >&2
     exit 1
 }
+
+echo "==> trace + interval smoke run (schema and stdout-identity checks)"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 >"$SMOKE_DIR/plain.txt"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --trace-out "$SMOKE_DIR/trace.json" \
+    --interval 1000 --interval-out "$SMOKE_DIR/series.jsonl" \
+    >"$SMOKE_DIR/traced.txt"
+grep -q '"schema_version": 1,' "$SMOKE_DIR/trace.json" || {
+    echo "trace schema drift: expected schema_version 1 in trace.json" >&2
+    exit 1
+}
+grep -q '"kind": "trace",' "$SMOKE_DIR/trace.json" || {
+    echo "trace schema drift: expected kind \"trace\" in trace.json" >&2
+    exit 1
+}
+head -1 "$SMOKE_DIR/series.jsonl" | grep -q '"kind": "intervals"' || {
+    echo "interval schema drift: expected kind \"intervals\" in series.jsonl header" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/traced.txt" || {
+    echo "tracing perturbed table stdout (plain vs traced differ)" >&2
+    exit 1
+}
+
+echo "==> bench trajectory check (scripts/bench.sh --check)"
+scripts/bench.sh --check
 
 echo "CI OK"
