@@ -76,6 +76,10 @@ impl FuncMeta {
 pub struct Image {
     /// Encoded instruction words, loaded at [`abi::TEXT_BASE`].
     pub text: Vec<u32>,
+    /// Source line of each text word, parallel to `text`, recorded from
+    /// `.loc` directives (0 = no line information). Every word of a
+    /// pseudo-instruction expansion inherits the active `.loc` line.
+    pub lines: Vec<u32>,
     /// Data segment bytes, loaded at [`abi::DATA_BASE`]. Includes both
     /// initialized data and `.space` (zero) regions.
     pub data: Vec<u8>,
@@ -106,6 +110,13 @@ impl Image {
     /// The function containing `pc`, if any.
     pub fn func_at(&self, pc: u32) -> Option<&FuncMeta> {
         self.funcs.iter().find(|f| f.contains(pc))
+    }
+
+    /// Source line of the text word at instruction index `index`
+    /// (0 = unknown: no `.loc` covered it, or the image has no line
+    /// information at all).
+    pub fn line_at(&self, index: usize) -> u32 {
+        self.lines.get(index).copied().unwrap_or(0)
     }
 
     /// Whether the byte at `addr` was written by an explicit data

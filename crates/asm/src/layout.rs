@@ -138,6 +138,8 @@ pub(crate) fn layout(items: Vec<Item>) -> Result<Laid, AsmError> {
                 )?;
                 tcur += scratch.len() as u32;
             }
+            // `.loc` markers occupy no space; they only matter to encode.
+            Stmt::Loc(_) => {}
             Stmt::Insn { .. } | Stmt::Label(_) | Stmt::Func { .. } | Stmt::EndFunc => {}
             other if section == Section::Text && data_stmt_bytes(other).is_some() => {
                 return Err(err(item.line, "data directive in .text section"));
@@ -156,6 +158,8 @@ pub(crate) fn layout(items: Vec<Item>) -> Result<Laid, AsmError> {
 pub(crate) fn encode(laid: Laid) -> Result<Image, AsmError> {
     let Laid { items, symbols, data_len, init_ranges, funcs } = laid;
     let mut text: Vec<u32> = Vec::new();
+    let mut lines: Vec<u32> = Vec::new();
+    let mut cur_line: u32 = 0; // active `.loc` source line (0 = unknown)
     let mut data: Vec<u8> = vec![0; data_len as usize];
     let mut insns = Vec::new();
 
@@ -176,6 +180,7 @@ pub(crate) fn encode(laid: Laid) -> Result<Image, AsmError> {
     for item in &items {
         match &item.stmt {
             Stmt::Section(s) => section = *s,
+            Stmt::Loc(n) => cur_line = *n,
             Stmt::Insn { mnemonic, operands } if section == Section::Text => {
                 insns.clear();
                 expand(
@@ -188,6 +193,8 @@ pub(crate) fn encode(laid: Laid) -> Result<Image, AsmError> {
                     item.line,
                 )?;
                 text.extend(insns.iter().map(instrep_isa::encode));
+                // Every word of a pseudo-expansion inherits the active line.
+                lines.resize(text.len(), cur_line);
             }
             other if section == Section::Data => {
                 let mut put = |bytes: &[u8], align: u32, dcur: &mut u32| {
@@ -232,7 +239,7 @@ pub(crate) fn encode(laid: Laid) -> Result<Image, AsmError> {
         }
     }
 
-    Ok(Image { text, data, init_ranges, entry: abi::TEXT_BASE, symbols, funcs })
+    Ok(Image { text, lines, data, init_ranges, entry: abi::TEXT_BASE, symbols, funcs })
 }
 
 // ---------------------------------------------------------------------------
@@ -814,6 +821,40 @@ mod tests {
             instrep_isa::decode(img.text[1]).unwrap(),
             Insn::imm(ImmOp::Ori, Reg::T0, Reg::T0, (addr & 0xffff) as i16)
         );
+    }
+
+    #[test]
+    fn loc_markers_build_line_table() {
+        let img = asm(".text\n.loc 3\nnop\nli $t0, 0x12345678\n.loc 7\nnop\n");
+        // nop(1) + li expanding to lui/ori(2) at line 3, nop(1) at line 7.
+        assert_eq!(img.text.len(), 4);
+        assert_eq!(img.lines, vec![3, 3, 3, 7]);
+        assert_eq!(img.line_at(0), 3);
+        assert_eq!(img.line_at(2), 3);
+        assert_eq!(img.line_at(3), 7);
+        assert_eq!(img.line_at(99), 0);
+    }
+
+    #[test]
+    fn text_without_loc_has_unknown_lines() {
+        let img = asm(".text\nnop\n.loc 5\nnop\nnop\n");
+        // Words before the first `.loc` carry line 0 (unknown).
+        assert_eq!(img.lines, vec![0, 5, 5]);
+        let bare = asm(".text\nnop\nnop\n");
+        assert_eq!(bare.lines, vec![0, 0]);
+        assert_eq!(bare.line_at(1), 0);
+    }
+
+    #[test]
+    fn loc_occupies_no_space_and_rejects_bad_lines() {
+        let img = asm(".text\na: .loc 2\nb: nop\n");
+        // `.loc` between labels must not shift addresses.
+        assert_eq!(img.symbols.get("a"), img.symbols.get("b"));
+        assert!(crate::assemble(".text\n.loc -3\nnop\n").is_err());
+        assert!(crate::assemble(".text\n.loc nope\nnop\n").is_err());
+        // `.loc 0` clears line information.
+        let cleared = asm(".text\n.loc 9\nnop\n.loc 0\nnop\n");
+        assert_eq!(cleared.lines, vec![9, 0]);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * Function metadata: `.func name, arity` / `.endfunc` bracket a
 //!   function's instructions; the bounds, name, and arity are recorded in
 //!   [`Image::funcs`] for the repetition analyses.
+//! * Line provenance: `.loc N` marks subsequent instructions as compiled
+//!   from source line `N` (`.loc 0` clears the marker); the per-word
+//!   table lands in [`Image::lines`] for source-level profiling.
+//!   Occupies no space.
 //! * Native instructions use the mnemonics of [`instrep_isa`].
 //! * Pseudo-instructions: `li`, `la`, `move`, `nop`, `not`, `neg`, `b`,
 //!   `beqz`, `bnez`, `blt`, `ble`, `bgt`, `bge` (+ unsigned `u` forms),

@@ -55,9 +55,17 @@ pub(crate) enum Stmt {
     Asciiz(Vec<u8>),
     Space(u32),
     Align(u32),
-    Func { name: String, arity: u8 },
+    Func {
+        name: String,
+        arity: u8,
+    },
     EndFunc,
-    Insn { mnemonic: String, operands: Vec<Operand> },
+    /// `.loc N`: subsequent instructions originate from source line `N`.
+    Loc(u32),
+    Insn {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
 }
 
 /// A statement with its source line for error reporting.
@@ -307,6 +315,15 @@ fn parse_directive(dir: &str, body: &str, line: u32) -> Result<Option<Stmt>, Asm
             Stmt::Func { name: parts[0].to_string(), arity: arity as u8 }
         }
         ".endfunc" => Stmt::EndFunc,
+        ".loc" => {
+            // `.loc 0` explicitly clears line information (e.g. before
+            // hand-written runtime code appended to compiler output).
+            let n = parse_int(body, line)?;
+            if !(0..=i64::from(u32::MAX)).contains(&n) {
+                return Err(err(line, format!(".loc line {n} out of range")));
+            }
+            Stmt::Loc(n as u32)
+        }
         other => return Err(err(line, format!("unknown directive `{other}`"))),
     };
     Ok(Some(stmt))

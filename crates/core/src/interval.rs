@@ -252,6 +252,14 @@ mod tests {
         s.finish(0, 0, 4);
         assert_eq!(s.windows().len(), 2);
         assert!(s.windows().iter().all(|w| !w.partial));
+        // No zero-width tail either: every window holds instructions and
+        // the windows tile the measured count exactly.
+        assert!(s.windows().iter().all(|w| w.insns > 0));
+        assert_eq!(s.windows().iter().map(|w| w.insns).sum::<u64>(), 4);
+        // A redundant finish stays a no-op even if gauges moved since —
+        // close() must never run with an empty window.
+        s.finish(9, 9, 9);
+        assert_eq!(s.windows().len(), 2);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   (`instrep-repro --interval/--interval-out`): per-window repetition
 //!   fraction, reuse hit rate, tracker occupancy, and unique-instance
 //!   growth as JSONL.
+//! * [`profile`] — source-level repetition profiler
+//!   (`instrep-repro --profile-out/--profile-folded/--annotate`):
+//!   per-static-instruction executed/repeated attribution joined with
+//!   function, MiniC source line (`.loc` provenance), and opcode class;
+//!   exports versioned JSON, flamegraph collapsed stacks, and an
+//!   annotated source view.
 //!
 //! # Examples
 //!
@@ -60,6 +66,7 @@ mod local;
 pub mod metrics;
 mod pipeline;
 mod predict;
+pub mod profile;
 pub mod report;
 mod reuse;
 pub mod trace_span;
@@ -81,6 +88,10 @@ pub use pipeline::{
     AnalysisConfig, AnalysisJob, InstrumentedReport, ProbeConfig, Probes, WorkloadReport,
 };
 pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+pub use profile::{
+    annotate, ClassRollup, FuncRollup, InstructionProfile, ProfileReport, SiteProfile,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 pub use trace_span::{OpenSpan, Span, SpanLane, SpanTracer, TRACE_SCHEMA_VERSION};
 pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

@@ -408,13 +408,13 @@ fn parse_vm_hwm(status: &str) -> u64 {
 // Shared with the trace_span and interval emitters (same crate), which
 // version their documents the same way.
 
-fn indent(s: &mut String, level: usize) {
+pub(crate) fn indent(s: &mut String, level: usize) {
     for _ in 0..level {
         s.push_str("  ");
     }
 }
 
-fn comma(more: bool) -> &'static str {
+pub(crate) fn comma(more: bool) -> &'static str {
     if more {
         ","
     } else {
@@ -422,20 +422,20 @@ fn comma(more: bool) -> &'static str {
     }
 }
 
-fn push_kv_raw(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
+pub(crate) fn push_kv_raw(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
     indent(s, level);
     s.push_str(&format!("{}: {}{}\n", json_string(key), value, comma(more)));
 }
 
-fn push_kv_u64(s: &mut String, level: usize, key: &str, value: u64, more: bool) {
+pub(crate) fn push_kv_u64(s: &mut String, level: usize, key: &str, value: u64, more: bool) {
     push_kv_raw(s, level, key, &value.to_string(), more);
 }
 
-fn push_kv_f64(s: &mut String, level: usize, key: &str, value: f64, more: bool) {
+pub(crate) fn push_kv_f64(s: &mut String, level: usize, key: &str, value: f64, more: bool) {
     push_kv_raw(s, level, key, &json_f64(value), more);
 }
 
-fn push_kv_str(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
+pub(crate) fn push_kv_str(s: &mut String, level: usize, key: &str, value: &str, more: bool) {
     push_kv_raw(s, level, key, &json_string(value), more);
 }
 

@@ -17,6 +17,7 @@ use crate::interval::{IntervalSampler, IntervalWindow};
 use crate::local::{LocalAnalysis, LocalCounts};
 use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+use crate::profile::InstructionProfile;
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::trace_span::{SpanLane, SpanTracer};
 use crate::tracker::{RepetitionTracker, TrackerConfig};
@@ -197,7 +198,12 @@ pub fn analyze_with_metrics(
     cfg: &AnalysisConfig,
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    analyze_with_probes(image, input, cfg, Probes { metrics, spans: None, sampler: None })
+    analyze_with_probes(
+        image,
+        input,
+        cfg,
+        Probes { metrics, spans: None, sampler: None, profile: None },
+    )
 }
 
 /// The pipeline's optional observability hooks, all riding the same
@@ -214,6 +220,10 @@ pub struct Probes<'a> {
     /// Windowed repetition time-series sampler (`core::interval`),
     /// driven every retired instruction of the measurement phase.
     pub sampler: Option<&'a mut IntervalSampler>,
+    /// Per-static-instruction attribution profile (`core::profile`),
+    /// filled once during finalize from the tracker's per-PC counters —
+    /// no per-event cost at all.
+    pub profile: Option<&'a mut InstructionProfile>,
 }
 
 impl Probes<'_> {
@@ -371,6 +381,10 @@ pub fn analyze_with_probes(
         stride: *stride.stats(),
     };
 
+    if let Some(p) = probes.profile {
+        // Pull-based: one pass over state the tracker accumulated anyway.
+        p.fill(image, &tracker);
+    }
     if let Some(m) = probes.metrics {
         m.record_phase("finalize", timer.expect("timer started with metrics"), 0);
         // Occupancy gauges, in a fixed order (deterministic documents).
@@ -447,7 +461,7 @@ pub fn analyze_many_with_metrics(
     cfg: &AnalysisConfig,
     threads: usize,
 ) -> Vec<Result<(WorkloadReport, WorkloadMetrics), SimError>> {
-    let probes = ProbeConfig { metrics: true, interval: None };
+    let probes = ProbeConfig { metrics: true, interval: None, profile: false };
     analyze_many_instrumented(jobs, cfg, threads, probes, None)
         .into_iter()
         .map(|r| r.map(|ir| (ir.report, ir.metrics.expect("metrics were requested"))))
@@ -463,6 +477,8 @@ pub struct ProbeConfig {
     /// Sample an interval time series per job, closing a window every
     /// this many measured instructions.
     pub interval: Option<u64>,
+    /// Fill an [`InstructionProfile`] per job (per-PC attribution).
+    pub profile: bool,
 }
 
 /// One job's report plus whatever telemetry [`ProbeConfig`] requested.
@@ -474,6 +490,8 @@ pub struct InstrumentedReport {
     pub metrics: Option<WorkloadMetrics>,
     /// Interval windows, when [`ProbeConfig::interval`] was set.
     pub intervals: Option<Vec<IntervalWindow>>,
+    /// Per-PC attribution profile, when [`ProbeConfig::profile`] was set.
+    pub profile: Option<InstructionProfile>,
 }
 
 /// [`analyze_many`] with the full observability stack attached: metrics
@@ -503,6 +521,7 @@ pub fn analyze_many_instrumented(
     let results = parallel_map_indexed(jobs, threads, |worker, job| {
         let mut metrics = probes.metrics.then(WorkloadMetrics::default);
         let mut sampler = probes.interval.map(IntervalSampler::new);
+        let mut profile = probes.profile.then(InstructionProfile::default);
         let mut lane = epoch.map(|e| SpanLane::new(worker as u32 + 1, e));
         let label = job.label.to_string();
         let job_span = lane.as_mut().map(|l| l.begin());
@@ -510,7 +529,12 @@ pub fn analyze_many_instrumented(
             job.image,
             job.input,
             cfg,
-            Probes { metrics: metrics.as_mut(), spans: lane.as_mut(), sampler: sampler.as_mut() },
+            Probes {
+                metrics: metrics.as_mut(),
+                spans: lane.as_mut(),
+                sampler: sampler.as_mut(),
+                profile: profile.as_mut(),
+            },
         );
         if let (Some(l), Ok(_)) = (lane.as_mut(), &result) {
             l.end(job_span.expect("span opened with lane"), label, "workload", 0);
@@ -520,6 +544,7 @@ pub fn analyze_many_instrumented(
             report,
             metrics,
             intervals: sampler.map(IntervalSampler::into_windows),
+            profile,
         });
         (instrumented, spans)
     });
@@ -774,11 +799,17 @@ mod tests {
         let mut lane = SpanLane::new(0, tracer.epoch());
         let mut sampler = IntervalSampler::new(700);
         let mut m = WorkloadMetrics::default();
+        let mut profile = InstructionProfile::default();
         let probed = analyze_with_probes(
             &image,
             Vec::new(),
             &cfg,
-            Probes { metrics: Some(&mut m), spans: Some(&mut lane), sampler: Some(&mut sampler) },
+            Probes {
+                metrics: Some(&mut m),
+                spans: Some(&mut lane),
+                sampler: Some(&mut sampler),
+                profile: Some(&mut profile),
+            },
         )
         .unwrap();
         assert_eq!(format!("{plain:?}"), format!("{probed:?}"));
@@ -794,6 +825,51 @@ mod tests {
         assert_eq!(w.iter().map(|w| w.reuse_hits).sum::<u64>(), probed.reuse.hits);
         assert!(w[..w.len() - 1].iter().all(|w| !w.partial && w.insns == 700 && w.end % 700 == 0));
         assert_eq!(w.last().unwrap().occupancy, w.iter().map(|w| w.unique_growth).sum::<u64>());
+        // The profile covers every measured instruction exactly once.
+        assert_eq!(profile.total_exec(), probed.dynamic_total);
+        assert_eq!(profile.total_repeated(), probed.dynamic_repeated);
+        assert_eq!(profile.sites.len(), probed.static_executed);
+    }
+
+    #[test]
+    fn exact_interval_multiple_produces_no_tail_window() {
+        // When the measured count is an exact multiple of the interval,
+        // the final flush lands on the boundary and finish() must not
+        // append a zero-width partial window.
+        let image = small_image();
+        let cfg = AnalysisConfig { window: 2000, ..AnalysisConfig::default() };
+        let mut sampler = IntervalSampler::new(500);
+        let report = analyze_with_probes(
+            &image,
+            Vec::new(),
+            &cfg,
+            Probes { sampler: Some(&mut sampler), ..Probes::none() },
+        )
+        .unwrap();
+        assert_eq!(report.dynamic_total, 2000, "window must truncate exactly");
+        let w = sampler.windows();
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|w| !w.partial && w.insns == 500));
+        assert_eq!(w.last().unwrap().end, 2000);
+    }
+
+    #[test]
+    fn instrumented_many_fills_profiles_identically_across_thread_counts() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
+        };
+        let probes = ProbeConfig { metrics: false, interval: None, profile: true };
+        let profiles = |threads: usize| -> Vec<InstructionProfile> {
+            analyze_many_instrumented(jobs(3), &cfg, threads, probes, None)
+                .into_iter()
+                .map(|r| r.unwrap().profile.expect("profile was requested"))
+                .collect()
+        };
+        let serial = profiles(1);
+        assert!(serial.iter().all(|p| p.total_exec() > 1000));
+        assert_eq!(serial, profiles(4));
     }
 
     #[test]
@@ -804,7 +880,7 @@ mod tests {
             .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "lookup" })
             .collect();
         let mut tracer = SpanTracer::new();
-        let probes = ProbeConfig { metrics: true, interval: Some(1000) };
+        let probes = ProbeConfig { metrics: true, interval: Some(1000), profile: false };
         let results = analyze_many_instrumented(jobs, &cfg, 2, probes, Some(&mut tracer));
         assert_eq!(results.len(), 3);
         for r in results {

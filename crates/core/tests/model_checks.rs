@@ -6,7 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use instrep_core::{
-    analyze_many, AnalysisConfig, AnalysisJob, Coverage, LastValuePredictor, RepetitionTracker,
+    analyze_many, analyze_many_instrumented, AnalysisConfig, AnalysisJob, Coverage,
+    InstructionProfile, LastValuePredictor, ProbeConfig, ProfileReport, RepetitionTracker,
     ReuseBuffer, ReuseConfig, TrackerConfig,
 };
 use instrep_isa::{AluOp, Insn, Reg};
@@ -206,5 +207,71 @@ proptest! {
         // The full report — every table's inputs — must be identical
         // whether the pipeline runs serial or on 4 threads.
         prop_assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn profile_sums_to_aggregates_on_random_workloads(
+        tab in proptest::collection::vec(1u32..100, 8),
+        iters in 50u32..300,
+        step in 1u32..9,
+    ) {
+        let src = format!(
+            "int tab[8] = {{{}}};\n\
+             int lookup(int i) {{ return tab[i & 7]; }}\n\
+             int main() {{\n\
+                 int s = 0;\n\
+                 int i;\n\
+                 for (i = 0; i < {iters}; i = i + {step}) s = s + lookup(i);\n\
+                 return s & 0xff;\n\
+             }}",
+            tab.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let image = instrep_minicc::build(&src).expect("random workload compiles");
+        let cfg = AnalysisConfig::default();
+        let probes = ProbeConfig { metrics: false, interval: None, profile: true };
+        let run = |threads: usize| -> Vec<(InstructionProfile, u64, u64, usize)> {
+            let jobs: Vec<AnalysisJob<'_>> =
+                (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect();
+            analyze_many_instrumented(jobs, &cfg, threads, probes, None)
+                .into_iter()
+                .map(|r| {
+                    let ir = r.expect("workload runs");
+                    (
+                        ir.profile.expect("profile was requested"),
+                        ir.report.dynamic_total,
+                        ir.report.dynamic_repeated,
+                        ir.report.static_executed,
+                    )
+                })
+                .collect()
+        };
+        let serial = run(1);
+        for (profile, total, repeated, executed) in &serial {
+            // Per-PC counts conserve the tracker aggregates exactly:
+            // every measured instruction lands at exactly one site.
+            prop_assert_eq!(profile.total_exec(), *total);
+            prop_assert_eq!(profile.total_repeated(), *repeated);
+            prop_assert_eq!(profile.sites.len(), *executed);
+            // And so do the rollups derived from them.
+            let funcs = profile.func_rollups();
+            prop_assert_eq!(funcs.iter().map(|f| f.exec).sum::<u64>(), *total);
+            prop_assert_eq!(profile.class_rollups().iter().map(|c| c.exec).sum::<u64>(), *total);
+        }
+        // The rendered documents — what --profile-out/--profile-folded
+        // write — are byte-identical between serial and 4 threads.
+        let doc = |profiles: Vec<(InstructionProfile, u64, u64, usize)>| {
+            let report = ProfileReport {
+                scale: "tiny".to_string(),
+                seed: 0,
+                top: 5,
+                workloads: profiles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (p, ..))| (format!("job{i}"), p))
+                    .collect(),
+            };
+            (report.to_json(), report.to_folded())
+        };
+        prop_assert_eq!(doc(serial), doc(run(4)));
     }
 }

@@ -130,6 +130,8 @@ struct FnGen<'a> {
     sreg_save_base: u32,
     /// (continue label, break label) stack.
     loops: Vec<(String, String)>,
+    /// Source line of the last `.loc` marker emitted (0 = none yet).
+    cur_loc: u32,
 }
 
 impl<'a> FnGen<'a> {
@@ -194,6 +196,7 @@ impl<'a> FnGen<'a> {
             ra_off,
             sreg_save_base,
             loops: Vec::new(),
+            cur_loc: 0,
         })
     }
 
@@ -206,6 +209,15 @@ impl<'a> FnGen<'a> {
     fn label(&mut self, l: &str) {
         self.out.push_str(l);
         self.out.push_str(":\n");
+    }
+
+    /// Emits a `.loc` source-line marker, deduplicating consecutive
+    /// repeats. Line 0 means "unknown" and is never emitted.
+    fn loc(&mut self, line: u32) {
+        if line != 0 && line != self.cur_loc {
+            let _ = writeln!(self.out, "    .loc {line}");
+            self.cur_loc = line;
+        }
     }
 
     fn fresh_label(&mut self, tag: &str) -> String {
@@ -243,6 +255,7 @@ impl<'a> FnGen<'a> {
     fn run(mut self) -> Result<(), CompileError> {
         let _ = writeln!(self.out, ".func {}, {}", self.func.name, self.func.arity);
         self.label(&self.func.name.clone());
+        self.loc(self.func.line);
 
         // Prologue.
         if self.frame > 0 {
@@ -310,6 +323,7 @@ impl<'a> FnGen<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
         debug_assert_eq!(self.depth, 0, "evaluation stack must be empty between statements");
+        self.loc(stmt_line(s));
         match s {
             Stmt::Decl { init, local, ty, line, .. } => {
                 if let Some(e) = init {
@@ -1053,6 +1067,23 @@ impl<'a> FnGen<'a> {
             self.emit(format!("lw {reg}, {off}($sp)"));
         }
         Ok(())
+    }
+}
+
+/// Source line a statement's first instruction should be attributed to
+/// (0 = no line of its own; blocks defer to their inner statements).
+fn stmt_line(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Decl { line, .. }
+        | Stmt::Return { line, .. }
+        | Stmt::Break { line }
+        | Stmt::Continue { line } => *line,
+        Stmt::Expr(e) => e.line,
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.line,
+        Stmt::For { init, cond, step, .. } => {
+            [init, cond, step].into_iter().flatten().map(|e| e.line).find(|&l| l != 0).unwrap_or(0)
+        }
+        Stmt::Block(_) | Stmt::Empty => 0,
     }
 }
 

@@ -113,6 +113,9 @@ pub fn compile_to_asm(src: &str) -> Result<String, BuildError> {
 /// Compiles an analyzed program plus runtime to one assembly module.
 fn codegen_text(program: &ast::Program) -> Result<String, BuildError> {
     let mut text = codegen::generate(program)?;
+    // The runtime is hand-written assembly with no MiniC source lines:
+    // clear the active `.loc` so its instructions stay unattributed.
+    text.push_str("    .loc 0\n");
     text.push_str(runtime::RUNTIME_ASM);
     Ok(text)
 }
@@ -443,6 +446,31 @@ mod tests {
         let joined = build(src).unwrap();
         assert_eq!(split.text, joined.text);
         assert_eq!(split.data, joined.data);
+    }
+
+    #[test]
+    fn codegen_emits_loc_markers_for_line_provenance() {
+        let src = "int add(int a, int b) {\n    return a + b;\n}\nint main() {\n    int x = add(2, 3);\n    return x;\n}\n";
+        let asm = compile_to_asm(src).unwrap();
+        // One marker per distinct statement line, deduplicated.
+        assert!(asm.contains(".loc 1\n"), "missing function-line marker:\n{asm}");
+        assert!(asm.contains(".loc 2\n"));
+        assert!(asm.contains(".loc 5\n"));
+        assert!(asm.contains(".loc 6\n"));
+        let image = build(src).unwrap();
+        assert_eq!(image.lines.len(), image.text.len());
+        let text_base = instrep_isa::abi::TEXT_BASE;
+        // Every instruction of user functions carries its source line.
+        for f in image.funcs.iter().filter(|f| f.name == "add" || f.name == "main") {
+            let start = ((f.entry - text_base) / 4) as usize;
+            for i in start..start + f.size_insns() as usize {
+                assert_ne!(image.line_at(i), 0, "{} word {i} has no line", f.name);
+            }
+        }
+        // The runtime (no `.loc` markers) stays line 0.
+        let start_fn = image.funcs.iter().find(|f| f.name == "__start").unwrap();
+        let idx = ((start_fn.entry - text_base) / 4) as usize;
+        assert_eq!(image.line_at(idx), 0);
     }
 
     #[test]

@@ -28,14 +28,26 @@
 //! measurement every N retired instructions and writes the repetition
 //! time series as JSONL. Both are pull-based like `--metrics-out`: the
 //! table output stays byte-identical (see `DESIGN.md` §10).
+//!
+//! The source-level profiler (see `DESIGN.md` §11) attributes every
+//! measured instruction to its static PC, owning function, MiniC source
+//! line, and opcode class. `--profile-out PATH` writes the versioned
+//! JSON document (full per-PC table, per-function/per-class rollups, and
+//! the `--top N` hottest repetition sites); `--profile-folded PATH`
+//! writes flamegraph-ready collapsed stacks; `--annotate BENCH` prints
+//! the benchmark's source annotated with per-line exec/repeat counters
+//! after the tables. All three are pull-based too: the tables stay
+//! byte-identical, and every output is identical for every `--jobs`
+//! count.
 
 use std::process::ExitCode;
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
     analyze, analyze_many, analyze_many_instrumented, default_parallelism, interval, metrics,
-    steady_state_check, AnalysisConfig, AnalysisJob, InstrumentedReport, IntervalWindow,
-    MetricsReport, ProbeConfig, SpanLane, SpanTracer, WorkloadReport,
+    profile, steady_state_check, AnalysisConfig, AnalysisJob, InstructionProfile,
+    InstrumentedReport, IntervalWindow, MetricsReport, ProbeConfig, ProfileReport, SpanLane,
+    SpanTracer, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -54,6 +66,17 @@ struct Options {
     trace_out: Option<String>,
     interval: Option<u64>,
     interval_out: Option<String>,
+    profile_out: Option<String>,
+    profile_folded: Option<String>,
+    annotate: Option<String>,
+    top: usize,
+}
+
+impl Options {
+    /// Whether any output needs the per-PC attribution profile.
+    fn wants_profile(&self) -> bool {
+        self.profile_out.is_some() || self.profile_folded.is_some() || self.annotate.is_some()
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -72,7 +95,12 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         interval: None,
         interval_out: None,
+        profile_out: None,
+        profile_folded: None,
+        annotate: None,
+        top: 10,
     };
+    let mut top_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -137,6 +165,27 @@ fn parse_args() -> Result<Options, String> {
             "--interval-out" => {
                 opts.interval_out = Some(args.next().ok_or("--interval-out needs a path")?);
             }
+            "--profile-out" => {
+                opts.profile_out = Some(args.next().ok_or("--profile-out needs a path")?);
+            }
+            "--profile-folded" => {
+                opts.profile_folded = Some(args.next().ok_or("--profile-folded needs a path")?);
+            }
+            "--annotate" => {
+                let name = args.next().ok_or("--annotate needs a benchmark name")?;
+                if instrep_workloads::by_name(&name).is_none() {
+                    return Err(format!("unknown benchmark `{name}` for --annotate (see --list)"));
+                }
+                opts.annotate = Some(name);
+            }
+            "--top" => {
+                let v = args.next().ok_or("--top needs a site count")?;
+                opts.top = v.parse().map_err(|_| format!("bad top count `{v}`"))?;
+                if opts.top == 0 {
+                    return Err("--top must be at least 1".to_string());
+                }
+                top_given = true;
+            }
             "--all" => {}
             "--list" => {
                 println!("{:<12}{:<16}", "bench", "SPEC analog");
@@ -151,7 +200,8 @@ fn parse_args() -> Result<Options, String> {
                      [--only BENCH] [--jobs N] [--table N]... [--figure N]... \
                      [--steady-state] [--input-check] [--csv PREFIX] \
                      [--metrics-out PATH] [--bench N] [--trace-out PATH] \
-                     [--interval N --interval-out PATH] [--list]"
+                     [--interval N --interval-out PATH] [--profile-out PATH] \
+                     [--profile-folded PATH] [--annotate BENCH] [--top N] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -166,6 +216,15 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.bench.is_some() && (opts.trace_out.is_some() || opts.interval_out.is_some()) {
         return Err("--bench cannot be combined with --trace-out or --interval-out".to_string());
+    }
+    if opts.bench.is_some() && opts.wants_profile() {
+        return Err(
+            "--bench cannot be combined with --profile-out, --profile-folded, or --annotate"
+                .to_string(),
+        );
+    }
+    if top_given && !opts.wants_profile() {
+        return Err("--top requires --profile-out, --profile-folded, or --annotate".to_string());
     }
     Ok(opts)
 }
@@ -206,6 +265,12 @@ fn main() -> ExitCode {
     if workloads.is_empty() {
         eprintln!("error: no benchmark matches --only filter");
         return ExitCode::FAILURE;
+    }
+    if let Some(name) = &opts.annotate {
+        if !workloads.iter().any(|w| w.name == name) {
+            eprintln!("error: --annotate {name} is excluded by the --only filter");
+            return ExitCode::FAILURE;
+        }
     }
 
     let threads = opts.jobs.clamp(1, workloads.len());
@@ -254,12 +319,18 @@ fn main() -> ExitCode {
     }
 
     let want_metrics = opts.metrics_out.is_some();
-    let probe_cfg = ProbeConfig { metrics: want_metrics, interval: opts.interval };
-    let any_probe = want_metrics || opts.interval.is_some() || tracer.is_some();
+    let probe_cfg = ProbeConfig {
+        metrics: want_metrics,
+        interval: opts.interval,
+        profile: opts.wants_profile(),
+    };
+    let any_probe =
+        want_metrics || opts.interval.is_some() || tracer.is_some() || opts.wants_profile();
     let iterations = opts.bench.unwrap_or(1);
     let mut runs: Vec<MetricsReport> = Vec::new();
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
     let mut interval_series: Vec<(String, Vec<IntervalWindow>)> = Vec::new();
+    let mut profiles: Vec<(String, InstructionProfile)> = Vec::new();
     for iter in 0..iterations {
         let iter_start = std::time::Instant::now();
         let jobs: Vec<AnalysisJob<'_>> = workloads
@@ -281,7 +352,12 @@ fn main() -> ExitCode {
             analyze_many(jobs, &cfg, threads)
                 .into_iter()
                 .map(|r| {
-                    r.map(|report| InstrumentedReport { report, metrics: None, intervals: None })
+                    r.map(|report| InstrumentedReport {
+                        report,
+                        metrics: None,
+                        intervals: None,
+                        profile: None,
+                    })
                 })
                 .collect()
         };
@@ -302,6 +378,9 @@ fn main() -> ExitCode {
                         reports.push((wl.name.to_string(), r));
                         if let Some(windows) = ir.intervals {
                             interval_series.push((wl.name.to_string(), windows));
+                        }
+                        if let Some(p) = ir.profile {
+                            profiles.push((wl.name.to_string(), p));
                         }
                     }
                     if let Some(mut m) = ir.metrics {
@@ -453,6 +532,16 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(name) = &opts.annotate {
+        let wl = workloads.iter().find(|w| w.name == name).expect("validated above");
+        let p = profiles
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+            .expect("profile collected for every workload");
+        println!("{}", profile::annotate(name, &wl.full_source(), p));
+    }
+
     if let (Some(path), Some(mut t)) = (opts.trace_out.as_ref(), tracer) {
         if let Some(lane) = main_lane {
             t.extend(lane.into_spans());
@@ -475,6 +564,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote interval series to {path}");
+    }
+    if opts.profile_out.is_some() || opts.profile_folded.is_some() {
+        let doc = ProfileReport {
+            scale: scale_label(opts.scale).to_string(),
+            seed: opts.seed,
+            top: opts.top,
+            workloads: std::mem::take(&mut profiles),
+        };
+        if let Some(path) = &opts.profile_out {
+            if let Err(e) = std::fs::write(path, doc.to_json()) {
+                eprintln!("error: writing profile to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote profile to {path}");
+        }
+        if let Some(path) = &opts.profile_folded {
+            if let Err(e) = std::fs::write(path, doc.to_folded()) {
+                eprintln!("error: writing folded stacks to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote folded stacks to {path} (render with a flamegraph tool)");
+        }
     }
 
     ExitCode::SUCCESS

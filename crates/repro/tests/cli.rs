@@ -1,8 +1,9 @@
 //! Smoke tests for the `instrep-repro` command-line interface: argument
 //! errors must exit non-zero with a clear message, a real (tiny,
 //! parallel) run must succeed, and the observability exports
-//! (`--metrics-out`, `--trace-out`, `--interval-out`) must write valid
-//! schema-v1 documents without changing a byte of table stdout.
+//! (`--metrics-out`, `--trace-out`, `--interval-out`, `--profile-out`,
+//! `--profile-folded`, `--annotate`) must write valid schema-v1
+//! documents without changing a byte of table stdout.
 
 mod json;
 
@@ -226,9 +227,233 @@ fn help_covers_observability_flags() {
     let out = run(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for flag in ["--metrics-out PATH", "--trace-out PATH", "--interval N --interval-out PATH"] {
+    for flag in [
+        "--metrics-out PATH",
+        "--trace-out PATH",
+        "--interval N --interval-out PATH",
+        "--profile-out PATH",
+        "--profile-folded PATH",
+        "--annotate BENCH",
+        "--top N",
+    ] {
         assert!(stdout.contains(flag), "--help missing `{flag}`: {stdout}");
     }
+}
+
+#[test]
+fn profile_flags_reject_missing_arguments() {
+    for (args, msg) in [
+        (&["--profile-out"] as &[&str], "--profile-out needs a path"),
+        (&["--profile-folded"], "--profile-folded needs a path"),
+        (&["--annotate"], "--annotate needs a benchmark name"),
+        (&["--top"], "--top needs a site count"),
+    ] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let err = stderr_of(&out);
+        assert!(err.contains(msg), "{args:?} stderr: {err}");
+    }
+}
+
+#[test]
+fn zero_or_garbage_top_fails_with_message() {
+    let out = run(&["--top", "0", "--profile-out", "p.json"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--top must be at least 1"), "{}", stderr_of(&out));
+    let out = run(&["--top", "many", "--profile-out", "p.json"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("bad top count `many`"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn top_without_profile_output_fails_with_message() {
+    let out = run(&["--top", "5"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--top requires --profile-out, --profile-folded, or --annotate"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn bench_excludes_profiling() {
+    let out = run(&["--bench", "2", "--metrics-out", "m.json", "--profile-out", "p.json"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--bench cannot be combined with --profile-out"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_annotate_benchmark_fails_with_message() {
+    let out = run(&["--annotate", "no-such-bench"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown benchmark `no-such-bench` for --annotate"), "stderr: {err}");
+    // A real benchmark excluded by --only is rejected too.
+    let out = run(&["--only", "compress", "--annotate", "li"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--annotate li is excluded by the --only filter"), "stderr: {err}");
+}
+
+/// `--profile-out` must emit parseable JSON carrying the documented
+/// schema version, per-workload totals that match Table 1's aggregates,
+/// a top-N list bounded by `--top` and sorted by repeated count, and
+/// function/line attribution on every site.
+#[test]
+fn profile_out_writes_schema_v1_json() {
+    let dir = std::env::temp_dir().join(format!("instrep-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.json");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--top",
+        "5",
+        "--profile-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("profile file written");
+    let doc = Json::parse(&text).expect("profile file is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::str), Some("profile"));
+    assert_eq!(doc.get("scale").and_then(Json::str), Some("tiny"));
+    assert_eq!(doc.get("top").and_then(Json::num), Some(5.0));
+    let workloads = doc.get("workloads").expect("workloads array").items();
+    assert_eq!(workloads.len(), 1);
+    let wl = &workloads[0];
+    assert_eq!(wl.get("name").and_then(Json::str), Some("compress"));
+    // Totals match the tiny-scale measurement window.
+    assert_eq!(wl.get("dynamic_total").and_then(Json::num), Some(400_000.0));
+    let repeated = wl.get("dynamic_repeated").and_then(Json::num).unwrap();
+    assert!(repeated > 0.0);
+
+    let top = wl.get("top_sites").expect("top_sites array").items();
+    assert_eq!(top.len(), 5, "--top bounds the hot-site list");
+    let top_repeats: Vec<f64> =
+        top.iter().map(|s| s.get("repeated").and_then(Json::num).unwrap()).collect();
+    assert!(top_repeats.windows(2).all(|w| w[0] >= w[1]), "not sorted: {top_repeats:?}");
+
+    let sites = wl.get("sites").expect("sites array").items();
+    let exec_sum: f64 = sites.iter().map(|s| s.get("exec").and_then(Json::num).unwrap()).sum();
+    let rep_sum: f64 = sites.iter().map(|s| s.get("repeated").and_then(Json::num).unwrap()).sum();
+    assert_eq!(exec_sum, 400_000.0, "per-PC exec sums to the aggregate");
+    assert_eq!(rep_sum, repeated, "per-PC repeated sums to the aggregate");
+    for s in sites {
+        assert!(s.get("function").and_then(Json::str).is_some());
+        assert!(s.get("line").and_then(Json::num).is_some());
+        assert!(s.get("class").and_then(Json::str).is_some());
+        assert!(s.get("pc").and_then(Json::str).unwrap().starts_with("0x"));
+    }
+    // Compiled code carries line provenance on most sites.
+    let with_lines =
+        sites.iter().filter(|s| s.get("line").and_then(Json::num) != Some(0.0)).count();
+    assert!(with_lines * 2 > sites.len(), "{with_lines}/{} sites have lines", sites.len());
+
+    // Rollups conserve the totals too.
+    for (key, name_key) in [("functions", "name"), ("classes", "class")] {
+        let groups = wl.get(key).expect(key).items();
+        let sum: f64 = groups.iter().map(|g| g.get("exec").and_then(Json::num).unwrap()).sum();
+        assert_eq!(sum, 400_000.0, "{key} rollup conserves exec");
+        assert!(groups.iter().all(|g| g.get(name_key).and_then(Json::str).is_some()));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--profile-folded` must emit whitespace-clean collapsed stacks with
+/// `executed` and `repeated` weightings whose counts sum to the
+/// aggregates.
+#[test]
+fn profile_folded_writes_collapsed_stacks() {
+    let dir = std::env::temp_dir().join(format!("instrep-folded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.folded");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--profile-folded",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("folded file written");
+    assert!(!text.is_empty());
+    let mut exec_sum = 0u64;
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!stack.contains(char::is_whitespace), "whitespace in stack: {line}");
+        let n: u64 = count.parse().expect("count is an integer");
+        assert!(n > 0, "zero-weight line: {line}");
+        let frames: Vec<&str> = stack.split(';').collect();
+        assert_eq!(frames.len(), 4, "workload;weight;function;pc@line: {line}");
+        assert_eq!(frames[0], "compress");
+        if frames[1] == "executed" {
+            exec_sum += n;
+        } else {
+            assert_eq!(frames[1], "repeated", "bad weight frame: {line}");
+        }
+    }
+    assert_eq!(exec_sum, 400_000, "executed stacks sum to the measurement window");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Profiling must not change a byte of table stdout, and all three
+/// profile outputs must be byte-identical across jobs counts.
+#[test]
+fn profiling_is_deterministic_and_leaves_stdout_identical() {
+    let dir = std::env::temp_dir().join(format!("instrep-prof-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut baselines: Option<(Vec<u8>, String, String, Vec<u8>)> = None;
+    for jobs in ["1", "4"] {
+        let args = ["--scale", "tiny", "--only", "compress", "--table", "1", "--jobs", jobs];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let json = dir.join(format!("p{jobs}.json"));
+        let folded = dir.join(format!("p{jobs}.folded"));
+        let mut profiled_args = args.to_vec();
+        profiled_args.extend_from_slice(&[
+            "--profile-out",
+            json.to_str().unwrap(),
+            "--profile-folded",
+            folded.to_str().unwrap(),
+            "--annotate",
+            "compress",
+        ]);
+        let profiled = run(&profiled_args);
+        assert!(profiled.status.success(), "stderr: {}", stderr_of(&profiled));
+        // Stdout = tables (identical to the plain run) + the annotate
+        // view appended after them.
+        assert!(
+            profiled.stdout.starts_with(&plain.stdout),
+            "profiling changed the tables at --jobs {jobs}"
+        );
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        match &baselines {
+            None => {
+                baselines = Some((plain.stdout, json_text, folded_text, profiled.stdout));
+            }
+            Some((b_plain, b_json, b_folded, b_annotated)) => {
+                assert_eq!(b_plain, &plain.stdout, "stdout differs between jobs counts");
+                assert_eq!(b_json, &json_text, "profile JSON differs between jobs counts");
+                assert_eq!(b_folded, &folded_text, "folded stacks differ between jobs counts");
+                assert_eq!(
+                    b_annotated, &profiled.stdout,
+                    "annotate view differs between jobs counts"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Every pair of spans on one lane must nest or be disjoint — the

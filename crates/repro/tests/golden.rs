@@ -19,6 +19,25 @@ use std::process::Command;
 const CASES: &[(&str, &[&str])] = &[
     ("compress_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "compress"]),
     ("li_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "li"]),
+    // The annotated source view: per-line exec/repeat attribution for
+    // one pinned workload (--table 1 keeps the snapshot focused).
+    (
+        "annotate_compress_tiny",
+        &[
+            "--scale",
+            "tiny",
+            "--seed",
+            "1998",
+            "--jobs",
+            "2",
+            "--only",
+            "compress",
+            "--table",
+            "1",
+            "--annotate",
+            "compress",
+        ],
+    ),
 ];
 
 fn golden_path(name: &str) -> PathBuf {

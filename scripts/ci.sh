@@ -62,6 +62,40 @@ cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/traced.txt" || {
     exit 1
 }
 
+echo "==> profile smoke run (schema, folded hygiene, stdout-identity)"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --profile-out "$SMOKE_DIR/profile.json" \
+    --profile-folded "$SMOKE_DIR/profile.folded" \
+    >"$SMOKE_DIR/profiled.txt"
+grep -q '"schema_version": 1,' "$SMOKE_DIR/profile.json" || {
+    echo "profile schema drift: expected schema_version 1 in profile.json" >&2
+    exit 1
+}
+grep -q '"kind": "profile",' "$SMOKE_DIR/profile.json" || {
+    echo "profile schema drift: expected kind \"profile\" in profile.json" >&2
+    exit 1
+}
+test -s "$SMOKE_DIR/profile.folded" || {
+    echo "folded stacks file is empty" >&2
+    exit 1
+}
+# Collapsed-stack hygiene: every line is `stack count`, one space, no
+# tabs or stray whitespace (flamegraph tools are picky about this).
+grep -qP '\t| {2}|^ | $' "$SMOKE_DIR/profile.folded" && {
+    echo "folded stacks contain stray whitespace" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/profiled.txt" || {
+    echo "profiling perturbed table stdout (plain vs profiled differ)" >&2
+    exit 1
+}
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --annotate compress >"$SMOKE_DIR/annotated.txt"
+grep -q 'source-level repetition profile' "$SMOKE_DIR/annotated.txt" || {
+    echo "--annotate produced no annotated source view" >&2
+    exit 1
+}
+
 echo "==> bench trajectory check (scripts/bench.sh --check)"
 scripts/bench.sh --check
 
