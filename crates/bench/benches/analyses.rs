@@ -89,7 +89,7 @@ fn bench_observers(c: &mut Criterion) {
 }
 
 fn bench_full_pipeline(c: &mut Criterion) {
-    use instrep_core::{analyze, AnalysisConfig};
+    use instrep_core::{AnalysisConfig, Session};
     let wl = by_name("compress").expect("compress exists");
     let image = wl.build().expect("builds");
     let input = wl.input(Scale::Tiny, 7);
@@ -98,7 +98,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyses");
     g.throughput(Throughput::Elements(200_000));
     g.bench_function("full_pipeline", |b| {
-        b.iter(|| analyze(&image, input.clone(), &cfg).unwrap().dynamic_repeated)
+        b.iter(|| Session::new(cfg).run_one(&image, input.clone()).unwrap().report.dynamic_repeated)
     });
     g.finish();
 }

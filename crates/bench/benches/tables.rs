@@ -8,15 +8,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use instrep_core::report::{self, Named};
-use instrep_core::{analyze, AnalysisConfig, WorkloadReport};
+use instrep_core::{AnalysisConfig, Session, WorkloadReport};
 use instrep_workloads::{by_name, Scale};
 
 fn make_report(workload: &str) -> (String, WorkloadReport) {
     let wl = by_name(workload).expect("workload exists");
     let image = wl.build().expect("builds");
     let cfg = AnalysisConfig { skip: 10_000, window: 150_000, ..AnalysisConfig::default() };
-    let r = analyze(&image, wl.input(Scale::Tiny, 1998), &cfg).expect("analyzes");
-    (wl.name.to_string(), r)
+    let r = Session::new(cfg).run_one(&image, wl.input(Scale::Tiny, 1998)).expect("analyzes");
+    (wl.name.to_string(), r.report)
 }
 
 /// Benches one experiment: the pipeline run plus that table's rendering.

@@ -49,6 +49,13 @@ impl Coverage {
         self.total
     }
 
+    /// Item weights in descending order — the curve's canonical form.
+    /// Feeding these back through [`Coverage::new`] rebuilds an
+    /// identical curve (the analysis cache round-trips curves this way).
+    pub fn weights(&self) -> &[u64] {
+        &self.sorted
+    }
+
     /// Fraction of total weight covered by the heaviest
     /// `item_fraction` (in `[0, 1]`) of items.
     pub fn coverage_at(&self, item_fraction: f64) -> f64 {

@@ -29,12 +29,12 @@ fn field(s: &str) -> String {
 /// # Examples
 ///
 /// ```
-/// use instrep_core::{analyze, AnalysisConfig, export};
+/// use instrep_core::{export, AnalysisConfig, Session};
 ///
 /// let image = instrep_minicc::build(
 ///     "int main() { int i; int s = 0; for (i = 0; i < 50; i++) s += i & 3; return s; }",
 /// )?;
-/// let r = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+/// let r = Session::new(AnalysisConfig::default()).run_one(&image, Vec::new())?.report;
 /// let csv = export::csv_summary(&[("demo", &r)]);
 /// assert!(csv.starts_with("bench,"));
 /// assert!(csv.lines().count() == 2);
@@ -130,7 +130,8 @@ pub fn csv_breakdowns(reports: &[Named<'_>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{analyze, AnalysisConfig};
+    use crate::pipeline::AnalysisConfig;
+    use crate::Session;
 
     fn sample() -> crate::pipeline::WorkloadReport {
         let image = instrep_minicc::build(
@@ -144,7 +145,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap()
+        Session::new(AnalysisConfig::default()).run_one(&image, Vec::new()).unwrap().report
     }
 
     #[test]

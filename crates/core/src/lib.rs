@@ -18,8 +18,14 @@
 //!   the argument/return-value/global/heap/internal source slices
 //!   (Tables 5–7 and 9, Figure 6).
 //! * [`ReuseBuffer`] — the 8K-entry 4-way reuse buffer (Table 10).
-//! * [`analyze`] — a one-pass pipeline wiring all of the above, with the
-//!   paper's skip-then-measure methodology.
+//! * [`Session`] — the one entry point: a builder over the one-pass
+//!   pipeline wiring all of the above (the paper's skip-then-measure
+//!   methodology), with every probe and the analysis cache attached
+//!   through builder methods. The old `analyze*` family survives as
+//!   `#[deprecated]` shims for one release.
+//! * [`cache`] — content-addressed on-disk memoization of whole-workload
+//!   results (`instrep-repro --cache-dir`): a hit skips simulation
+//!   entirely and still renders byte-identical tables.
 //! * [`report`] — text renderers matching the paper's table layouts.
 //! * [`metrics`] — pull-based observability: phase timers, throughput,
 //!   occupancy gauges, and the versioned JSON documents behind
@@ -41,7 +47,7 @@
 //! # Examples
 //!
 //! ```
-//! use instrep_core::{analyze, AnalysisConfig};
+//! use instrep_core::{AnalysisConfig, Session};
 //!
 //! let image = instrep_minicc::build(r#"
 //!     int main() {
@@ -50,11 +56,12 @@
 //!         return s & 0xff;
 //!     }
 //! "#)?;
-//! let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+//! let report = Session::new(AnalysisConfig::default()).run_one(&image, Vec::new())?.report;
 //! println!("repetition rate: {:.1}%", report.repetition_rate() * 100.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 mod classes;
 mod coverage;
 pub mod export;
@@ -69,9 +76,11 @@ mod predict;
 pub mod profile;
 pub mod report;
 mod reuse;
+mod session;
 pub mod trace_span;
 mod tracker;
 
+pub use cache::{AnalysisCache, CacheKey, CACHE_SCHEMA_VERSION, ENTRY_PAYLOAD_OFFSET};
 pub use classes::{ClassAnalysis, ClassCounts, InsnClass};
 pub use coverage::Coverage;
 pub use function::{FuncStats, FunctionAnalysis};
@@ -82,6 +91,7 @@ pub use local::{LocalAnalysis, LocalCat, LocalCounts};
 pub use metrics::{
     BenchSummary, MetricsReport, PhaseMetrics, WorkloadMetrics, METRICS_SCHEMA_VERSION,
 };
+#[allow(deprecated)] // the shims stay exported until they are removed
 pub use pipeline::{
     analyze, analyze_many, analyze_many_instrumented, analyze_many_with_metrics,
     analyze_with_metrics, analyze_with_probes, default_parallelism, steady_state_check,
@@ -93,5 +103,6 @@ pub use profile::{
     PROFILE_SCHEMA_VERSION,
 };
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+pub use session::{CacheOutcome, Session};
 pub use trace_span::{OpenSpan, Span, SpanLane, SpanTracer, TRACE_SCHEMA_VERSION};
 pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

@@ -5,6 +5,12 @@
 //! During the skip phase all analyses still *propagate state* (dataflow
 //! tags, call stacks, shadow memory) but accumulate no statistics, so the
 //! measured window has correct provenance for every value it observes.
+//!
+//! The public entry point is [`Session`](crate::Session) in
+//! `core::session`; this module holds the engine (`run_probed`), the
+//! configuration and report types, and six `#[deprecated]` shims kept
+//! for one release so external callers of the old `analyze*` family
+//! migrate at their leisure.
 
 use instrep_asm::Image;
 use instrep_sim::{Machine, RunOutcome, SimError};
@@ -22,7 +28,7 @@ use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::trace_span::{SpanLane, SpanTracer};
 use crate::tracker::{RepetitionTracker, TrackerConfig};
 
-/// Configuration for [`analyze`].
+/// Configuration for an analysis run ([`Session`](crate::Session)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisConfig {
     /// Repetition-tracker configuration (instance buffer size).
@@ -154,62 +160,36 @@ impl WorkloadReport {
 ///
 /// Propagates simulator traps ([`SimError`]); a trap indicates a workload
 /// or compiler bug, not a property of the analyses.
-///
-/// # Examples
-///
-/// ```
-/// use instrep_core::{analyze, AnalysisConfig};
-/// use instrep_minicc::build;
-///
-/// let image = build(r#"
-///     int sq(int x) { return x * x; }
-///     int main() {
-///         int i; int s = 0;
-///         for (i = 0; i < 100; i++) s += sq(i % 10);
-///         return s;
-///     }
-/// "#)?;
-/// let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
-/// assert!(report.repetition_rate() > 0.5);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+#[deprecated(note = "use `Session::new(*cfg).run_one(image, input)` instead")]
 pub fn analyze(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
 ) -> Result<WorkloadReport, SimError> {
-    analyze_with_metrics(image, input, cfg, None)
+    run_probed(image, input, cfg, Probes::none())
 }
 
-/// [`analyze`], optionally reporting into a [`WorkloadMetrics`] sink.
-///
-/// Metrics are sampled only at phase boundaries (monotonic timestamps)
-/// and after the run (occupancy gauges), never per event, so the
-/// resulting [`WorkloadReport`] is identical with or without a sink —
-/// `metrics: None` compiles down to the plain [`analyze`] path with one
-/// dead branch per phase.
+/// [`Session::run_one`](crate::Session::run_one) with an optional
+/// [`WorkloadMetrics`] sink, kept for callers of the pre-`Session` API.
 ///
 /// # Errors
 ///
-/// Propagates simulator traps, exactly as [`analyze`].
+/// Propagates simulator traps, exactly as `analyze`.
+#[deprecated(note = "use `Session::new(*cfg).metrics(true).run_one(image, input)` instead")]
 pub fn analyze_with_metrics(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    analyze_with_probes(
-        image,
-        input,
-        cfg,
-        Probes { metrics, spans: None, sampler: None, profile: None },
-    )
+    run_probed(image, input, cfg, Probes { metrics, spans: None, sampler: None, profile: None })
 }
 
 /// The pipeline's optional observability hooks, all riding the same
 /// `Option<&mut …>` pattern: any subset may be attached, none of them
 /// can perturb the [`WorkloadReport`], and an all-`None` bundle is the
-/// plain [`analyze`] path.
+/// plain uninstrumented path. [`Session`](crate::Session) assembles
+/// this bundle internally from its builder flags.
 #[derive(Debug, Default)]
 pub struct Probes<'a> {
     /// Phase timers, throughput, and end-of-run gauges (`core::metrics`).
@@ -227,23 +207,38 @@ pub struct Probes<'a> {
 }
 
 impl Probes<'_> {
-    /// No probes attached: exactly the [`analyze`] path.
+    /// No probes attached: exactly the uninstrumented path.
     pub fn none() -> Probes<'static> {
         Probes::default()
     }
 }
 
-/// [`analyze`] with any combination of [`Probes`] attached.
+/// The engine behind [`Session`](crate::Session): one simulation pass
+/// with any combination of [`Probes`] attached, kept for the old
+/// `analyze_with_probes` signature.
+///
+/// # Errors
+///
+/// Propagates simulator traps, exactly as `analyze`.
+#[deprecated(note = "use `Session` builder methods to attach probes instead")]
+pub fn analyze_with_probes(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+    probes: Probes<'_>,
+) -> Result<WorkloadReport, SimError> {
+    run_probed(image, input, cfg, probes)
+}
+
+/// One simulation pass with any combination of [`Probes`] attached —
+/// the engine everything else (the `Session` builder, the deprecated
+/// shims, `steady_state_check`) runs on.
 ///
 /// Metrics and spans sample the clock at phase boundaries only; the
 /// interval sampler adds one counter increment per measured instruction
 /// and reads gauges at window boundaries. None of them feed back into
 /// the analyses, so the report is byte-identical whatever is attached.
-///
-/// # Errors
-///
-/// Propagates simulator traps, exactly as [`analyze`].
-pub fn analyze_with_probes(
+pub(crate) fn run_probed(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
@@ -411,8 +406,8 @@ pub fn analyze_with_probes(
     Ok(report)
 }
 
-/// One unit of work for [`analyze_many`]: a built image plus its input
-/// stream.
+/// One unit of work for [`Session::run`](crate::Session::run): a built
+/// image plus its input stream.
 #[derive(Debug)]
 pub struct AnalysisJob<'a> {
     /// The compiled workload image.
@@ -424,52 +419,51 @@ pub struct AnalysisJob<'a> {
     pub label: &'a str,
 }
 
-/// Runs [`analyze`] over many workloads on a pool of scoped threads.
-///
-/// Results come back **in job order**, regardless of which thread
-/// finished first — combined with the analyses' internal determinism
-/// (fixed-seed hashing, no global state) this makes the merged output
-/// bit-identical for every `threads` value, including 1.
-///
-/// `threads` is clamped to `[1, jobs.len()]`; pass
-/// [`default_parallelism`] for "use the machine".
+/// Runs many workloads on a pool of scoped threads, kept for callers of
+/// the pre-`Session` API.
 ///
 /// # Errors
 ///
 /// Each slot carries its own simulator outcome; one trapped workload
 /// does not poison the others.
+#[deprecated(note = "use `Session::new(*cfg).jobs(threads).run(jobs)` instead")]
 pub fn analyze_many(
     jobs: Vec<AnalysisJob<'_>>,
     cfg: &AnalysisConfig,
     threads: usize,
 ) -> Vec<Result<WorkloadReport, SimError>> {
-    parallel_map(jobs, threads, |job| analyze(job.image, job.input, cfg))
+    crate::Session::new(*cfg)
+        .jobs(threads)
+        .run(jobs)
+        .into_iter()
+        .map(|r| r.map(|ir| ir.report))
+        .collect()
 }
 
-/// [`analyze_many`] with a [`WorkloadMetrics`] sink per job.
-///
-/// Reports come back in job order with their metrics attached; the
-/// reports themselves are identical to what [`analyze_many`] returns
-/// (metrics sampling never perturbs the analyses — see
-/// [`analyze_with_metrics`]).
+/// Batch analysis with a [`WorkloadMetrics`] sink per job, kept for
+/// callers of the pre-`Session` API.
 ///
 /// # Errors
 ///
-/// Each slot carries its own simulator outcome, as in [`analyze_many`].
+/// Each slot carries its own simulator outcome, as in `analyze_many`.
+#[deprecated(note = "use `Session::new(*cfg).jobs(threads).metrics(true).run(jobs)` instead")]
 pub fn analyze_many_with_metrics(
     jobs: Vec<AnalysisJob<'_>>,
     cfg: &AnalysisConfig,
     threads: usize,
 ) -> Vec<Result<(WorkloadReport, WorkloadMetrics), SimError>> {
-    let probes = ProbeConfig { metrics: true, interval: None, profile: false };
-    analyze_many_instrumented(jobs, cfg, threads, probes, None)
+    crate::Session::new(*cfg)
+        .jobs(threads)
+        .metrics(true)
+        .run(jobs)
         .into_iter()
         .map(|r| r.map(|ir| (ir.report, ir.metrics.expect("metrics were requested"))))
         .collect()
 }
 
-/// Which per-job telemetry [`analyze_many_instrumented`] collects.
-/// Span tracing is switched by passing a [`SpanTracer`], not here.
+/// Which per-job telemetry the deprecated `analyze_many_instrumented`
+/// collects. [`Session`](crate::Session) builder flags replace this.
+#[deprecated(note = "use `Session` builder methods (`metrics`, `interval`, `profile`) instead")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProbeConfig {
     /// Collect a [`WorkloadMetrics`] per job.
@@ -481,82 +475,47 @@ pub struct ProbeConfig {
     pub profile: bool,
 }
 
-/// One job's report plus whatever telemetry [`ProbeConfig`] requested.
+/// One job's report plus whatever telemetry the
+/// [`Session`](crate::Session) was configured to collect.
 #[derive(Debug)]
 pub struct InstrumentedReport {
     /// The analysis report — byte-identical to the uninstrumented run.
     pub report: WorkloadReport,
-    /// Phase metrics, when [`ProbeConfig::metrics`] was set.
+    /// Phase metrics, when `Session::metrics` was set.
     pub metrics: Option<WorkloadMetrics>,
-    /// Interval windows, when [`ProbeConfig::interval`] was set.
+    /// Interval windows, when `Session::interval` was set.
     pub intervals: Option<Vec<IntervalWindow>>,
-    /// Per-PC attribution profile, when [`ProbeConfig::profile`] was set.
+    /// Per-PC attribution profile, when `Session::profile` was set.
     pub profile: Option<InstructionProfile>,
+    /// How the analysis cache participated, if one was attached.
+    pub cache: crate::CacheOutcome,
 }
 
-/// [`analyze_many`] with the full observability stack attached: metrics
-/// and/or interval sampling per [`ProbeConfig`], plus span tracing when
-/// a [`SpanTracer`] is passed.
-///
-/// Each worker thread records into its own span lane (lane `1 + worker
-/// index`; lane 0 is reserved for the driver's main thread): one
-/// `"workload"` span per job wrapping the pipeline's `"phase"` spans.
-/// Lanes are merged into the tracer in job order, which — workers
-/// claiming jobs in cursor order — keeps every lane's spans in
-/// chronological order too. Reports still come back in job order and
-/// are byte-identical to [`analyze_many`]'s for every `threads` value.
+/// Batch analysis with the full observability stack attached, kept for
+/// callers of the pre-`Session` API.
 ///
 /// # Errors
 ///
-/// Each slot carries its own simulator outcome, as in [`analyze_many`];
+/// Each slot carries its own simulator outcome, as in `analyze_many`;
 /// spans closed before a trap are still merged into the tracer.
+#[deprecated(note = "use `Session` builder methods to attach probes and a tracer instead")]
+#[allow(deprecated)] // the signature keeps the deprecated ProbeConfig
 pub fn analyze_many_instrumented(
     jobs: Vec<AnalysisJob<'_>>,
     cfg: &AnalysisConfig,
     threads: usize,
     probes: ProbeConfig,
-    mut tracer: Option<&mut SpanTracer>,
+    tracer: Option<&mut SpanTracer>,
 ) -> Vec<Result<InstrumentedReport, SimError>> {
-    let epoch = tracer.as_ref().map(|t| t.epoch());
-    let results = parallel_map_indexed(jobs, threads, |worker, job| {
-        let mut metrics = probes.metrics.then(WorkloadMetrics::default);
-        let mut sampler = probes.interval.map(IntervalSampler::new);
-        let mut profile = probes.profile.then(InstructionProfile::default);
-        let mut lane = epoch.map(|e| SpanLane::new(worker as u32 + 1, e));
-        let label = job.label.to_string();
-        let job_span = lane.as_mut().map(|l| l.begin());
-        let result = analyze_with_probes(
-            job.image,
-            job.input,
-            cfg,
-            Probes {
-                metrics: metrics.as_mut(),
-                spans: lane.as_mut(),
-                sampler: sampler.as_mut(),
-                profile: profile.as_mut(),
-            },
-        );
-        if let (Some(l), Ok(_)) = (lane.as_mut(), &result) {
-            l.end(job_span.expect("span opened with lane"), label, "workload", 0);
-        }
-        let spans = lane.map(SpanLane::into_spans);
-        let instrumented = result.map(|report| InstrumentedReport {
-            report,
-            metrics,
-            intervals: sampler.map(IntervalSampler::into_windows),
-            profile,
-        });
-        (instrumented, spans)
-    });
-    results
-        .into_iter()
-        .map(|(r, spans)| {
-            if let (Some(t), Some(spans)) = (tracer.as_deref_mut(), spans) {
-                t.extend(spans);
-            }
-            r
-        })
-        .collect()
+    let mut session = crate::Session::new(*cfg).jobs(threads).metrics(probes.metrics);
+    if let Some(insns) = probes.interval {
+        session = session.interval(insns);
+    }
+    session = session.profile(probes.profile);
+    if let Some(t) = tracer {
+        session = session.trace(t);
+    }
+    session.run(jobs)
 }
 
 /// The number of worker threads [`analyze_many`] should default to: the
@@ -565,18 +524,9 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Order-preserving parallel map over owned items using scoped threads.
-pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    parallel_map_indexed(items, threads, |_, item| f(item))
-}
-
-/// [`parallel_map`], passing each call the index of the worker thread
-/// running it (`0..threads`) — the span tracer's lane key.
+/// Order-preserving parallel map over owned items using scoped threads,
+/// passing each call the index of the worker thread running it
+/// (`0..threads`) — the span tracer's lane key.
 ///
 /// Items are claimed from a shared atomic cursor, so long and short jobs
 /// balance across workers; each result lands in its item's original
@@ -640,10 +590,10 @@ pub fn steady_state_check(
     cfg: &AnalysisConfig,
     factor: u64,
 ) -> Result<f64, SimError> {
-    let short = analyze(image, input.clone(), cfg)?;
+    let short = run_probed(image, input.clone(), cfg, Probes::none())?;
     let mut long_cfg = *cfg;
     long_cfg.window = cfg.window.saturating_mul(factor);
-    let long = analyze(image, input, &long_cfg)?;
+    let long = run_probed(image, input, &long_cfg, Probes::none())?;
     let mut max_dev: f64 = 0.0;
     for cat in crate::local::LocalCat::ALL {
         let dev = (short.local.overall_share(cat) - long.local.overall_share(cat)).abs();
@@ -656,6 +606,7 @@ pub fn steady_state_check(
 mod tests {
     use super::*;
     use crate::trace_span::Span;
+    use crate::Session;
     use instrep_minicc::build;
 
     fn small_image() -> Image {
@@ -674,10 +625,15 @@ mod tests {
         .unwrap()
     }
 
+    /// One plain run through the public builder.
+    fn quick(image: &Image, cfg: &AnalysisConfig) -> WorkloadReport {
+        Session::new(*cfg).run_one(image, Vec::new()).unwrap().report
+    }
+
     #[test]
     fn end_to_end_analysis() {
         let image = small_image();
-        let report = analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap();
+        let report = quick(&image, &AnalysisConfig::default());
         assert!(matches!(report.outcome, RunOutcome::Exited(_)));
         assert!(report.dynamic_total > 1000);
         // A tight loop calling a pure-ish lookup repeats heavily.
@@ -704,13 +660,8 @@ mod tests {
     #[test]
     fn skip_phase_excludes_startup() {
         let image = small_image();
-        let full = analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap();
-        let skipped = analyze(
-            &image,
-            Vec::new(),
-            &AnalysisConfig { skip: 1000, ..AnalysisConfig::default() },
-        )
-        .unwrap();
+        let full = quick(&image, &AnalysisConfig::default());
+        let skipped = quick(&image, &AnalysisConfig { skip: 1000, ..AnalysisConfig::default() });
         assert_eq!(skipped.dynamic_total + 1000, full.dynamic_total);
         // Repetition persists in the steady-state region.
         assert!(skipped.repetition_rate() > 0.6);
@@ -720,7 +671,7 @@ mod tests {
     fn window_truncates() {
         let image = small_image();
         let cfg = AnalysisConfig { window: 2000, ..AnalysisConfig::default() };
-        let report = analyze(&image, Vec::new(), &cfg).unwrap();
+        let report = quick(&image, &cfg);
         assert_eq!(report.outcome, RunOutcome::MaxedOut);
         assert_eq!(report.dynamic_total, 2000);
     }
@@ -734,18 +685,19 @@ mod tests {
     }
 
     #[test]
-    fn analyze_many_matches_serial_for_every_thread_count() {
+    fn batch_run_matches_serial_for_every_thread_count() {
         let image = small_image();
         let cfg = AnalysisConfig::default();
-        let serial: Vec<u64> =
-            (0..4).map(|_| analyze(&image, Vec::new(), &cfg).unwrap().dynamic_repeated).collect();
+        let serial: Vec<u64> = (0..4).map(|_| quick(&image, &cfg).dynamic_repeated).collect();
         for threads in [1, 2, 7] {
             let jobs: Vec<AnalysisJob<'_>> = (0..4)
                 .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" })
                 .collect();
-            let parallel: Vec<u64> = analyze_many(jobs, &cfg, threads)
+            let parallel: Vec<u64> = Session::new(cfg)
+                .jobs(threads)
+                .run(jobs)
                 .into_iter()
-                .map(|r| r.unwrap().dynamic_repeated)
+                .map(|r| r.unwrap().report.dynamic_repeated)
                 .collect();
             assert_eq!(parallel, serial, "threads={threads}");
         }
@@ -755,9 +707,10 @@ mod tests {
     fn metrics_sink_does_not_perturb_report() {
         let image = small_image();
         let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
-        let plain = analyze(&image, Vec::new(), &cfg).unwrap();
+        let plain = quick(&image, &cfg);
         let mut m = WorkloadMetrics::default();
-        let instrumented = analyze_with_metrics(&image, Vec::new(), &cfg, Some(&mut m)).unwrap();
+        let probes = Probes { metrics: Some(&mut m), ..Probes::none() };
+        let instrumented = run_probed(&image, Vec::new(), &cfg, probes).unwrap();
         assert_eq!(format!("{plain:?}"), format!("{instrumented:?}"));
         // Phases arrive in pipeline order with the right event counts.
         let names: Vec<&str> = m.phases.iter().map(|p| p.name).collect();
@@ -773,19 +726,24 @@ mod tests {
     }
 
     #[test]
-    fn analyze_many_with_metrics_matches_plain() {
+    fn batch_metrics_do_not_perturb_reports() {
         let image = small_image();
         let cfg = AnalysisConfig::default();
         let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
             (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
         };
-        let plain: Vec<String> = analyze_many(jobs(3), &cfg, 2)
+        let plain: Vec<String> = Session::new(cfg)
+            .jobs(2)
+            .run(jobs(3))
             .into_iter()
-            .map(|r| format!("{:?}", r.unwrap()))
+            .map(|r| format!("{:?}", r.unwrap().report))
             .collect();
-        let with: Vec<String> = analyze_many_with_metrics(jobs(3), &cfg, 2)
+        let with: Vec<String> = Session::new(cfg)
+            .jobs(2)
+            .metrics(true)
+            .run(jobs(3))
             .into_iter()
-            .map(|r| format!("{:?}", r.unwrap().0))
+            .map(|r| format!("{:?}", r.unwrap().report))
             .collect();
         assert_eq!(plain, with);
     }
@@ -794,13 +752,13 @@ mod tests {
     fn probes_do_not_perturb_report() {
         let image = small_image();
         let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
-        let plain = analyze(&image, Vec::new(), &cfg).unwrap();
+        let plain = quick(&image, &cfg);
         let tracer = SpanTracer::new();
         let mut lane = SpanLane::new(0, tracer.epoch());
         let mut sampler = IntervalSampler::new(700);
         let mut m = WorkloadMetrics::default();
         let mut profile = InstructionProfile::default();
-        let probed = analyze_with_probes(
+        let probed = run_probed(
             &image,
             Vec::new(),
             &cfg,
@@ -839,7 +797,7 @@ mod tests {
         let image = small_image();
         let cfg = AnalysisConfig { window: 2000, ..AnalysisConfig::default() };
         let mut sampler = IntervalSampler::new(500);
-        let report = analyze_with_probes(
+        let report = run_probed(
             &image,
             Vec::new(),
             &cfg,
@@ -854,15 +812,17 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_many_fills_profiles_identically_across_thread_counts() {
+    fn batch_run_fills_profiles_identically_across_thread_counts() {
         let image = small_image();
         let cfg = AnalysisConfig::default();
         let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
             (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
         };
-        let probes = ProbeConfig { metrics: false, interval: None, profile: true };
         let profiles = |threads: usize| -> Vec<InstructionProfile> {
-            analyze_many_instrumented(jobs(3), &cfg, threads, probes, None)
+            Session::new(cfg)
+                .jobs(threads)
+                .profile(true)
+                .run(jobs(3))
                 .into_iter()
                 .map(|r| r.unwrap().profile.expect("profile was requested"))
                 .collect()
@@ -873,15 +833,15 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_many_traces_every_job_and_phase() {
+    fn batch_run_traces_every_job_and_phase() {
         let image = small_image();
         let cfg = AnalysisConfig::default();
         let jobs: Vec<AnalysisJob<'_>> = (0..3)
             .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "lookup" })
             .collect();
         let mut tracer = SpanTracer::new();
-        let probes = ProbeConfig { metrics: true, interval: Some(1000), profile: false };
-        let results = analyze_many_instrumented(jobs, &cfg, 2, probes, Some(&mut tracer));
+        let results =
+            Session::new(cfg).jobs(2).metrics(true).interval(1000).trace(&mut tracer).run(jobs);
         assert_eq!(results.len(), 3);
         for r in results {
             let ir = r.unwrap();
@@ -925,10 +885,47 @@ mod tests {
         // Later items finish first (they sleep less); results must still
         // come back in input order.
         let items: Vec<u64> = (0..16).collect();
-        let out = parallel_map(items, 8, |i| {
+        let out = parallel_map_indexed(items, 8, |_, i| {
             std::thread::sleep(std::time::Duration::from_micros(200 * (16 - i)));
             i * i
         });
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    /// The six deprecated shims must stay behaviorally identical to the
+    /// `Session` paths they forward to until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_session() {
+        let image = small_image();
+        let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
+        let expect = format!("{:?}", quick(&image, &cfg));
+
+        assert_eq!(format!("{:?}", analyze(&image, Vec::new(), &cfg).unwrap()), expect);
+        let mut m = WorkloadMetrics::default();
+        let r = analyze_with_metrics(&image, Vec::new(), &cfg, Some(&mut m)).unwrap();
+        assert_eq!(format!("{r:?}"), expect);
+        assert!(!m.phases.is_empty());
+        let r = analyze_with_probes(&image, Vec::new(), &cfg, Probes::none()).unwrap();
+        assert_eq!(format!("{r:?}"), expect);
+
+        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
+        };
+        for r in analyze_many(jobs(2), &cfg, 2) {
+            assert_eq!(format!("{:?}", r.unwrap()), expect);
+        }
+        for r in analyze_many_with_metrics(jobs(2), &cfg, 2) {
+            let (report, metrics) = r.unwrap();
+            assert_eq!(format!("{report:?}"), expect);
+            assert!(!metrics.phases.is_empty());
+        }
+        let probes = ProbeConfig { metrics: true, interval: Some(1000), profile: true };
+        for r in analyze_many_instrumented(jobs(2), &cfg, 2, probes, None) {
+            let ir = r.unwrap();
+            assert_eq!(format!("{:?}", ir.report), expect);
+            assert!(ir.metrics.is_some() && ir.intervals.is_some() && ir.profile.is_some());
+            assert_eq!(ir.cache, crate::CacheOutcome::Uncached);
+        }
     }
 }

@@ -106,13 +106,13 @@ pub struct ClassRollup {
 
 /// Per-static-instruction repetition profile for one workload.
 ///
-/// Attach an empty profile to [`crate::Probes::profile`]; the pipeline
-/// fills it during finalize. Sites are stored in static-index order.
+/// Request one with [`crate::Session::profile`]; the pipeline fills it
+/// during finalize. Sites are stored in static-index order.
 ///
 /// # Examples
 ///
 /// ```
-/// use instrep_core::{analyze_with_probes, AnalysisConfig, InstructionProfile, Probes};
+/// use instrep_core::{AnalysisConfig, Session};
 ///
 /// let image = instrep_minicc::build(r#"
 ///     int main() {
@@ -121,15 +121,10 @@ pub struct ClassRollup {
 ///         return s & 0xff;
 ///     }
 /// "#)?;
-/// let mut profile = InstructionProfile::default();
-/// let report = analyze_with_probes(
-///     &image,
-///     Vec::new(),
-///     &AnalysisConfig::default(),
-///     Probes { profile: Some(&mut profile), ..Probes::none() },
-/// )?;
-/// assert_eq!(profile.total_exec(), report.dynamic_total);
-/// assert_eq!(profile.total_repeated(), report.dynamic_repeated);
+/// let ir = Session::new(AnalysisConfig::default()).profile(true).run_one(&image, Vec::new())?;
+/// let profile = ir.profile.expect("profile was requested");
+/// assert_eq!(profile.total_exec(), ir.report.dynamic_total);
+/// assert_eq!(profile.total_repeated(), ir.report.dynamic_repeated);
 /// assert!(profile.top_sites(3).iter().all(|s| s.func == "main"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -444,20 +439,17 @@ pub fn annotate(name: &str, source: &str, profile: &InstructionProfile) -> Strin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{analyze_with_probes, AnalysisConfig, Probes};
+    use crate::pipeline::AnalysisConfig;
+    use crate::Session;
     use instrep_minicc::build;
 
     fn profiled(src: &str) -> (InstructionProfile, crate::WorkloadReport) {
         let image = build(src).unwrap();
-        let mut profile = InstructionProfile::default();
-        let report = analyze_with_probes(
-            &image,
-            Vec::new(),
-            &AnalysisConfig::default(),
-            Probes { profile: Some(&mut profile), ..Probes::none() },
-        )
-        .unwrap();
-        (profile, report)
+        let ir = Session::new(AnalysisConfig::default())
+            .profile(true)
+            .run_one(&image, Vec::new())
+            .unwrap();
+        (ir.profile.expect("profile was requested"), ir.report)
     }
 
     const LOOP_SRC: &str = r#"int twice(int x) {

@@ -343,7 +343,8 @@ pub fn ext_predict(reports: &[Named<'_>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{analyze, AnalysisConfig};
+    use crate::pipeline::AnalysisConfig;
+    use crate::Session;
 
     fn sample() -> WorkloadReport {
         let image = instrep_minicc::build(
@@ -357,7 +358,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        analyze(&image, Vec::new(), &AnalysisConfig::default()).unwrap()
+        Session::new(AnalysisConfig::default()).run_one(&image, Vec::new()).unwrap().report
     }
 
     #[test]

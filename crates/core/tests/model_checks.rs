@@ -6,9 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use instrep_core::{
-    analyze_many, analyze_many_instrumented, AnalysisConfig, AnalysisJob, Coverage,
-    InstructionProfile, LastValuePredictor, ProbeConfig, ProfileReport, RepetitionTracker,
-    ReuseBuffer, ReuseConfig, TrackerConfig,
+    AnalysisConfig, AnalysisJob, Coverage, InstructionProfile, LastValuePredictor, ProfileReport,
+    RepetitionTracker, ReuseBuffer, ReuseConfig, Session, TrackerConfig,
 };
 use instrep_isa::{AluOp, Insn, Reg};
 use instrep_sim::Event;
@@ -199,9 +198,11 @@ proptest! {
         let run = |threads: usize| -> Vec<String> {
             let jobs: Vec<AnalysisJob<'_>> =
                 (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect();
-            analyze_many(jobs, &cfg, threads)
+            Session::new(cfg)
+                .jobs(threads)
+                .run(jobs)
                 .into_iter()
-                .map(|r| format!("{:?}", r.expect("workload runs")))
+                .map(|r| format!("{:?}", r.expect("workload runs").report))
                 .collect()
         };
         // The full report — every table's inputs — must be identical
@@ -228,11 +229,13 @@ proptest! {
         );
         let image = instrep_minicc::build(&src).expect("random workload compiles");
         let cfg = AnalysisConfig::default();
-        let probes = ProbeConfig { metrics: false, interval: None, profile: true };
         let run = |threads: usize| -> Vec<(InstructionProfile, u64, u64, usize)> {
             let jobs: Vec<AnalysisJob<'_>> =
                 (0..3).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect();
-            analyze_many_instrumented(jobs, &cfg, threads, probes, None)
+            Session::new(cfg)
+                .jobs(threads)
+                .profile(true)
+                .run(jobs)
                 .into_iter()
                 .map(|r| {
                     let ir = r.expect("workload runs");

@@ -2,17 +2,17 @@
 //! *An Empirical Analysis of Instruction Repetition* (ASPLOS 1998), over
 //! the eight SPEC-'95-like workloads.
 //!
-//! ```text
-//! instrep-repro [--scale tiny|small|full] [--seed N] [--only BENCH]
-//!               [--jobs N] [--table N]... [--figure N]... [--steady-state]
-//!               [--metrics-out PATH] [--bench N] [--trace-out PATH]
-//!               [--interval N --interval-out PATH] [--all]
-//! ```
+//! Run `instrep-repro --help` for the full flag list — the help text,
+//! the parser, and the flag-conflict checks are all generated from one
+//! declarative table ([`FLAGS`] + [`RULES`]), so they cannot drift
+//! apart.
 //!
 //! With no table/figure selection, everything is printed. One simulation
 //! pass per workload feeds all tables. Workloads run on `--jobs` threads
 //! (default: available parallelism); output is identical for every jobs
-//! count because reports merge in fixed workload order.
+//! count because reports merge in fixed workload order. The whole
+//! analysis fan-out is one [`Session`] — the observability flags below
+//! just toggle its probes.
 //!
 //! `--metrics-out PATH` additionally writes a versioned JSON metrics
 //! document (phase timings, throughput, occupancy gauges, peak RSS — see
@@ -39,15 +39,20 @@
 //! after the tables. All three are pull-based too: the tables stay
 //! byte-identical, and every output is identical for every `--jobs`
 //! count.
+//!
+//! `--cache-dir PATH` memoizes whole-workload results in a
+//! content-addressed on-disk cache (see `DESIGN.md` §12): a warm run
+//! reproduces the same tables byte-for-byte without executing a single
+//! measured instruction. `--cache-verify` recomputes on every hit and
+//! fails loudly if an entry disagrees with a fresh analysis.
 
 use std::process::ExitCode;
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
-    analyze, analyze_many, analyze_many_instrumented, default_parallelism, interval, metrics,
-    profile, steady_state_check, AnalysisConfig, AnalysisJob, InstructionProfile,
-    InstrumentedReport, IntervalWindow, MetricsReport, ProbeConfig, ProfileReport, SpanLane,
-    SpanTracer, WorkloadReport,
+    default_parallelism, interval, metrics, profile, steady_state_check, AnalysisCache,
+    AnalysisConfig, AnalysisJob, CacheOutcome, InstructionProfile, IntervalWindow, MetricsReport,
+    ProfileReport, Session, SpanLane, SpanTracer, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -70,12 +75,348 @@ struct Options {
     profile_folded: Option<String>,
     annotate: Option<String>,
     top: usize,
+    top_given: bool,
+    cache_dir: Option<String>,
+    cache_verify: bool,
 }
 
 impl Options {
     /// Whether any output needs the per-PC attribution profile.
     fn wants_profile(&self) -> bool {
         self.profile_out.is_some() || self.profile_folded.is_some() || self.annotate.is_some()
+    }
+}
+
+/// One command-line flag: the single source of truth its `--help` line,
+/// its parsing (including arity and value errors), and its conflict
+/// checks are generated from.
+struct FlagSpec {
+    /// Long name, e.g. `--scale`.
+    name: &'static str,
+    /// Optional extra spelling (only `--help` has one: `-h`).
+    alias: Option<&'static str>,
+    /// `Some((metavar, missing-value error))` for flags taking a value.
+    value: Option<(&'static str, &'static str)>,
+    /// Right-hand column of the generated help text.
+    help: &'static str,
+    /// Folds the flag into `Options`; bare flags receive `""`.
+    apply: fn(&mut Options, &str) -> Result<(), String>,
+}
+
+/// A cross-flag validity rule, checked after the parse loop. `broken`
+/// returning true fails the parse with `message`.
+struct Rule {
+    broken: fn(&Options) -> bool,
+    message: &'static str,
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--scale",
+        alias: None,
+        value: Some(("SCALE", "--scale needs a value")),
+        help: "measurement scale: tiny, small, or full (default: small)",
+        apply: |o, v| {
+            o.scale = match v {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "full" => Scale::Full,
+                other => return Err(format!("unknown scale `{other}`")),
+            };
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--seed",
+        alias: None,
+        value: Some(("N", "--seed needs a value")),
+        help: "workload input seed (default: 1998)",
+        apply: |o, v| {
+            o.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--only",
+        alias: None,
+        value: Some(("BENCH", "--only needs a benchmark name")),
+        help: "analyze one benchmark (see --list)",
+        apply: |o, v| {
+            o.only = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--jobs",
+        alias: None,
+        value: Some(("N", "--jobs needs a thread count")),
+        help: "worker threads (default: available parallelism)",
+        apply: |o, v| {
+            o.jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+            if o.jobs == 0 {
+                return Err("--jobs must be at least 1".to_string());
+            }
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--table",
+        alias: None,
+        value: Some(("N", "--table needs a number")),
+        help: "print table N (repeatable)",
+        apply: |o, v| {
+            o.tables.push(v.parse().map_err(|_| format!("bad table `{v}`"))?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--figure",
+        alias: None,
+        value: Some(("N", "--figure needs a number")),
+        help: "print figure N (repeatable)",
+        apply: |o, v| {
+            o.figures.push(v.parse().map_err(|_| format!("bad figure `{v}`"))?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--steady-state",
+        alias: None,
+        value: None,
+        help: "run the steady-state check (paper \u{a7}3)",
+        apply: |o, _| {
+            o.steady = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--input-check",
+        alias: None,
+        value: None,
+        help: "run the input-sensitivity check (paper \u{a7}3)",
+        apply: |o, _| {
+            o.input_check = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--csv",
+        alias: None,
+        value: Some(("PREFIX", "--csv needs a path prefix")),
+        help: "write PREFIX_summary.csv and PREFIX_breakdowns.csv",
+        apply: |o, v| {
+            o.csv = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--metrics-out",
+        alias: None,
+        value: Some(("PATH", "--metrics-out needs a path")),
+        help: "write the phase/throughput metrics JSON to PATH",
+        apply: |o, v| {
+            o.metrics_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--bench",
+        alias: None,
+        value: Some(("N", "--bench needs a run count")),
+        help: "repeat the analysis N times, summarize into --metrics-out",
+        apply: |o, v| {
+            let n: u32 = v.parse().map_err(|_| format!("bad bench run count `{v}`"))?;
+            if n == 0 {
+                return Err("--bench must be at least 1".to_string());
+            }
+            o.bench = Some(n);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--trace-out",
+        alias: None,
+        value: Some(("PATH", "--trace-out needs a path")),
+        help: "write a Chrome trace-event JSON document to PATH",
+        apply: |o, v| {
+            o.trace_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--interval",
+        alias: None,
+        value: Some(("N", "--interval needs an instruction count")),
+        help: "sample each measurement every N instructions",
+        apply: |o, v| {
+            let n: u64 = v.parse().map_err(|_| format!("bad interval `{v}`"))?;
+            if n == 0 {
+                return Err("--interval must be at least 1".to_string());
+            }
+            o.interval = Some(n);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--interval-out",
+        alias: None,
+        value: Some(("PATH", "--interval-out needs a path")),
+        help: "write the interval series as JSONL to PATH",
+        apply: |o, v| {
+            o.interval_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--profile-out",
+        alias: None,
+        value: Some(("PATH", "--profile-out needs a path")),
+        help: "write the per-PC repetition profile JSON to PATH",
+        apply: |o, v| {
+            o.profile_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--profile-folded",
+        alias: None,
+        value: Some(("PATH", "--profile-folded needs a path")),
+        help: "write flamegraph-ready collapsed stacks to PATH",
+        apply: |o, v| {
+            o.profile_folded = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--annotate",
+        alias: None,
+        value: Some(("BENCH", "--annotate needs a benchmark name")),
+        help: "print BENCH's source annotated with repetition counts",
+        apply: |o, v| {
+            if instrep_workloads::by_name(v).is_none() {
+                return Err(format!("unknown benchmark `{v}` for --annotate (see --list)"));
+            }
+            o.annotate = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--top",
+        alias: None,
+        value: Some(("N", "--top needs a site count")),
+        help: "hot sites listed per profile output (default: 10)",
+        apply: |o, v| {
+            o.top = v.parse().map_err(|_| format!("bad top count `{v}`"))?;
+            if o.top == 0 {
+                return Err("--top must be at least 1".to_string());
+            }
+            o.top_given = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--cache-dir",
+        alias: None,
+        value: Some(("PATH", "--cache-dir needs a path")),
+        help: "memoize analysis results in a cache at PATH",
+        apply: |o, v| {
+            o.cache_dir = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--cache-verify",
+        alias: None,
+        value: None,
+        help: "recompute cache hits and fail on any mismatch",
+        apply: |o, _| {
+            o.cache_verify = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--all",
+        alias: None,
+        value: None,
+        help: "print every table and figure (the default)",
+        apply: |_, _| Ok(()),
+    },
+    FlagSpec {
+        name: "--list",
+        alias: None,
+        value: None,
+        help: "list the benchmarks and their SPEC analogs",
+        apply: |_, _| {
+            println!("{:<12}{:<16}", "bench", "SPEC analog");
+            for wl in all() {
+                println!("{:<12}{:<16}", wl.name, wl.spec_analog);
+            }
+            std::process::exit(0);
+        },
+    },
+    FlagSpec {
+        name: "--help",
+        alias: Some("-h"),
+        value: None,
+        help: "print this help (also -h)",
+        apply: |_, _| {
+            print_help();
+            std::process::exit(0);
+        },
+    },
+];
+
+const RULES: &[Rule] = &[
+    Rule {
+        broken: |o| o.bench.is_some() && o.metrics_out.is_none(),
+        message: "--bench requires --metrics-out (the summary is written there)",
+    },
+    Rule {
+        broken: |o| o.interval.is_some() != o.interval_out.is_some(),
+        message: "--interval and --interval-out must be given together",
+    },
+    Rule {
+        broken: |o| o.bench.is_some() && (o.trace_out.is_some() || o.interval_out.is_some()),
+        message: "--bench cannot be combined with --trace-out or --interval-out",
+    },
+    Rule {
+        broken: |o| o.bench.is_some() && o.wants_profile(),
+        message: "--bench cannot be combined with --profile-out, --profile-folded, or --annotate",
+    },
+    Rule {
+        broken: |o| o.top_given && !o.wants_profile(),
+        message: "--top requires --profile-out, --profile-folded, or --annotate",
+    },
+    Rule {
+        broken: |o| o.bench.is_some() && o.cache_dir.is_some(),
+        message: "--bench cannot be combined with --cache-dir \
+                  (a cached run would make bench timings meaningless)",
+    },
+    Rule {
+        broken: |o| o.cache_verify && o.cache_dir.is_none(),
+        message: "--cache-verify requires --cache-dir",
+    },
+];
+
+/// Prints the help text generated from [`FLAGS`] — there is no
+/// hand-maintained usage string to drift out of date.
+fn print_help() {
+    println!("usage: instrep-repro [options]\n");
+    println!(
+        "Regenerates the tables and figures of \"An Empirical Analysis of\n\
+         Instruction Repetition\" over the eight SPEC-'95-like workloads.\n\
+         With no table or figure selection, everything is printed.\n"
+    );
+    println!("options:");
+    let width = FLAGS.iter().map(|f| f.name.len() + f.value.map_or(0, |(m, _)| m.len() + 1)).max();
+    let width = width.unwrap_or(0) + 2;
+    for f in FLAGS {
+        let mut left = f.name.to_string();
+        if let Some((metavar, _)) = f.value {
+            left.push(' ');
+            left.push_str(metavar);
+        }
+        println!("  {left:<width$}{}", f.help);
     }
 }
 
@@ -99,132 +440,26 @@ fn parse_args() -> Result<Options, String> {
         profile_folded: None,
         annotate: None,
         top: 10,
+        top_given: false,
+        cache_dir: None,
+        cache_verify: false,
     };
-    let mut top_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = args.next().ok_or("--scale needs a value")?;
-                opts.scale = match v.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => return Err(format!("unknown scale `{other}`")),
-                };
-            }
-            "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
-                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
-            }
-            "--only" => {
-                opts.only = Some(args.next().ok_or("--only needs a benchmark name")?);
-            }
-            "--jobs" => {
-                let v = args.next().ok_or("--jobs needs a thread count")?;
-                opts.jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
-                if opts.jobs == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-            }
-            "--table" => {
-                let v = args.next().ok_or("--table needs a number")?;
-                opts.tables.push(v.parse().map_err(|_| format!("bad table `{v}`"))?);
-            }
-            "--figure" => {
-                let v = args.next().ok_or("--figure needs a number")?;
-                opts.figures.push(v.parse().map_err(|_| format!("bad figure `{v}`"))?);
-            }
-            "--steady-state" => opts.steady = true,
-            "--input-check" => opts.input_check = true,
-            "--csv" => {
-                opts.csv = Some(args.next().ok_or("--csv needs a path prefix")?);
-            }
-            "--metrics-out" => {
-                opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
-            }
-            "--bench" => {
-                let v = args.next().ok_or("--bench needs a run count")?;
-                let n: u32 = v.parse().map_err(|_| format!("bad bench run count `{v}`"))?;
-                if n == 0 {
-                    return Err("--bench must be at least 1".to_string());
-                }
-                opts.bench = Some(n);
-            }
-            "--trace-out" => {
-                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
-            }
-            "--interval" => {
-                let v = args.next().ok_or("--interval needs an instruction count")?;
-                let n: u64 = v.parse().map_err(|_| format!("bad interval `{v}`"))?;
-                if n == 0 {
-                    return Err("--interval must be at least 1".to_string());
-                }
-                opts.interval = Some(n);
-            }
-            "--interval-out" => {
-                opts.interval_out = Some(args.next().ok_or("--interval-out needs a path")?);
-            }
-            "--profile-out" => {
-                opts.profile_out = Some(args.next().ok_or("--profile-out needs a path")?);
-            }
-            "--profile-folded" => {
-                opts.profile_folded = Some(args.next().ok_or("--profile-folded needs a path")?);
-            }
-            "--annotate" => {
-                let name = args.next().ok_or("--annotate needs a benchmark name")?;
-                if instrep_workloads::by_name(&name).is_none() {
-                    return Err(format!("unknown benchmark `{name}` for --annotate (see --list)"));
-                }
-                opts.annotate = Some(name);
-            }
-            "--top" => {
-                let v = args.next().ok_or("--top needs a site count")?;
-                opts.top = v.parse().map_err(|_| format!("bad top count `{v}`"))?;
-                if opts.top == 0 {
-                    return Err("--top must be at least 1".to_string());
-                }
-                top_given = true;
-            }
-            "--all" => {}
-            "--list" => {
-                println!("{:<12}{:<16}", "bench", "SPEC analog");
-                for wl in all() {
-                    println!("{:<12}{:<16}", wl.name, wl.spec_analog);
-                }
-                std::process::exit(0);
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: instrep-repro [--scale tiny|small|full] [--seed N] \
-                     [--only BENCH] [--jobs N] [--table N]... [--figure N]... \
-                     [--steady-state] [--input-check] [--csv PREFIX] \
-                     [--metrics-out PATH] [--bench N] [--trace-out PATH] \
-                     [--interval N --interval-out PATH] [--profile-out PATH] \
-                     [--profile-folded PATH] [--annotate BENCH] [--top N] [--list]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument `{other}`")),
+        let spec = FLAGS
+            .iter()
+            .find(|f| f.name == arg || f.alias == Some(arg.as_str()))
+            .ok_or_else(|| format!("unknown argument `{arg}`"))?;
+        let value = match spec.value {
+            Some((_, missing)) => args.next().ok_or_else(|| missing.to_string())?,
+            None => String::new(),
+        };
+        (spec.apply)(&mut opts, &value)?;
+    }
+    for rule in RULES {
+        if (rule.broken)(&opts) {
+            return Err(rule.message.to_string());
         }
-    }
-    if opts.bench.is_some() && opts.metrics_out.is_none() {
-        return Err("--bench requires --metrics-out (the summary is written there)".to_string());
-    }
-    if opts.interval.is_some() != opts.interval_out.is_some() {
-        return Err("--interval and --interval-out must be given together".to_string());
-    }
-    if opts.bench.is_some() && (opts.trace_out.is_some() || opts.interval_out.is_some()) {
-        return Err("--bench cannot be combined with --trace-out or --interval-out".to_string());
-    }
-    if opts.bench.is_some() && opts.wants_profile() {
-        return Err(
-            "--bench cannot be combined with --profile-out, --profile-folded, or --annotate"
-                .to_string(),
-        );
-    }
-    if top_given && !opts.wants_profile() {
-        return Err("--top requires --profile-out, --profile-folded, or --annotate".to_string());
     }
     Ok(opts)
 }
@@ -272,6 +507,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let cache = match opts.cache_dir.as_ref().map(|d| AnalysisCache::open(d.as_str())).transpose() {
+        Ok(c) => c,
+        Err(e) => {
+            let dir = opts.cache_dir.as_deref().unwrap_or_default();
+            eprintln!("error: opening cache at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let threads = opts.jobs.clamp(1, workloads.len());
     eprintln!(
@@ -281,7 +524,7 @@ fn main() -> ExitCode {
         opts.scale
     );
     // The tracer (when --trace-out is given) records the driver's own
-    // work on lane 0; the pipeline's worker threads get lanes 1..=jobs.
+    // work on lane 0; the session's worker threads get lanes 1..=jobs.
     let mut tracer = opts.trace_out.as_ref().map(|_| SpanTracer::new());
     let mut main_lane = tracer.as_ref().map(|t| SpanLane::new(0, t.epoch()));
 
@@ -319,13 +562,6 @@ fn main() -> ExitCode {
     }
 
     let want_metrics = opts.metrics_out.is_some();
-    let probe_cfg = ProbeConfig {
-        metrics: want_metrics,
-        interval: opts.interval,
-        profile: opts.wants_profile(),
-    };
-    let any_probe =
-        want_metrics || opts.interval.is_some() || tracer.is_some() || opts.wants_profile();
     let iterations = opts.bench.unwrap_or(1);
     let mut runs: Vec<MetricsReport> = Vec::new();
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
@@ -342,35 +578,47 @@ fn main() -> ExitCode {
                 label: wl.name,
             })
             .collect();
-        // All probes are pull-based and cannot perturb the reports (see
-        // core::pipeline), so both paths print identical tables; the
-        // split keeps the default path allocation-free.
+        // One Session runs the whole fan-out; the probes are pull-based
+        // and the cache memoizes without perturbing, so every flag
+        // combination prints identical tables.
         let span = main_lane.as_mut().map(|l| l.begin());
-        let results: Vec<Result<InstrumentedReport, _>> = if any_probe {
-            analyze_many_instrumented(jobs, &cfg, threads, probe_cfg, tracer.as_mut())
-        } else {
-            analyze_many(jobs, &cfg, threads)
-                .into_iter()
-                .map(|r| {
-                    r.map(|report| InstrumentedReport {
-                        report,
-                        metrics: None,
-                        intervals: None,
-                        profile: None,
-                    })
-                })
-                .collect()
-        };
+        let mut session = Session::new(cfg).jobs(threads).metrics(want_metrics);
+        if let Some(n) = opts.interval {
+            session = session.interval(n);
+        }
+        if opts.wants_profile() {
+            session = session.profile(true);
+        }
+        if let Some(t) = tracer.as_mut() {
+            session = session.trace(t);
+        }
+        if let Some(c) = cache.as_ref() {
+            session = session.cache(c).cache_verify(opts.cache_verify);
+        }
+        let results = session.run(jobs);
         let mut analyzed_events = 0;
         let mut run_workloads = Vec::new();
         for ((wl, &built_ns), result) in workloads.iter().zip(&build_ns).zip(results) {
             match result {
                 Ok(ir) => {
+                    if ir.cache == CacheOutcome::VerifyMismatch {
+                        eprintln!(
+                            "error: cache verify failed for {} \
+                             (entry does not match a fresh analysis)",
+                            wl.name
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let cache_note = match ir.cache {
+                        CacheOutcome::Hit => " (cached)",
+                        CacheOutcome::VerifyOk => " (cache verified)",
+                        _ => "",
+                    };
                     let r = ir.report;
                     analyzed_events += r.dynamic_total;
                     if iter == 0 {
                         eprintln!(
-                            "  {:<10} {:>12} insns measured, {:>5.1}% repeated",
+                            "  {:<10} {:>12} insns measured, {:>5.1}% repeated{cache_note}",
                             wl.name,
                             r.dynamic_total,
                             r.repetition_rate() * 100.0,
@@ -504,15 +752,28 @@ fn main() -> ExitCode {
 
     if opts.input_check || everything {
         // The paper's input-sensitivity check (§3): a second input set
-        // must show the same trends.
+        // must show the same trends. It goes through the same cache, so
+        // warm full runs skip this simulation pass too.
         println!("Input-sensitivity check (paper §3): repetition rate with a second input set");
         println!("{:<12}{:>14}{:>14}{:>10}", "bench", "seed A", "seed B", "delta");
         for ((wl, image), (_, r)) in workloads.iter().zip(&images).zip(&reports) {
             let alt = wl.input(opts.scale, opts.seed.wrapping_add(7919));
-            match analyze(image, alt, &cfg) {
-                Ok(r2) => {
+            let mut session = Session::new(cfg);
+            if let Some(c) = cache.as_ref() {
+                session = session.cache(c).cache_verify(opts.cache_verify);
+            }
+            match session.run_one(image, alt) {
+                Ok(ir) if ir.cache == CacheOutcome::VerifyMismatch => {
+                    eprintln!(
+                        "error: cache verify failed for {} \
+                         (entry does not match a fresh analysis)",
+                        wl.name
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Ok(ir) => {
                     let a = r.repetition_rate() * 100.0;
-                    let b = r2.repetition_rate() * 100.0;
+                    let b = ir.report.repetition_rate() * 100.0;
                     println!("{:<12}{a:>13.1}%{b:>13.1}%{:>9.1}%", wl.name, (a - b).abs());
                 }
                 Err(e) => println!("{:<12} trapped: {e}", wl.name),

@@ -222,22 +222,49 @@ fn bench_excludes_tracing_and_intervals() {
     assert!(err.contains("--bench cannot be combined with --trace-out"), "stderr: {err}");
 }
 
+/// The help text is generated from the declarative flag table; pin it
+/// in full so any flag addition, removal, or rewording shows up as a
+/// reviewed diff.
 #[test]
-fn help_covers_observability_flags() {
+fn help_text_is_pinned() {
+    let expected = "\
+usage: instrep-repro [options]
+
+Regenerates the tables and figures of \"An Empirical Analysis of
+Instruction Repetition\" over the eight SPEC-'95-like workloads.
+With no table or figure selection, everything is printed.
+
+options:
+  --scale SCALE          measurement scale: tiny, small, or full (default: small)
+  --seed N               workload input seed (default: 1998)
+  --only BENCH           analyze one benchmark (see --list)
+  --jobs N               worker threads (default: available parallelism)
+  --table N              print table N (repeatable)
+  --figure N             print figure N (repeatable)
+  --steady-state         run the steady-state check (paper \u{a7}3)
+  --input-check          run the input-sensitivity check (paper \u{a7}3)
+  --csv PREFIX           write PREFIX_summary.csv and PREFIX_breakdowns.csv
+  --metrics-out PATH     write the phase/throughput metrics JSON to PATH
+  --bench N              repeat the analysis N times, summarize into --metrics-out
+  --trace-out PATH       write a Chrome trace-event JSON document to PATH
+  --interval N           sample each measurement every N instructions
+  --interval-out PATH    write the interval series as JSONL to PATH
+  --profile-out PATH     write the per-PC repetition profile JSON to PATH
+  --profile-folded PATH  write flamegraph-ready collapsed stacks to PATH
+  --annotate BENCH       print BENCH's source annotated with repetition counts
+  --top N                hot sites listed per profile output (default: 10)
+  --cache-dir PATH       memoize analysis results in a cache at PATH
+  --cache-verify         recompute cache hits and fail on any mismatch
+  --all                  print every table and figure (the default)
+  --list                 list the benchmarks and their SPEC analogs
+  --help                 print this help (also -h)
+";
     let out = run(&["--help"]);
     assert!(out.status.success());
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    for flag in [
-        "--metrics-out PATH",
-        "--trace-out PATH",
-        "--interval N --interval-out PATH",
-        "--profile-out PATH",
-        "--profile-folded PATH",
-        "--annotate BENCH",
-        "--top N",
-    ] {
-        assert!(stdout.contains(flag), "--help missing `{flag}`: {stdout}");
-    }
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    let alias = run(&["-h"]);
+    assert!(alias.status.success());
+    assert_eq!(String::from_utf8_lossy(&alias.stdout), expected, "-h diverges from --help");
 }
 
 #[test]
@@ -672,6 +699,131 @@ fn tracing_leaves_stdout_byte_identical() {
             _ => unreachable!(),
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_flags_reject_bad_usage() {
+    let out = run(&["--cache-dir"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--cache-dir needs a path"), "{}", stderr_of(&out));
+    let out = run(&["--cache-verify"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--cache-verify requires --cache-dir"), "{}", stderr_of(&out));
+    let out = run(&["--bench", "2", "--metrics-out", "m.json", "--cache-dir", "c"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("--bench cannot be combined with --cache-dir"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+/// `--cache-dir` must never change a byte of table stdout — not on the
+/// populating run, not on warm runs, not at any jobs count — and a warm
+/// run must execute zero measured instructions: its metrics phases are
+/// exactly `build` + `cache` with no events and no simulator gauges.
+#[test]
+fn cached_runs_are_byte_identical_and_execute_nothing() {
+    let dir = std::env::temp_dir().join(format!("instrep-cache-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let mut baseline: Option<Vec<u8>> = None;
+    for jobs in ["1", "4"] {
+        let args = ["--scale", "tiny", "--only", "compress", "--table", "1", "--jobs", jobs];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let mut cached_args = args.to_vec();
+        cached_args.extend_from_slice(&["--cache-dir", cache.to_str().unwrap()]);
+        // First cached run at --jobs 1 populates; every later run hits.
+        let cold = run(&cached_args);
+        assert!(cold.status.success(), "stderr: {}", stderr_of(&cold));
+        assert_eq!(plain.stdout, cold.stdout, "--cache-dir changed stdout at --jobs {jobs}");
+        let warm = run(&cached_args);
+        assert!(warm.status.success(), "stderr: {}", stderr_of(&warm));
+        assert_eq!(plain.stdout, warm.stdout, "warm cache changed stdout at --jobs {jobs}");
+
+        let mpath = dir.join(format!("m{jobs}.json"));
+        let mut metrics_args = cached_args.clone();
+        metrics_args.extend_from_slice(&["--metrics-out", mpath.to_str().unwrap()]);
+        let measured = run(&metrics_args);
+        assert!(measured.status.success(), "stderr: {}", stderr_of(&measured));
+        assert_eq!(plain.stdout, measured.stdout, "metrics+cache changed stdout");
+        let doc = Json::parse(&std::fs::read_to_string(&mpath).unwrap()).expect("valid JSON");
+        let wl = &doc.get("workloads").expect("workloads").items()[0];
+        let phases = wl.get("phases").expect("phases").items();
+        let names: Vec<&str> =
+            phases.iter().map(|p| p.get("name").and_then(Json::str).unwrap()).collect();
+        assert_eq!(names, ["build", "cache"], "a hit must not run any pipeline phase");
+        let events: f64 = phases.iter().map(|p| p.get("events").and_then(Json::num).unwrap()).sum();
+        assert_eq!(events, 0.0, "a hit executes zero measured instructions");
+        match wl.get("gauges") {
+            Some(Json::Obj(gauges)) => {
+                assert!(gauges.is_empty(), "no simulator ran, so no gauges: {gauges:?}");
+            }
+            other => panic!("gauges must be an object, got {other:?}"),
+        }
+
+        match &baseline {
+            None => baseline = Some(plain.stdout),
+            Some(b) => assert_eq!(b, &plain.stdout, "stdout differs between jobs counts"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--cache-verify` must recompute hits and fail loudly on an entry
+/// that parses cleanly but carries the wrong analysis — the case the
+/// checksum alone cannot catch.
+#[test]
+fn cache_verify_catches_a_poisoned_entry() {
+    use std::hash::Hasher;
+
+    use instrep_core::{FxHasher, ENTRY_PAYLOAD_OFFSET};
+
+    let dir = std::env::temp_dir().join(format!("instrep-cache-poison-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let args = [
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ];
+    let cold = run(&args);
+    assert!(cold.status.success(), "stderr: {}", stderr_of(&cold));
+
+    // Poison the one entry: flip a payload byte and recompute the
+    // trailing checksum so the file still parses as a valid entry.
+    let entry = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "bin"))
+        .expect("cold run stored an entry");
+    let mut bytes = std::fs::read(&entry).unwrap();
+    bytes[ENTRY_PAYLOAD_OFFSET + 2] ^= 0xff;
+    let payload_end = bytes.len() - 8;
+    let mut h = FxHasher::default();
+    h.write(&bytes[ENTRY_PAYLOAD_OFFSET..payload_end]);
+    let sum = h.finish().to_le_bytes();
+    bytes[payload_end..].copy_from_slice(&sum);
+    std::fs::write(&entry, &bytes).unwrap();
+
+    // A plain warm run trusts the well-formed entry...
+    let warm = run(&args);
+    assert!(warm.status.success(), "stderr: {}", stderr_of(&warm));
+    // ...but verify mode recomputes, catches the lie, and fails.
+    let mut verify_args = args.to_vec();
+    verify_args.push("--cache-verify");
+    let verified = run(&verify_args);
+    assert!(!verified.status.success(), "--cache-verify accepted a poisoned entry");
+    let err = stderr_of(&verified);
+    assert!(err.contains("cache verify failed for compress"), "stderr: {err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

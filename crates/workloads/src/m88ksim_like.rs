@@ -197,10 +197,13 @@ mod tests {
     #[test]
     fn workload_is_extremely_repetitive() {
         // The headline m88ksim property: near-total repetition.
-        use instrep_core::{analyze, AnalysisConfig};
+        use instrep_core::{AnalysisConfig, Session};
         let wl = workload();
         let image = wl.build().unwrap();
-        let report = analyze(&image, wl.input(Scale::Tiny, 0), &AnalysisConfig::default()).unwrap();
+        let report = Session::new(AnalysisConfig::default())
+            .run_one(&image, wl.input(Scale::Tiny, 0))
+            .unwrap()
+            .report;
         assert!(
             report.repetition_rate() > 0.9,
             "m88ksim-like repetition rate = {}",

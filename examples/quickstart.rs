@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use instrep::core::{analyze, AnalysisConfig};
+use instrep::core::{AnalysisConfig, Session};
 use instrep::minicc::build;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    let report = analyze(&image, Vec::new(), &AnalysisConfig::default())?;
+    let report = Session::new(AnalysisConfig::default()).run_one(&image, Vec::new())?.report;
 
     println!("dynamic instructions : {}", report.dynamic_total);
     println!(

@@ -11,7 +11,7 @@
 //! cargo run --release --example window_sensitivity [workload]
 //! ```
 
-use instrep::core::{analyze, AnalysisConfig};
+use instrep::core::{AnalysisConfig, Session};
 use instrep::workloads::{by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(68));
     for window in [50_000u64, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000] {
         let cfg = AnalysisConfig { skip: 50_000, window, ..AnalysisConfig::default() };
-        let r = analyze(&image, wl.input(Scale::Small, 1998), &cfg)?;
+        let r = Session::new(cfg).run_one(&image, wl.input(Scale::Small, 1998))?.report;
         println!(
             "{:>12}{:>14}{:>11.1}%{:>16}{:>14.0}",
             window,

@@ -96,6 +96,93 @@ grep -q 'source-level repetition profile' "$SMOKE_DIR/annotated.txt" || {
     exit 1
 }
 
+echo "==> analysis cache smoke run (cold populate, warm hit, poison catch)"
+CACHE_DIR="$SMOKE_DIR/cache"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --cache-dir "$CACHE_DIR" >"$SMOKE_DIR/cold.txt"
+ls "$CACHE_DIR"/*.bin >/dev/null 2>&1 || {
+    echo "cold --cache-dir run stored no cache entries" >&2
+    exit 1
+}
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --cache-dir "$CACHE_DIR" \
+    --metrics-out "$SMOKE_DIR/warm-metrics.json" >"$SMOKE_DIR/warm.txt"
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/cold.txt" || {
+    echo "cold cache run perturbed table stdout (plain vs cold differ)" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/warm.txt" || {
+    echo "warm cache run perturbed table stdout (plain vs warm differ)" >&2
+    exit 1
+}
+grep -q '"name": "cache"' "$SMOKE_DIR/warm-metrics.json" || {
+    echo "warm cache run recorded no cache phase in metrics" >&2
+    exit 1
+}
+grep -q '"name": "measure"' "$SMOKE_DIR/warm-metrics.json" && {
+    echo "warm cache run still executed a measure phase (hit did not short-circuit)" >&2
+    exit 1
+}
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --cache-dir "$CACHE_DIR" --cache-verify >/dev/null || {
+    echo "--cache-verify rejected an honest cache entry" >&2
+    exit 1
+}
+# Truncate every entry: damaged files must degrade to a silent miss.
+for f in "$CACHE_DIR"/*.bin; do head -c 16 "$f" >"$f.cut" && mv "$f.cut" "$f"; done
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --cache-dir "$CACHE_DIR" >"$SMOKE_DIR/repaired.txt"
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/repaired.txt" || {
+    echo "truncated cache entries changed table stdout" >&2
+    exit 1
+}
+# Poison an entry through the codec (wrong counters, valid checksum):
+# a plain run serves it, --cache-verify must catch it.
+python3 - "$CACHE_DIR" <<'EOF'
+import glob, struct, sys
+MASK = (1 << 64) - 1
+K = 0x9E37_79B9_7F4A_7C15  # crates/core/src/fxhash.rs
+def fxhash64(data):
+    h = 0
+    full = len(data) - len(data) % 8
+    words = [w for (w,) in struct.iter_unpack("<Q", data[:full])]
+    rest = data[full:]
+    if rest:
+        tail = bytearray(8)
+        tail[: len(rest)] = rest
+        tail[7] = len(rest)
+        words.append(struct.unpack("<Q", bytes(tail))[0])
+    for w in words:
+        h = (((h << 5 | h >> 59) & MASK) ^ w) * K & MASK
+    return h
+[path] = glob.glob(sys.argv[1] + "/*.bin")
+raw = bytearray(open(path, "rb").read())
+raw[36 + 2] ^= 0xFF
+raw[-8:] = struct.pack("<Q", fxhash64(bytes(raw[36:-8])))
+open(path, "wb").write(raw)
+EOF
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --cache-dir "$CACHE_DIR" --cache-verify \
+    >/dev/null 2>"$SMOKE_DIR/verify.err" && {
+    echo "--cache-verify accepted a poisoned cache entry" >&2
+    exit 1
+}
+grep -q 'cache verify failed for compress' "$SMOKE_DIR/verify.err" || {
+    echo "--cache-verify failed without naming the poisoned workload" >&2
+    exit 1
+}
+
+echo "==> legacy entry-point sweep (no in-tree callers of the analyze* shims)"
+LEGACY=$(grep -rn --include='*.rs' -e 'analyze_with_probes' -e 'analyze_with_metrics' \
+    -e 'analyze_many' crates src tests examples benches 2>/dev/null |
+    grep -v '^crates/core/src/pipeline.rs:' |
+    grep -v '^crates/core/src/lib.rs:' || true)
+if [ -n "$LEGACY" ]; then
+    echo "deprecated analyze* entry points still referenced outside the shims:" >&2
+    echo "$LEGACY" >&2
+    exit 1
+fi
+
 echo "==> bench trajectory check (scripts/bench.sh --check)"
 scripts/bench.sh --check
 

@@ -9,8 +9,17 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use instrep::core::{analyze, AnalysisConfig, GlobalTag, LocalCat, WorkloadReport};
+use instrep::core::{AnalysisConfig, GlobalTag, LocalCat, Session, WorkloadReport};
 use instrep::workloads::{all, Scale};
+
+/// One uninstrumented run through the unified builder.
+fn analyze(
+    image: &instrep::asm::Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+) -> Result<WorkloadReport, instrep::sim::SimError> {
+    Session::new(*cfg).run_one(image, input).map(|ir| ir.report)
+}
 
 fn reports() -> &'static HashMap<&'static str, WorkloadReport> {
     static REPORTS: OnceLock<HashMap<&'static str, WorkloadReport>> = OnceLock::new();
