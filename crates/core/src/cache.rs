@@ -567,6 +567,7 @@ mod tests {
     use crate::pipeline::run_probed;
     use crate::Probes;
     use instrep_minicc::build;
+    use instrep_sim::InterpTier;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("instrep-cache-{tag}-{}", std::process::id()))
@@ -585,7 +586,8 @@ mod tests {
         )
         .unwrap();
         let cfg = AnalysisConfig::default();
-        let report = run_probed(&image, Vec::new(), &cfg, Probes::none()).unwrap();
+        let report =
+            run_probed(&image, Vec::new(), &cfg, InterpTier::default(), Probes::none()).unwrap();
         (image, cfg, report)
     }
 

@@ -121,8 +121,12 @@ impl FunctionAnalysis {
     /// statistics only while `counting`. `region` classifies the address
     /// of the instruction's memory access, if any.
     pub fn observe(&mut self, ev: &Event, counting: bool, region: Option<Region>) {
+        // Fast path: most instructions touch neither memory nor control.
+        if ev.mem.is_none() && ev.ctrl.is_none() {
+            return;
+        }
         // Purity flags for the current frame.
-        if let Some(mem) = ev.mem {
+        if let Some(mem) = &ev.mem {
             if matches!(region, Some(Region::Data | Region::Heap)) {
                 if let Some(top) = self.stack.last_mut() {
                     if mem.is_load {

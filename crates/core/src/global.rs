@@ -13,10 +13,10 @@
 
 use instrep_asm::Image;
 use instrep_isa::abi::Syscall;
-use instrep_isa::{Insn, Reg};
+use instrep_isa::{decode, Insn, Reg};
 use instrep_sim::{CtrlEffect, Event};
 
-use crate::fxhash::FxHashMap;
+use crate::shadow::ShadowPages;
 
 /// Source category of a value or instruction, ordered by supersede
 /// priority (higher wins when slices meet).
@@ -38,6 +38,16 @@ impl GlobalTag {
     /// All categories in reporting order (paper Table 3 rows).
     pub const ALL: [GlobalTag; 4] =
         [GlobalTag::Internal, GlobalTag::GlobalInit, GlobalTag::External, GlobalTag::Uninit];
+
+    /// Decodes a tag from its `repr(u8)` discriminant.
+    fn from_u8(v: u8) -> GlobalTag {
+        match v {
+            0 => GlobalTag::Uninit,
+            1 => GlobalTag::Internal,
+            2 => GlobalTag::GlobalInit,
+            _ => GlobalTag::External,
+        }
+    }
 
     /// Row label used in reports.
     pub fn label(self) -> &'static str {
@@ -91,14 +101,90 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// "No register" sentinel in [`GMeta`] operand slots. Must be distinct
+/// from `Reg::ZERO`'s number: an absent operand contributes nothing to
+/// the supersede max, while `$zero` contributes `Internal`.
+const NO_REG: u8 = 0xFF;
+
+/// Tag rule is "store" — categorize by the stored register alone.
+const GM_STORE: u8 = 1 << 0;
+/// Register-only data inputs — the supersede max starts from `Uninit`
+/// instead of `Internal`.
+const GM_UNINIT_BASE: u8 = 1 << 1;
+/// The destination receives `Internal` (link registers) rather than the
+/// instruction's input tag.
+const GM_DEF_INTERNAL: u8 = 1 << 2;
+/// Slot decoded successfully; unset slots recompute from `Event::insn`.
+const GM_VALID: u8 = 1 << 3;
+
+/// Per-static-instruction tagging rules, precomputed at construction so
+/// the per-event path indexes a flat table instead of re-matching the
+/// instruction enum on every retired instruction.
+#[derive(Debug, Clone, Copy)]
+struct GMeta {
+    /// First register read (stores: the stored register), or [`NO_REG`].
+    s1: u8,
+    /// Second register read, or [`NO_REG`].
+    s2: u8,
+    /// Destination register, or [`NO_REG`] (none, or `$zero`).
+    def: u8,
+    flags: u8,
+}
+
+impl GMeta {
+    const INVALID: GMeta = GMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, flags: 0 };
+
+    /// Derives the tagging rules for one instruction. This is the single
+    /// source of truth for `observe`'s categorization; the precomputed
+    /// table is just this function applied to the decoded text segment.
+    fn of(insn: &Insn) -> GMeta {
+        let mut m = GMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, flags: GM_VALID };
+        if insn.is_store() {
+            m.flags |= GM_STORE;
+            if let Insn::Mem { rt, .. } = *insn {
+                m.s1 = rt.number();
+            }
+            return m;
+        }
+        if matches!(
+            insn,
+            Insn::Alu { .. } | Insn::Branch { .. } | Insn::Jr { .. } | Insn::Jalr { .. }
+        ) {
+            m.flags |= GM_UNINIT_BASE;
+        }
+        let [u1, u2] = insn.uses();
+        if let Some(r) = u1 {
+            m.s1 = r.number();
+        }
+        if let Some(r) = u2 {
+            m.s2 = r.number();
+        }
+        if let Some(dst) = insn.def() {
+            if dst != Reg::ZERO {
+                m.def = dst.number();
+                if matches!(insn, Insn::Jump { link: true, .. } | Insn::Jalr { .. }) {
+                    m.flags |= GM_DEF_INTERNAL;
+                }
+            }
+        }
+        m
+    }
+}
+
 /// Dataflow-tagging analysis attributing instructions to value sources.
 #[derive(Debug)]
 pub struct GlobalAnalysis {
     regs: [GlobalTag; 32],
+    /// Precomputed tagging rules indexed by `Event::index`; events past
+    /// the table (or on undecodable slots) fall back to [`GMeta::of`].
+    meta: Vec<GMeta>,
     /// Shadow tags for memory words that have been written (or read from
     /// external input); absent words fall back to the static image
-    /// classification.
-    mem: FxHashMap<u32, GlobalTag>,
+    /// classification. Each slot is `(tag << 1) | 1`, so `0` (the paged
+    /// store's "never set" value) cleanly means "fall back".
+    mem: ShadowPages,
+    /// Explicitly tagged words (occupancy gauge; kept incrementally).
+    shadow_count: u64,
     /// Initialized-data ranges from the image (sorted).
     init_ranges: Vec<std::ops::Range<u32>>,
     counts: GlobalCounts,
@@ -112,24 +198,40 @@ impl GlobalAnalysis {
         regs[Reg::ZERO.number() as usize] = GlobalTag::Internal;
         regs[Reg::GP.number() as usize] = GlobalTag::Internal;
         regs[Reg::SP.number() as usize] = GlobalTag::Internal;
+        let meta = image
+            .text
+            .iter()
+            .map(|&w| decode(w).map_or(GMeta::INVALID, |insn| GMeta::of(&insn)))
+            .collect();
         GlobalAnalysis {
             regs,
-            mem: FxHashMap::default(),
+            meta,
+            mem: ShadowPages::new(),
+            shadow_count: 0,
             init_ranges: image.init_ranges.clone(),
             counts: GlobalCounts::default(),
         }
     }
 
     fn mem_tag(&self, addr: u32) -> GlobalTag {
-        let word = addr & !3;
-        if let Some(&t) = self.mem.get(&word) {
-            return t;
+        let slot = self.mem.get(addr);
+        if slot & 1 == 1 {
+            return GlobalTag::from_u8(slot >> 1);
         }
         if self.is_initialized(addr) {
             GlobalTag::GlobalInit
         } else {
             GlobalTag::Uninit
         }
+    }
+
+    /// Explicitly tags the word containing `addr`.
+    fn set_mem_tag(&mut self, addr: u32, tag: GlobalTag) {
+        let slot = self.mem.slot_mut(addr);
+        if *slot == 0 {
+            self.shadow_count += 1;
+        }
+        *slot = ((tag as u8) << 1) | 1;
     }
 
     fn is_initialized(&self, addr: u32) -> bool {
@@ -146,39 +248,36 @@ impl GlobalAnalysis {
             .is_ok()
     }
 
-    fn reg_tag(&self, r: Reg) -> GlobalTag {
-        if r == Reg::ZERO {
-            GlobalTag::Internal
-        } else {
-            self.regs[r.number() as usize]
-        }
-    }
-
     /// Observes one retired instruction. Tag state always updates;
     /// statistics only when `counting`.
     pub fn observe(&mut self, ev: &Event, repeated: bool, counting: bool) {
+        let m = match self.meta.get(ev.index as usize) {
+            Some(m) if m.flags & GM_VALID != 0 => *m,
+            _ => GMeta::of(&ev.insn),
+        };
+
         // 1. Input tag under the supersede rule. Stores are categorized
         // by the provenance of the stored value alone (the paper's
         // example: saving an uninitialized callee-saved register is an
         // *uninit* instruction even though the address comes from `$sp`).
-        let tag = if ev.insn.is_store() {
-            match ev.insn {
-                Insn::Mem { rt, .. } => self.reg_tag(rt),
-                _ => GlobalTag::Internal,
+        let tag = if m.flags & GM_STORE != 0 {
+            if m.s1 != NO_REG {
+                self.regs[m.s1 as usize]
+            } else {
+                GlobalTag::Internal
             }
         } else {
             // Instructions with an immediate data input (or none at all)
             // have *program internal* as one of their input tags;
             // register-only instructions start from the lowest priority
             // so two uninitialized operands classify as uninit.
-            let mut tag = match ev.insn {
-                Insn::Alu { .. } | Insn::Branch { .. } | Insn::Jr { .. } | Insn::Jalr { .. } => {
-                    GlobalTag::Uninit
-                }
-                _ => GlobalTag::Internal,
-            };
-            for r in ev.insn.uses().into_iter().flatten() {
-                tag = tag.max(self.reg_tag(r));
+            let mut tag =
+                if m.flags & GM_UNINIT_BASE != 0 { GlobalTag::Uninit } else { GlobalTag::Internal };
+            if m.s1 != NO_REG {
+                tag = tag.max(self.regs[m.s1 as usize]);
+            }
+            if m.s2 != NO_REG {
+                tag = tag.max(self.regs[m.s2 as usize]);
             }
             if let Some(mem) = ev.mem {
                 if mem.is_load {
@@ -188,29 +287,39 @@ impl GlobalAnalysis {
             tag
         };
 
-        // 2. Propagate to outputs.
-        if let Some(dst) = ev.insn.def() {
-            if dst != Reg::ZERO {
-                self.regs[dst.number() as usize] = match ev.insn {
-                    // A call's ra is a program-internal constant.
-                    Insn::Jump { link: true, .. } | Insn::Jalr { .. } => GlobalTag::Internal,
-                    _ => tag,
-                };
-            }
+        // 2. Propagate to outputs. (For stores `tag` is already the
+        // stored value's provenance, which is what future loads see.)
+        if m.def != NO_REG {
+            self.regs[m.def as usize] = if m.flags & GM_DEF_INTERNAL != 0 {
+                // A call's ra is a program-internal constant.
+                GlobalTag::Internal
+            } else {
+                tag
+            };
         }
         if let Some(mem) = ev.mem {
             if !mem.is_load {
-                // The stored value's provenance, not the address's,
-                // defines what future loads see.
-                let vtag = match ev.insn {
-                    Insn::Mem { rt, .. } => self.reg_tag(rt),
-                    _ => tag,
-                };
                 // Sub-word stores tag their containing word (the shadow
                 // memory is word-granular).
-                self.mem.insert(mem.addr & !3, vtag);
+                self.set_mem_tag(mem.addr, tag);
             }
         }
+        if ev.ctrl.is_some() {
+            self.syscall_effects(ev);
+        }
+
+        // 3. Count.
+        if counting {
+            self.counts.overall[tag as usize] += 1;
+            if repeated {
+                self.counts.repeated[tag as usize] += 1;
+            }
+        }
+    }
+
+    /// Syscall register/memory tagging (off the hot path; most events
+    /// carry no control effect).
+    fn syscall_effects(&mut self, ev: &Event) {
         if let Some(CtrlEffect::Syscall { call, a, ret }) = ev.ctrl {
             match call {
                 Syscall::Read => {
@@ -218,7 +327,7 @@ impl GlobalAnalysis {
                     let (buf, n) = (a[1], ret);
                     let mut w = buf & !3;
                     while w < buf + n {
-                        self.mem.insert(w, GlobalTag::External);
+                        self.set_mem_tag(w, GlobalTag::External);
                         w += 4;
                     }
                     self.regs[Reg::V0.number() as usize] = GlobalTag::External;
@@ -231,14 +340,6 @@ impl GlobalAnalysis {
                 }
             }
         }
-
-        // 3. Count.
-        if counting {
-            self.counts.overall[tag as usize] += 1;
-            if repeated {
-                self.counts.repeated[tag as usize] += 1;
-            }
-        }
     }
 
     /// Accumulated counters.
@@ -249,7 +350,7 @@ impl GlobalAnalysis {
     /// Number of memory words carrying a shadow tag (occupancy gauge for
     /// the dataflow state).
     pub fn shadow_words(&self) -> u64 {
-        self.mem.len() as u64
+        self.shadow_count
     }
 }
 

@@ -77,6 +77,7 @@ pub mod profile;
 pub mod report;
 mod reuse;
 mod session;
+mod shadow;
 pub mod trace_span;
 mod tracker;
 
@@ -86,6 +87,7 @@ pub use coverage::Coverage;
 pub use function::{FuncStats, FunctionAnalysis};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
+pub use instrep_sim::InterpTier;
 pub use interval::{IntervalSampler, IntervalWindow, INTERVAL_SCHEMA_VERSION};
 pub use local::{LocalAnalysis, LocalCat, LocalCounts};
 pub use metrics::{
@@ -97,7 +99,7 @@ pub use pipeline::{
     analyze_with_metrics, analyze_with_probes, default_parallelism, steady_state_check,
     AnalysisConfig, AnalysisJob, InstrumentedReport, ProbeConfig, Probes, WorkloadReport,
 };
-pub use predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+pub use predict::{PredictStats, StrideStats, ValuePredictors};
 pub use profile::{
     annotate, ClassRollup, FuncRollup, InstructionProfile, ProfileReport, SiteProfile,
     PROFILE_SCHEMA_VERSION,

@@ -23,10 +23,11 @@
 
 use instrep_asm::Image;
 use instrep_isa::abi::{self, Region};
-use instrep_isa::{ImmOp, Insn, Reg};
+use instrep_isa::{decode, ImmOp, Insn, Reg};
 use instrep_sim::{CtrlEffect, Event};
 
 use crate::fxhash::FxHashMap;
+use crate::shadow::ShadowPages;
 
 /// The ten local-analysis categories, in the paper's row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +99,17 @@ enum SrcTag {
 }
 
 impl SrcTag {
+    /// Decodes a tag from its `repr(u8)` discriminant.
+    fn from_u8(v: u8) -> SrcTag {
+        match v {
+            0 => SrcTag::FnInternal,
+            1 => SrcTag::Heap,
+            2 => SrcTag::Global,
+            3 => SrcTag::ReturnValue,
+            _ => SrcTag::Argument,
+        }
+    }
+
     fn to_cat(self) -> LocalCat {
         match self {
             SrcTag::FnInternal => LocalCat::FuncInternal,
@@ -151,6 +163,103 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// Cap on distinct values profiled per global/heap load (Figure 6).
 const MAX_LOAD_VALUES: usize = 4096;
 
+/// "No register" sentinel in [`LMeta`] operand slots. Distinct from
+/// `Reg::ZERO`'s number: an absent operand contributes nothing to the
+/// supersede max, while `$zero` contributes `FnInternal`.
+const NO_REG: u8 = 0xFF;
+
+/// `jr $ra` — a function return.
+const LM_RET: u16 = 1 << 0;
+/// `addi $sp, $sp, imm` — frame allocation or deallocation.
+const LM_SP_ALLOC: u16 = 1 << 1;
+/// The frame-allocation immediate is negative (allocation = prologue).
+const LM_SP_NEG: u16 = 1 << 2;
+/// Memory store (value register in `rt`).
+const LM_STORE: u16 = 1 << 3;
+/// Memory load.
+const LM_LOAD: u16 = 1 << 4;
+/// The memory base register is `$sp`.
+const LM_BASE_SP: u16 = 1 << 5;
+/// `lui` — address-constant candidate.
+const LM_LUI: u16 = 1 << 6;
+/// Immediate-operand instruction (gaddr rule keys off `s1`).
+const LM_IMM: u16 = 1 << 7;
+/// Register-register ALU instruction (gaddr rule over `s1`/`s2`).
+const LM_ALU: u16 = 1 << 8;
+/// Non-memory instruction reading `$sp` — the SP-arithmetic category.
+const LM_SP_ARITH: u16 = 1 << 9;
+/// The destination receives the link address (function-internal).
+const LM_LINK: u16 = 1 << 10;
+/// Slot decoded successfully; unset slots recompute from `Event::insn`.
+const LM_VALID: u16 = 1 << 11;
+
+/// Per-static-instruction classification rules, precomputed at
+/// construction so the per-event path indexes a flat table instead of
+/// re-matching the instruction enum on every retired instruction.
+#[derive(Debug, Clone, Copy)]
+struct LMeta {
+    /// First register read, or [`NO_REG`].
+    s1: u8,
+    /// Second register read, or [`NO_REG`].
+    s2: u8,
+    /// Destination register, or [`NO_REG`].
+    def: u8,
+    /// Memory value register (`rt`), or [`NO_REG`].
+    rt: u8,
+    flags: u16,
+}
+
+impl LMeta {
+    const INVALID: LMeta = LMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, rt: NO_REG, flags: 0 };
+
+    /// Derives the classification rules for one instruction. This is the
+    /// single source of truth for `classify`/`propagate`; the
+    /// precomputed table is this function applied to the text segment.
+    fn of(insn: &Insn) -> LMeta {
+        let mut m = LMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, rt: NO_REG, flags: LM_VALID };
+        match *insn {
+            Insn::Jr { rs } if rs == Reg::RA => m.flags |= LM_RET,
+            Insn::Imm { op: ImmOp::Addi, rt, rs, imm } if rt == Reg::SP && rs == Reg::SP => {
+                m.flags |= LM_SP_ALLOC;
+                if imm < 0 {
+                    m.flags |= LM_SP_NEG;
+                }
+            }
+            _ => {}
+        }
+        match *insn {
+            Insn::Mem { op, rt, base, .. } => {
+                m.rt = rt.number();
+                if base == Reg::SP {
+                    m.flags |= LM_BASE_SP;
+                }
+                m.flags |= if op.is_load() { LM_LOAD } else { LM_STORE };
+            }
+            Insn::Lui { .. } => m.flags |= LM_LUI,
+            Insn::Imm { .. } => m.flags |= LM_IMM,
+            Insn::Alu { .. } => m.flags |= LM_ALU,
+            Insn::Jump { link: true, .. } | Insn::Jalr { .. } => m.flags |= LM_LINK,
+            _ => {}
+        }
+        let [u1, u2] = insn.uses();
+        if let Some(r) = u1 {
+            m.s1 = r.number();
+        }
+        if let Some(r) = u2 {
+            m.s2 = r.number();
+        }
+        if let Some(dst) = insn.def() {
+            m.def = dst.number();
+        }
+        if m.flags & (LM_LOAD | LM_STORE) == 0
+            && insn.uses().into_iter().flatten().any(|r| r == Reg::SP)
+        {
+            m.flags |= LM_SP_ARITH;
+        }
+        m
+    }
+}
+
 /// Value profile of one static global/heap load instruction.
 #[derive(Debug, Clone, Default)]
 struct LoadProfile {
@@ -176,15 +285,24 @@ pub struct LocalAnalysis {
     /// Per-register flag: value is a pure global-address-calculation
     /// product (derived only from gp / data-segment immediates).
     gaddr: u32,
-    /// Shadow tags for stack words (spills preserve provenance).
-    stack_tags: FxHashMap<u32, SrcTag>,
+    /// Shadow tags for stack words (spills preserve provenance). Each
+    /// slot is `tag + 1`, so the paged store's `0` means "no tag".
+    stack_tags: ShadowPages,
+    /// Tagged stack words (occupancy gauge; kept incrementally).
+    stack_tag_count: u64,
     frames: Vec<LocalFrame>,
     counts: LocalCounts,
     /// Prologue+epilogue repetition per function (paper Table 9).
     pe_repeats: Vec<u64>,
     pe_total: u64,
-    /// Figure 6 value profiles per static load index.
-    load_profiles: FxHashMap<u32, LoadProfile>,
+    /// Precomputed classification rules indexed by `Event::index`;
+    /// events past the table (or on undecodable slots) fall back to
+    /// [`LMeta::of`].
+    meta: Vec<LMeta>,
+    /// Figure 6 value profiles, densely indexed by static load index.
+    load_profiles: Vec<Option<Box<LoadProfile>>>,
+    /// Load sites with a profile (occupancy gauge; kept incrementally).
+    load_site_count: u64,
     /// Names/sizes from image metadata, for reports.
     func_names: Vec<(String, u32)>,
     /// Declared arity per function.
@@ -206,23 +324,22 @@ impl LocalAnalysis {
         LocalAnalysis {
             tags: [SrcTag::FnInternal; 32],
             gaddr: 0,
-            stack_tags: FxHashMap::default(),
+            stack_tags: ShadowPages::new(),
+            stack_tag_count: 0,
             frames: vec![LocalFrame { func: None, unwritten: 0, saved_slots: Vec::new() }],
             counts: LocalCounts::default(),
             pe_repeats: vec![0; image.funcs.len()],
             pe_total: 0,
-            load_profiles: FxHashMap::default(),
+            meta: image
+                .text
+                .iter()
+                .map(|&w| decode(w).map_or(LMeta::INVALID, |insn| LMeta::of(&insn)))
+                .collect(),
+            load_profiles: Vec::new(),
+            load_site_count: 0,
             func_names,
             arities,
             by_entry,
-        }
-    }
-
-    fn tag(&self, r: Reg) -> SrcTag {
-        if r == Reg::ZERO {
-            SrcTag::FnInternal
-        } else {
-            self.tags[r.number() as usize]
         }
     }
 
@@ -232,19 +349,36 @@ impl LocalAnalysis {
         }
     }
 
-    fn is_gaddr(&self, r: Reg) -> bool {
-        r == Reg::GP || (self.gaddr >> r.number()) & 1 == 1
+    /// Tag of the stack word containing `addr` (untagged words read as
+    /// function-internal, like the pre-paged hash map's absent entries).
+    fn stack_tag(&self, addr: u32) -> SrcTag {
+        match self.stack_tags.get(addr) {
+            0 => SrcTag::FnInternal,
+            v => SrcTag::from_u8(v - 1),
+        }
     }
 
-    fn set_gaddr(&mut self, r: Reg, v: bool) {
-        if r == Reg::ZERO {
-            return;
+    /// Tags the stack word containing `addr`.
+    fn set_stack_tag(&mut self, addr: u32, t: SrcTag) {
+        let slot = self.stack_tags.slot_mut(addr);
+        if *slot == 0 {
+            self.stack_tag_count += 1;
         }
-        if v {
-            self.gaddr |= 1 << r.number();
-        } else {
-            self.gaddr &= !(1 << r.number());
-        }
+        *slot = t as u8 + 1;
+    }
+
+    /// [`is_gaddr_n`](Self::is_gaddr_n) over a meta operand slot
+    /// (register number or [`NO_REG`]).
+    fn is_gaddr_n(&self, n: u8) -> bool {
+        n != NO_REG && (n == Reg::GP.number() || (self.gaddr >> n) & 1 == 1)
+    }
+
+    /// The gaddr rule for a two-register ALU instruction: every operand
+    /// is a global-address product or `$zero`, and at least one is a
+    /// global-address product.
+    fn is_gaddr_alu(&self, rs: u8, rt: u8) -> bool {
+        let (gs, gt) = (self.is_gaddr_n(rs), self.is_gaddr_n(rt));
+        (gs || rs == 0) && (gt || rt == 0) && (gs || gt)
     }
 
     /// Observes one retired instruction, classifying it and updating tag
@@ -252,7 +386,11 @@ impl LocalAnalysis {
     /// `repeated` is the tracker verdict; statistics accumulate only when
     /// `counting`.
     pub fn observe(&mut self, ev: &Event, repeated: bool, counting: bool, region: Option<Region>) {
-        let cat = self.classify(ev, region);
+        let m = match self.meta.get(ev.index as usize) {
+            Some(m) if m.flags & LM_VALID != 0 => *m,
+            _ => LMeta::of(&ev.insn),
+        };
+        let cat = self.classify(&m, ev, region);
 
         // -- statistics --
         if counting {
@@ -269,7 +407,16 @@ impl LocalAnalysis {
             if matches!(cat, LocalCat::Global | LocalCat::Heap) {
                 if let Some(mem) = ev.mem {
                     if mem.is_load && matches!(region, Some(Region::Data | Region::Heap)) {
-                        let profile = self.load_profiles.entry(ev.index).or_default();
+                        let idx = ev.index as usize;
+                        if idx >= self.load_profiles.len() {
+                            self.load_profiles.resize_with(idx + 1, || None);
+                        }
+                        let slot = &mut self.load_profiles[idx];
+                        if slot.is_none() {
+                            *slot = Some(Box::default());
+                            self.load_site_count += 1;
+                        }
+                        let profile = slot.as_mut().expect("just materialized");
                         if profile.values.len() < MAX_LOAD_VALUES
                             || profile.values.contains_key(&mem.value)
                         {
@@ -281,81 +428,74 @@ impl LocalAnalysis {
         }
 
         // -- state propagation --
-        self.propagate(ev, region);
+        self.propagate(&m, ev, region);
     }
 
     /// Determines the instruction's category (task-based first, then
     /// source tags) *before* state is updated.
-    fn classify(&mut self, ev: &Event, region: Option<Region>) -> LocalCat {
-        match ev.insn {
-            // Returns.
-            Insn::Jr { rs } if rs == Reg::RA => return LocalCat::Return,
-            // Stack allocation / deallocation.
-            Insn::Imm { op: ImmOp::Addi, rt, rs, imm } if rt == Reg::SP && rs == Reg::SP => {
-                return if imm < 0 { LocalCat::Prologue } else { LocalCat::Epilogue };
-            }
+    fn classify(&mut self, m: &LMeta, ev: &Event, region: Option<Region>) -> LocalCat {
+        let f = m.flags;
+        // Returns.
+        if f & LM_RET != 0 {
+            return LocalCat::Return;
+        }
+        // Stack allocation / deallocation.
+        if f & LM_SP_ALLOC != 0 {
+            return if f & LM_SP_NEG != 0 { LocalCat::Prologue } else { LocalCat::Epilogue };
+        }
+        if f & LM_STORE != 0 {
             // Prologue saves: store of a not-yet-written register to the
             // stack.
-            Insn::Mem { op, rt, base, .. } if !op.is_load() => {
-                if let Some(mem) = ev.mem {
-                    if region == Some(Region::Stack) {
-                        let frame = self.frames.last_mut().expect("frame stack never empty");
-                        if (frame.unwritten >> rt.number()) & 1 == 1 && base == Reg::SP {
-                            frame.saved_slots.push(mem.addr);
-                            return LocalCat::Prologue;
-                        }
+            if let Some(mem) = ev.mem {
+                if region == Some(Region::Stack) {
+                    let frame = self.frames.last_mut().expect("frame stack never empty");
+                    if (frame.unwritten >> m.rt) & 1 == 1 && f & LM_BASE_SP != 0 {
+                        frame.saved_slots.push(mem.addr);
+                        return LocalCat::Prologue;
                     }
                 }
             }
+        } else if f & LM_LOAD != 0 {
             // Epilogue restores: load from a remembered save slot.
-            Insn::Mem { op, base, .. } if op.is_load() => {
-                if let Some(mem) = ev.mem {
-                    if region == Some(Region::Stack) && base == Reg::SP {
-                        let frame = self.frames.last().expect("frame stack never empty");
-                        if frame.saved_slots.contains(&mem.addr) {
-                            return LocalCat::Epilogue;
-                        }
+            if let Some(mem) = ev.mem {
+                if region == Some(Region::Stack) && f & LM_BASE_SP != 0 {
+                    let frame = self.frames.last().expect("frame stack never empty");
+                    if frame.saved_slots.contains(&mem.addr) {
+                        return LocalCat::Epilogue;
                     }
                 }
             }
-            _ => {}
         }
 
         // Global address calculation: instructions deriving a value
         // purely from gp or data-segment address immediates.
-        match ev.insn {
-            Insn::Lui { .. } => {
-                if (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome()) {
-                    return LocalCat::GlbAddrCalc;
-                }
-                return LocalCat::FuncInternal;
-            }
-            Insn::Imm { rs, .. } if self.is_gaddr(rs) => return LocalCat::GlbAddrCalc,
-            Insn::Alu { rs, rt, .. }
-                if (self.is_gaddr(rs) || rs == Reg::ZERO)
-                    && (self.is_gaddr(rt) || rt == Reg::ZERO)
-                    && (self.is_gaddr(rs) || self.is_gaddr(rt)) =>
-            {
-                return LocalCat::GlbAddrCalc;
-            }
-            _ => {}
+        if f & LM_LUI != 0 {
+            return if (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome()) {
+                LocalCat::GlbAddrCalc
+            } else {
+                LocalCat::FuncInternal
+            };
+        }
+        if f & LM_IMM != 0 && self.is_gaddr_n(m.s1) {
+            return LocalCat::GlbAddrCalc;
+        }
+        if f & LM_ALU != 0 && self.is_gaddr_alu(m.s1, m.s2) {
+            return LocalCat::GlbAddrCalc;
         }
 
         // SP arithmetic (frame alloc/dealloc already handled above).
-        let uses = ev.insn.uses();
-        if !ev.insn.is_load()
-            && !ev.insn.is_store()
-            && uses.into_iter().flatten().any(|r| r == Reg::SP)
-        {
+        if f & LM_SP_ARITH != 0 {
             return LocalCat::Sp;
         }
 
         // Source-based classification.
+        let sp = Reg::SP.number();
         let mut tag = SrcTag::FnInternal;
-        for r in uses.into_iter().flatten() {
-            if r != Reg::SP {
-                tag = tag.max(self.tag(r));
-            }
+        if m.s1 != NO_REG && m.s1 != sp {
+            tag = tag.max(self.tags[m.s1 as usize]);
+        }
+        if m.s2 != NO_REG && m.s2 != sp {
+            tag = tag.max(self.tags[m.s2 as usize]);
         }
         if let Some(mem) = ev.mem {
             if mem.is_load {
@@ -371,66 +511,69 @@ impl LocalAnalysis {
         match region {
             Some(Region::Data) => SrcTag::Global,
             Some(Region::Heap) => SrcTag::Heap,
-            Some(Region::Stack) => {
-                self.stack_tags.get(&(addr & !3)).copied().unwrap_or(SrcTag::FnInternal)
-            }
+            Some(Region::Stack) => self.stack_tag(addr),
             _ => SrcTag::FnInternal,
         }
     }
 
-    fn propagate(&mut self, ev: &Event, region: Option<Region>) {
+    fn propagate(&mut self, m: &LMeta, ev: &Event, region: Option<Region>) {
+        let f = m.flags;
         // Result tag.
-        if let Some(dst) = ev.insn.def() {
-            let new_tag = match ev.insn {
-                Insn::Jump { link: true, .. } | Insn::Jalr { .. } => SrcTag::FnInternal,
-                Insn::Lui { .. } => SrcTag::FnInternal,
-                Insn::Mem { op, .. } if op.is_load() => {
-                    let addr = ev.mem.map(|m| m.addr).unwrap_or(0);
-                    self.data_tag(addr, region)
+        if m.def != NO_REG {
+            let new_tag = if f & (LM_LINK | LM_LUI) != 0 {
+                SrcTag::FnInternal
+            } else if f & LM_LOAD != 0 {
+                let addr = ev.mem.map(|e| e.addr).unwrap_or(0);
+                self.data_tag(addr, region)
+            } else {
+                let sp = Reg::SP.number();
+                let mut t = SrcTag::FnInternal;
+                if m.s1 != NO_REG && m.s1 != sp {
+                    t = t.max(self.tags[m.s1 as usize]);
                 }
-                _ => {
-                    let mut t = SrcTag::FnInternal;
-                    for r in ev.insn.uses().into_iter().flatten() {
-                        if r != Reg::SP {
-                            t = t.max(self.tag(r));
-                        }
-                    }
-                    t
+                if m.s2 != NO_REG && m.s2 != sp {
+                    t = t.max(self.tags[m.s2 as usize]);
                 }
+                t
             };
-            self.set_tag(dst, new_tag);
 
             // gaddr flag propagation.
-            let g = match ev.insn {
-                Insn::Lui { .. } => {
-                    (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome())
-                }
-                Insn::Imm { rs, .. } => self.is_gaddr(rs),
-                Insn::Alu { rs, rt, .. } => {
-                    (self.is_gaddr(rs) || rs == Reg::ZERO)
-                        && (self.is_gaddr(rt) || rt == Reg::ZERO)
-                        && (self.is_gaddr(rs) || self.is_gaddr(rt))
-                }
-                _ => false,
+            let g = if f & LM_LUI != 0 {
+                (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome())
+            } else if f & LM_IMM != 0 {
+                self.is_gaddr_n(m.s1)
+            } else if f & LM_ALU != 0 {
+                self.is_gaddr_alu(m.s1, m.s2)
+            } else {
+                false
             };
-            self.set_gaddr(dst, g);
+
+            if m.def != 0 {
+                self.tags[m.def as usize] = new_tag;
+                if g {
+                    self.gaddr |= 1 << m.def;
+                } else {
+                    self.gaddr &= !(1 << m.def);
+                }
+            }
 
             // Mark register written in this frame.
             let frame = self.frames.last_mut().expect("frame stack never empty");
-            frame.unwritten &= !(1 << dst.number());
+            frame.unwritten &= !(1 << m.def);
         }
 
         // Stack stores preserve provenance.
         if let Some(mem) = ev.mem {
-            if !mem.is_load && region == Some(Region::Stack) {
-                if let Insn::Mem { rt, .. } = ev.insn {
-                    let t = self.tag(rt);
-                    self.stack_tags.insert(mem.addr & !3, t);
-                }
+            if !mem.is_load && region == Some(Region::Stack) && m.rt != NO_REG {
+                let t = self.tags[m.rt as usize];
+                self.set_stack_tag(mem.addr, t);
             }
         }
 
         // Call/return boundaries.
+        if ev.ctrl.is_none() {
+            return;
+        }
         match ev.ctrl {
             Some(CtrlEffect::Call { target, sp, .. }) => {
                 let func = self.by_entry.get(&target).copied();
@@ -442,7 +585,7 @@ impl LocalAnalysis {
                 // Tag incoming stack-argument slots.
                 for i in 4..arity {
                     let slot = sp.wrapping_add(16 + 4 * (i as u32 - 4));
-                    self.stack_tags.insert(slot & !3, SrcTag::Argument);
+                    self.set_stack_tag(slot, SrcTag::Argument);
                 }
                 // All registers except the argument registers start
                 // frame-uninitialized (prologue-save candidates).
@@ -486,18 +629,18 @@ impl LocalAnalysis {
 
     /// Stack words carrying a shadow source tag (occupancy gauge).
     pub fn shadow_stack_words(&self) -> u64 {
-        self.stack_tags.len() as u64
+        self.stack_tag_count
     }
 
     /// Global/heap load sites with a value profile (occupancy gauge).
     pub fn load_sites(&self) -> u64 {
-        self.load_profiles.len() as u64
+        self.load_site_count
     }
 
     /// Distinct values tracked across all load-site profiles (occupancy
     /// gauge for the Figure 6 tables).
     pub fn load_values_tracked(&self) -> u64 {
-        self.load_profiles.values().map(|p| p.values.len() as u64).sum()
+        self.load_profiles.iter().flatten().map(|p| p.values.len() as u64).sum()
     }
 
     /// Top contributors to prologue+epilogue repetition (paper Table 9):
@@ -527,7 +670,7 @@ impl LocalAnalysis {
             .map(|k| {
                 let mut covered = 0u64;
                 let mut total = 0u64;
-                for p in self.load_profiles.values() {
+                for p in self.load_profiles.iter().flatten() {
                     let mut counts: Vec<u64> = p.values.values().copied().collect();
                     counts.sort_unstable_by(|a, b| b.cmp(a));
                     covered += counts.iter().take(k).map(|c| c.saturating_sub(1)).sum::<u64>();

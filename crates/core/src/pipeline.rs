@@ -13,7 +13,7 @@
 //! migrate at their leisure.
 
 use instrep_asm::Image;
-use instrep_sim::{Machine, RunOutcome, SimError};
+use instrep_sim::{InterpTier, Machine, RunOutcome, SimError};
 
 use crate::classes::{ClassAnalysis, ClassCounts};
 use crate::coverage::Coverage;
@@ -22,7 +22,7 @@ use crate::global::{GlobalAnalysis, GlobalCounts};
 use crate::interval::{IntervalSampler, IntervalWindow};
 use crate::local::{LocalAnalysis, LocalCounts};
 use crate::metrics::{PhaseTimer, WorkloadMetrics};
-use crate::predict::{LastValuePredictor, PredictStats, StridePredictor, StrideStats};
+use crate::predict::{PredictStats, StrideStats, ValuePredictors};
 use crate::profile::InstructionProfile;
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::trace_span::{SpanLane, SpanTracer};
@@ -166,7 +166,7 @@ pub fn analyze(
     input: Vec<u8>,
     cfg: &AnalysisConfig,
 ) -> Result<WorkloadReport, SimError> {
-    run_probed(image, input, cfg, Probes::none())
+    run_probed(image, input, cfg, InterpTier::default(), Probes::none())
 }
 
 /// [`Session::run_one`](crate::Session::run_one) with an optional
@@ -182,7 +182,8 @@ pub fn analyze_with_metrics(
     cfg: &AnalysisConfig,
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    run_probed(image, input, cfg, Probes { metrics, spans: None, sampler: None, profile: None })
+    let probes = Probes { metrics, spans: None, sampler: None, profile: None };
+    run_probed(image, input, cfg, InterpTier::default(), probes)
 }
 
 /// The pipeline's optional observability hooks, all riding the same
@@ -227,7 +228,7 @@ pub fn analyze_with_probes(
     cfg: &AnalysisConfig,
     probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
-    run_probed(image, input, cfg, probes)
+    run_probed(image, input, cfg, InterpTier::default(), probes)
 }
 
 /// One simulation pass with any combination of [`Probes`] attached —
@@ -242,11 +243,12 @@ pub(crate) fn run_probed(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
+    tier: InterpTier,
     mut probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
-    let mut machine = Machine::new(image);
+    let mut machine = Machine::with_tier(image, tier);
     machine.set_input(input);
 
     let mut tracker = RepetitionTracker::new(cfg.tracker, image.text.len());
@@ -255,8 +257,7 @@ pub(crate) fn run_probed(
     let mut local = LocalAnalysis::new(image);
     let mut reuse = ReuseBuffer::new(cfg.reuse);
     let mut classes = ClassAnalysis::new();
-    let mut predict = LastValuePredictor::new();
-    let mut stride = StridePredictor::new();
+    let mut values = ValuePredictors::new();
 
     // Skip phase: propagate analysis state without counting. The tracker
     // is idle during the skip (buffering starts with measurement, as in
@@ -308,8 +309,7 @@ pub(crate) fn run_probed(
             local.observe($ev, repeated, true, region);
             reuse.observe($ev, repeated);
             classes.observe($ev, repeated, true);
-            predict.observe($ev, repeated);
-            stride.observe($ev);
+            values.observe($ev, repeated);
         }};
     }
     if machine.exit_code().is_none() {
@@ -372,8 +372,8 @@ pub(crate) fn run_probed(
         load_value_coverage: local.load_value_coverage(cfg.top_k),
         reuse: *reuse.stats(),
         classes: *classes.counts(),
-        predict: *predict.stats(),
-        stride: *stride.stats(),
+        predict: *values.lvp_stats(),
+        stride: *values.stride_stats(),
     };
 
     if let Some(p) = probes.profile {
@@ -392,8 +392,8 @@ pub(crate) fn run_probed(
         m.gauge("local_stack_tag_words", local.shadow_stack_words());
         m.gauge("local_load_sites", local.load_sites());
         m.gauge("local_load_values", local.load_values_tracked());
-        m.gauge("predict_lvp_entries", predict.table_entries());
-        m.gauge("predict_stride_entries", stride.table_entries());
+        m.gauge("predict_lvp_entries", values.lvp_entries());
+        m.gauge("predict_stride_entries", values.stride_entries());
         let fp = machine.footprint();
         m.gauge("sim_resident_pages", fp.resident_pages as u64);
         m.gauge("sim_resident_bytes", fp.resident_bytes as u64);
@@ -590,10 +590,10 @@ pub fn steady_state_check(
     cfg: &AnalysisConfig,
     factor: u64,
 ) -> Result<f64, SimError> {
-    let short = run_probed(image, input.clone(), cfg, Probes::none())?;
+    let short = run_probed(image, input.clone(), cfg, InterpTier::default(), Probes::none())?;
     let mut long_cfg = *cfg;
     long_cfg.window = cfg.window.saturating_mul(factor);
-    let long = run_probed(image, input, &long_cfg, Probes::none())?;
+    let long = run_probed(image, input, &long_cfg, InterpTier::default(), Probes::none())?;
     let mut max_dev: f64 = 0.0;
     for cat in crate::local::LocalCat::ALL {
         let dev = (short.local.overall_share(cat) - long.local.overall_share(cat)).abs();
@@ -710,7 +710,8 @@ mod tests {
         let plain = quick(&image, &cfg);
         let mut m = WorkloadMetrics::default();
         let probes = Probes { metrics: Some(&mut m), ..Probes::none() };
-        let instrumented = run_probed(&image, Vec::new(), &cfg, probes).unwrap();
+        let instrumented =
+            run_probed(&image, Vec::new(), &cfg, InterpTier::default(), probes).unwrap();
         assert_eq!(format!("{plain:?}"), format!("{instrumented:?}"));
         // Phases arrive in pipeline order with the right event counts.
         let names: Vec<&str> = m.phases.iter().map(|p| p.name).collect();
@@ -762,6 +763,7 @@ mod tests {
             &image,
             Vec::new(),
             &cfg,
+            InterpTier::default(),
             Probes {
                 metrics: Some(&mut m),
                 spans: Some(&mut lane),
@@ -801,6 +803,7 @@ mod tests {
             &image,
             Vec::new(),
             &cfg,
+            InterpTier::default(),
             Probes { sampler: Some(&mut sampler), ..Probes::none() },
         )
         .unwrap();

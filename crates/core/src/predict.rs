@@ -1,18 +1,22 @@
-//! Last-value predictor — the value-prediction comparison point for the
+//! Value predictors — the value-prediction comparison points for the
 //! paper's §7 discussion.
 //!
 //! Where the reuse buffer (Table 10) requires the *inputs* to match
 //! before supplying a result non-speculatively, a last-value predictor
 //! (Lipasti & Shen) speculates that an instruction will produce the same
-//! *output* as its previous instance, inputs unseen. Comparing the two
-//! hit rates on the same trace quantifies the paper's point that
-//! repetition characteristics should inform both mechanisms.
+//! *output* as its previous instance, inputs unseen; a two-delta stride
+//! predictor (Wang & Franklin's hybrid component) extends that to
+//! arithmetic sequences. Comparing their hit rates on the same trace
+//! quantifies the paper's point that repetition characteristics should
+//! inform both mechanisms.
+//!
+//! Both predictors key on the same per-static-instruction slot, so they
+//! share one dense table ([`ValuePredictors`]): one index computation
+//! and one cache line per event instead of two of each.
 
 use instrep_sim::Event;
 
-use crate::fxhash::FxHashMap;
-
-/// Statistics from the predictor.
+/// Statistics from the last-value predictor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictStats {
     /// Instructions with a register result observed.
@@ -46,52 +50,6 @@ impl PredictStats {
     }
 }
 
-/// An unbounded per-static-instruction last-value table.
-///
-/// Unbounded capacity makes this the *upper bound* for any finite
-/// last-value predictor, the cleanest comparison against Table 10.
-#[derive(Debug, Default)]
-pub struct LastValuePredictor {
-    last: FxHashMap<u32, u32>,
-    stats: PredictStats,
-}
-
-impl LastValuePredictor {
-    /// Creates an empty predictor.
-    pub fn new() -> LastValuePredictor {
-        LastValuePredictor::default()
-    }
-
-    /// Observes one retired instruction; returns whether the last-value
-    /// prediction would have been correct. Instructions without a
-    /// register result are not predicted.
-    pub fn observe(&mut self, ev: &Event, repeated: bool) -> bool {
-        let Some(out) = ev.out else { return false };
-        self.stats.predictable += 1;
-        let hit = match self.last.insert(ev.index, out) {
-            Some(prev) => prev == out,
-            None => false,
-        };
-        if hit {
-            self.stats.correct += 1;
-            if repeated {
-                self.stats.correct_and_repeated += 1;
-            }
-        }
-        hit
-    }
-
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &PredictStats {
-        &self.stats
-    }
-
-    /// Static instructions with a table entry (occupancy gauge).
-    pub fn table_entries(&self) -> u64 {
-        self.last.len() as u64
-    }
-}
-
 /// Statistics from the stride predictor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StrideStats {
@@ -112,65 +70,118 @@ impl StrideStats {
     }
 }
 
-/// An unbounded two-delta stride predictor (Wang & Franklin's hybrid
-/// component): predicts `last + stride`, updating the stride only after
-/// it has been observed twice in a row, which filters one-off jumps.
+/// One dense per-static-instruction predictor slot.
 ///
-/// Together with [`LastValuePredictor`] this brackets the §7 discussion:
-/// last-value captures constancy, stride captures arithmetic sequences
-/// (loop counters, addresses) that never *repeat* under the paper's
-/// definition at all.
-#[derive(Debug, Default)]
-pub struct StridePredictor {
-    /// Per static instruction: (last value, confirmed stride, candidate
-    /// stride).
-    table: FxHashMap<u32, (u32, u32, u32)>,
-    stats: StrideStats,
+/// `lvp` is `0` when empty, else bit 32 plus the last observed value.
+/// `seen == 0` marks the stride half empty; both halves fill on the
+/// same event (the first observed register result at this index).
+#[derive(Debug, Clone, Copy, Default)]
+struct PredSlot {
+    lvp: u64,
+    last: u32,
+    stride: u32,
+    candidate: u32,
+    seen: u32,
 }
 
-impl StridePredictor {
-    /// Creates an empty predictor.
-    pub fn new() -> StridePredictor {
-        StridePredictor::default()
+/// Unbounded per-static-instruction last-value and two-delta stride
+/// predictors over one shared table.
+///
+/// Unbounded capacity makes these the *upper bound* for any finite
+/// predictor, the cleanest comparison against Table 10. The last-value
+/// half captures constancy; the stride half captures arithmetic
+/// sequences (loop counters, addresses) that never *repeat* under the
+/// paper's definition at all. The two-delta stride updates its stride
+/// only after the same delta is observed twice in a row, which filters
+/// one-off jumps.
+#[derive(Debug, Default)]
+pub struct ValuePredictors {
+    /// Dense slots indexed by `Event::index`. The text segment is small
+    /// and indices are dense, so a flat table beats a hash map on the
+    /// per-event path.
+    table: Vec<PredSlot>,
+    entries: u64,
+    lvp_stats: PredictStats,
+    stride_stats: StrideStats,
+}
+
+impl ValuePredictors {
+    /// Creates empty predictors.
+    pub fn new() -> ValuePredictors {
+        ValuePredictors::default()
     }
 
-    /// Observes one retired instruction; returns whether the stride
-    /// prediction would have been correct.
-    pub fn observe(&mut self, ev: &Event) -> bool {
-        let Some(out) = ev.out else { return false };
-        self.stats.predictable += 1;
-        let hit = match self.table.get_mut(&ev.index) {
-            None => {
-                self.table.insert(ev.index, (out, 0, 0));
-                false
-            }
-            Some((last, stride, candidate)) => {
-                let predicted = last.wrapping_add(*stride);
-                let hit = predicted == out;
-                let new_delta = out.wrapping_sub(*last);
-                if new_delta == *candidate {
-                    *stride = new_delta;
-                } else {
-                    *candidate = new_delta;
-                }
-                *last = out;
-                hit
-            }
-        };
-        if hit {
-            self.stats.correct += 1;
+    /// Observes one retired instruction; returns whether the last-value
+    /// and stride predictions would have been correct. Instructions
+    /// without a register result are not predicted.
+    pub fn observe(&mut self, ev: &Event, repeated: bool) -> (bool, bool) {
+        let Some(out) = ev.out else { return (false, false) };
+        self.lvp_stats.predictable += 1;
+        self.stride_stats.predictable += 1;
+        let idx = ev.index as usize;
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, PredSlot::default());
         }
-        hit
+        let s = &mut self.table[idx];
+
+        // Last-value half.
+        let prev = s.lvp;
+        if prev == 0 {
+            self.entries += 1;
+        }
+        s.lvp = (1 << 32) | u64::from(out);
+        let lvp_hit = prev != 0 && prev as u32 == out;
+        if lvp_hit {
+            self.lvp_stats.correct += 1;
+            if repeated {
+                self.lvp_stats.correct_and_repeated += 1;
+            }
+        }
+
+        // Two-delta stride half.
+        let stride_hit = if s.seen == 0 {
+            s.last = out;
+            s.stride = 0;
+            s.candidate = 0;
+            s.seen = 1;
+            false
+        } else {
+            let predicted = s.last.wrapping_add(s.stride);
+            let hit = predicted == out;
+            let new_delta = out.wrapping_sub(s.last);
+            if new_delta == s.candidate {
+                s.stride = new_delta;
+            } else {
+                s.candidate = new_delta;
+            }
+            s.last = out;
+            hit
+        };
+        if stride_hit {
+            self.stride_stats.correct += 1;
+        }
+        (lvp_hit, stride_hit)
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &StrideStats {
-        &self.stats
+    /// Accumulated last-value statistics.
+    pub fn lvp_stats(&self) -> &PredictStats {
+        &self.lvp_stats
     }
 
-    /// Static instructions with a table entry (occupancy gauge).
-    pub fn table_entries(&self) -> u64 {
-        self.table.len() as u64
+    /// Accumulated stride statistics.
+    pub fn stride_stats(&self) -> &StrideStats {
+        &self.stride_stats
+    }
+
+    /// Static instructions with a last-value entry (occupancy gauge).
+    pub fn lvp_entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Static instructions with a stride entry (occupancy gauge; fills
+    /// on the same events as the last-value half).
+    pub fn stride_entries(&self) -> u64 {
+        self.entries
     }
 }
 
@@ -192,14 +203,22 @@ mod tests {
         }
     }
 
+    fn lvp(p: &mut ValuePredictors, e: &Event, repeated: bool) -> bool {
+        p.observe(e, repeated).0
+    }
+
+    fn stride(p: &mut ValuePredictors, e: &Event) -> bool {
+        p.observe(e, false).1
+    }
+
     #[test]
     fn predicts_stable_outputs() {
-        let mut p = LastValuePredictor::new();
-        assert!(!p.observe(&ev(0, 1, Some(7)), false)); // cold
-        assert!(p.observe(&ev(0, 1, Some(7)), true)); // same in+out
-        assert!(p.observe(&ev(0, 2, Some(7)), false)); // same OUT, new inputs
-        assert!(!p.observe(&ev(0, 2, Some(9)), false)); // output changed
-        let s = p.stats();
+        let mut p = ValuePredictors::new();
+        assert!(!lvp(&mut p, &ev(0, 1, Some(7)), false)); // cold
+        assert!(lvp(&mut p, &ev(0, 1, Some(7)), true)); // same in+out
+        assert!(lvp(&mut p, &ev(0, 2, Some(7)), false)); // same OUT, new inputs
+        assert!(!lvp(&mut p, &ev(0, 2, Some(9)), false)); // output changed
+        let s = p.lvp_stats();
         assert_eq!(s.predictable, 4);
         assert_eq!(s.correct, 2);
         assert_eq!(s.correct_and_repeated, 1);
@@ -209,58 +228,59 @@ mod tests {
 
     #[test]
     fn ignores_resultless_instructions() {
-        let mut p = LastValuePredictor::new();
-        assert!(!p.observe(&ev(0, 1, None), false));
-        assert_eq!(p.stats().predictable, 0);
+        let mut p = ValuePredictors::new();
+        assert_eq!(p.observe(&ev(0, 1, None), false), (false, false));
+        assert_eq!(p.lvp_stats().predictable, 0);
+        assert_eq!(p.stride_stats().predictable, 0);
     }
 
     #[test]
     fn per_static_isolation() {
-        let mut p = LastValuePredictor::new();
-        p.observe(&ev(0, 1, Some(5)), false);
-        assert!(!p.observe(&ev(1, 1, Some(5)), false)); // different pc
-        assert!(p.observe(&ev(1, 1, Some(5)), true));
+        let mut p = ValuePredictors::new();
+        lvp(&mut p, &ev(0, 1, Some(5)), false);
+        assert!(!lvp(&mut p, &ev(1, 1, Some(5)), false)); // different pc
+        assert!(lvp(&mut p, &ev(1, 1, Some(5)), true));
+        assert_eq!(p.lvp_entries(), 2);
+        assert_eq!(p.stride_entries(), 2);
     }
 
     #[test]
     fn stride_predicts_arithmetic_sequences() {
-        let mut p = StridePredictor::new();
+        let mut p = ValuePredictors::new();
         // Loop counter 10, 13, 16, 19, ...: two observations confirm the
         // stride, after which every value hits.
         let mut hits = 0;
-        for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
-            hits += u32::from(p.observe(&ev(0, i, Some(v))));
+        let mut lvp_hits = 0;
+        for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)) {
+            let (l, s) = p.observe(&ev(0, i, Some(v)), false);
+            hits += u32::from(s);
+            lvp_hits += u32::from(l);
         }
         // First value is cold; second has stride 0; third confirms the
         // candidate stride; values from the fourth onward all hit.
-        assert_eq!(hits, 7, "stats: {:?}", p.stats());
-        // A last-value predictor scores zero on the same stream.
-        let mut lvp = LastValuePredictor::new();
-        let mut lvp_hits = 0;
-        for (i, v) in (0..10).map(|i| (i, 10 + 3 * i)).collect::<Vec<_>>() {
-            lvp_hits += u32::from(lvp.observe(&ev(0, i, Some(v)), false));
-        }
+        assert_eq!(hits, 7, "stats: {:?}", p.stride_stats());
+        // The last-value half scores zero on the same stream.
         assert_eq!(lvp_hits, 0);
     }
 
     #[test]
     fn stride_zero_degenerates_to_last_value() {
-        let mut p = StridePredictor::new();
-        assert!(!p.observe(&ev(0, 0, Some(7))));
-        assert!(p.observe(&ev(0, 0, Some(7))));
-        assert!(p.observe(&ev(0, 0, Some(7))));
-        assert!((p.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let mut p = ValuePredictors::new();
+        assert!(!stride(&mut p, &ev(0, 0, Some(7))));
+        assert!(stride(&mut p, &ev(0, 0, Some(7))));
+        assert!(stride(&mut p, &ev(0, 0, Some(7))));
+        assert!((p.stride_stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn one_off_jump_does_not_destroy_stride() {
-        let mut p = StridePredictor::new();
+        let mut p = ValuePredictors::new();
         for v in [0u32, 1, 2, 3] {
-            p.observe(&ev(0, 0, Some(v)));
+            p.observe(&ev(0, 0, Some(v)), false);
         }
         // Jump, then resume the old stride from the new base: the
         // confirmed stride (1) survives the single disturbance.
-        assert!(!p.observe(&ev(0, 0, Some(100))));
-        assert!(p.observe(&ev(0, 0, Some(101))));
+        assert!(!stride(&mut p, &ev(0, 0, Some(100))));
+        assert!(stride(&mut p, &ev(0, 0, Some(101))));
     }
 }

@@ -37,14 +37,16 @@ impl Default for ReuseConfig {
     }
 }
 
+/// Match state of one buffer entry. Kept apart from the LRU stamps so a
+/// set's four keys fit one cache line on the per-event lookup path; the
+/// stamp array doubles as the valid flag (`lru == 0` means never filled,
+/// the clock starts at 1).
 #[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    valid: bool,
+struct Key {
     pc: u32,
     in1: u32,
     in2: u32,
     outcome: u32,
-    lru: u64,
 }
 
 /// Statistics reported by the reuse buffer.
@@ -95,7 +97,13 @@ fn ratio(num: u64, den: u64) -> f64 {
 #[derive(Debug)]
 pub struct ReuseBuffer {
     cfg: ReuseConfig,
-    sets: Vec<Entry>,
+    /// `sets - 1` when the set count is a power of two (the paper
+    /// geometry and every test geometry), so the per-event set index is
+    /// a mask instead of an integer division; `None` falls back to
+    /// modulo for odd geometries.
+    set_mask: Option<usize>,
+    keys: Vec<Key>,
+    lru: Vec<u64>,
     clock: u64,
     stats: ReuseStats,
 }
@@ -112,7 +120,9 @@ impl ReuseBuffer {
         assert_eq!(cfg.entries % cfg.ways, 0, "entries must be a multiple of ways");
         ReuseBuffer {
             cfg,
-            sets: vec![Entry::default(); cfg.entries],
+            set_mask: cfg.sets().is_power_of_two().then(|| cfg.sets() - 1),
+            keys: vec![Key::default(); cfg.entries],
+            lru: vec![0; cfg.entries],
             clock: 0,
             stats: ReuseStats::default(),
         }
@@ -126,15 +136,22 @@ impl ReuseBuffer {
             self.stats.repeated_total += 1;
         }
         let outcome = ev.outcome();
-        let set = ((ev.pc >> 2) as usize) % self.cfg.sets();
+        let pc_word = (ev.pc >> 2) as usize;
+        let set = match self.set_mask {
+            Some(mask) => pc_word & mask,
+            None => pc_word % self.cfg.sets(),
+        };
         let base = set * self.cfg.ways;
-        let ways = &mut self.sets[base..base + self.cfg.ways];
+        // One bounds check for the whole set; the way loops below are
+        // then branch-free on indexing.
+        let keys = &mut self.keys[base..base + self.cfg.ways];
+        let lru = &mut self.lru[base..base + self.cfg.ways];
 
         // Lookup.
-        for e in ways.iter_mut() {
-            if e.valid && e.pc == ev.pc && e.in1 == ev.in1 && e.in2 == ev.in2 {
+        for (e, stamp) in keys.iter_mut().zip(lru.iter_mut()) {
+            if *stamp != 0 && e.pc == ev.pc && e.in1 == ev.in1 && e.in2 == ev.in2 {
                 if e.outcome == outcome {
-                    e.lru = self.clock;
+                    *stamp = self.clock;
                     self.stats.hits += 1;
                     if repeated {
                         self.stats.repeated_hits += 1;
@@ -143,19 +160,17 @@ impl ReuseBuffer {
                 }
                 // Oracle invalidation: memory changed under a load.
                 e.outcome = outcome;
-                e.lru = self.clock;
+                *stamp = self.clock;
                 self.stats.stale += 1;
                 return false;
             }
         }
 
-        // Miss: insert via LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru } else { 0 })
-            .expect("ways is non-empty");
-        *victim =
-            Entry { valid: true, pc: ev.pc, in1: ev.in1, in2: ev.in2, outcome, lru: self.clock };
+        // Miss: insert via LRU (a zero stamp — never filled — is the
+        // least recent of all, so invalid ways are claimed first).
+        let victim = (0..lru.len()).min_by_key(|&i| lru[i]).expect("ways is non-empty");
+        keys[victim] = Key { pc: ev.pc, in1: ev.in1, in2: ev.in2, outcome };
+        lru[victim] = self.clock;
         false
     }
 
@@ -167,7 +182,7 @@ impl ReuseBuffer {
     /// Number of valid entries currently resident (occupancy gauge;
     /// bounded by `entries`).
     pub fn occupancy(&self) -> u64 {
-        self.sets.iter().filter(|e| e.valid).count() as u64
+        self.lru.iter().filter(|&&stamp| stamp != 0).count() as u64
     }
 
     /// The buffer geometry.

@@ -50,7 +50,7 @@
 //! would be worse than a recomputation.
 
 use instrep_asm::Image;
-use instrep_sim::SimError;
+use instrep_sim::{InterpTier, SimError};
 
 use crate::cache::{encode_report, AnalysisCache, CacheKey};
 use crate::interval::IntervalSampler;
@@ -95,6 +95,7 @@ pub struct Session<'t> {
     tracer: Option<&'t mut SpanTracer>,
     cache: Option<&'t AnalysisCache>,
     verify: bool,
+    tier: InterpTier,
 }
 
 impl<'t> Session<'t> {
@@ -109,7 +110,18 @@ impl<'t> Session<'t> {
             tracer: None,
             cache: None,
             verify: false,
+            tier: InterpTier::default(),
         }
+    }
+
+    /// Interpreter tier driving the simulation ([`InterpTier::default`]
+    /// unless overridden). Tiers produce byte-identical event streams,
+    /// so reports — and [cache](Session::cache) keys — never depend on
+    /// this choice: an entry stored under one tier is served under the
+    /// other.
+    pub fn interp(mut self, tier: InterpTier) -> Session<'t> {
+        self.tier = tier;
+        self
     }
 
     /// Worker threads for [`Session::run`], clamped to `[1, jobs]` at
@@ -176,7 +188,8 @@ impl<'t> Session<'t> {
     /// Each slot carries its own simulator outcome; one trapped
     /// workload does not poison the others.
     pub fn run(self, jobs: Vec<AnalysisJob<'_>>) -> Vec<Result<InstrumentedReport, SimError>> {
-        let Session { cfg, threads, metrics, interval, profile, mut tracer, cache, verify } = self;
+        let Session { cfg, threads, metrics, interval, profile, mut tracer, cache, verify, tier } =
+            self;
         // Entries store only the report; serving a hit that silently
         // dropped a requested time series or profile would be wrong, so
         // those probe sets bypass the cache entirely.
@@ -228,6 +241,7 @@ impl<'t> Session<'t> {
                 job.image,
                 job.input,
                 &cfg,
+                tier,
                 Probes {
                     metrics: m.as_mut(),
                     spans: lane.as_mut(),
@@ -327,7 +341,10 @@ mod tests {
     fn session_matches_direct_pipeline_at_every_thread_count() {
         let image = small_image();
         let cfg = AnalysisConfig::default();
-        let direct = format!("{:?}", run_probed(&image, Vec::new(), &cfg, Probes::none()).unwrap());
+        let direct = {
+            let r = run_probed(&image, Vec::new(), &cfg, InterpTier::default(), Probes::none());
+            format!("{:?}", r.unwrap())
+        };
         for threads in [1, 2, 7] {
             let jobs: Vec<AnalysisJob<'_>> = (0..4)
                 .map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" })
@@ -339,6 +356,28 @@ mod tests {
                 assert!(ir.metrics.is_none() && ir.intervals.is_none() && ir.profile.is_none());
             }
         }
+    }
+
+    #[test]
+    fn interp_tiers_report_identically_and_share_cache_entries() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let fast =
+            Session::new(cfg).interp(InterpTier::Predecoded).run_one(&image, Vec::new()).unwrap();
+        let legacy =
+            Session::new(cfg).interp(InterpTier::Legacy).run_one(&image, Vec::new()).unwrap();
+        assert_eq!(format!("{:?}", fast.report), format!("{:?}", legacy.report));
+
+        // Cache keys are tier-invariant: an entry stored by the legacy
+        // interpreter is a plain hit under the predecoded one.
+        let (dir, cache) = tmp_cache("tier");
+        let s = Session::new(cfg).interp(InterpTier::Legacy).cache(&cache);
+        assert_eq!(s.run_one(&image, Vec::new()).unwrap().cache, CacheOutcome::Miss);
+        let s = Session::new(cfg).interp(InterpTier::Predecoded).cache(&cache);
+        let warm = s.run_one(&image, Vec::new()).unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(format!("{:?}", warm.report), format!("{:?}", fast.report));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

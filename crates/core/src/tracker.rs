@@ -13,8 +13,6 @@
 
 use instrep_sim::Event;
 
-use crate::fxhash::FxHashMap;
-
 /// Configuration for [`RepetitionTracker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrackerConfig {
@@ -34,16 +32,82 @@ impl Default for TrackerConfig {
 /// The key identifying one dynamic instance: operand values plus outcome.
 type InstanceKey = (u32, u32, u32);
 
+/// One slot of a static instruction's open-addressed instance table.
+///
+/// `count_plus` is the instance's repeat count plus one, so `0` doubles
+/// as the empty-slot marker and a buffered-but-never-repeated instance
+/// is `1`. 24 bytes per slot keeps a probe to a single cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    in1: u32,
+    in2: u32,
+    outcome: u32,
+    count_plus: u64,
+}
+
 /// Per-static-instruction repetition state.
+///
+/// Instances live in a flat open-addressed table (power-of-two capacity,
+/// linear probing, no deletion) rather than a hash map: the classify
+/// path runs once per retired instruction and the flat layout removes
+/// the map's entry indirection from it. Classification depends only on
+/// exact key equality, never on hash order, so results are identical to
+/// the map-based implementation.
 #[derive(Debug, Clone, Default)]
 struct StaticEntry {
-    /// Buffered unique instances and how many times each was *repeated*
-    /// (count excludes the first occurrence).
-    instances: FxHashMap<InstanceKey, u64>,
+    /// Buffered unique instances; empty until the first insert.
+    slots: Vec<Slot>,
+    /// Occupied slot count (`<= cfg.max_instances`).
+    len: u32,
     /// Dynamic executions observed.
     exec: u64,
     /// Dynamic executions classified repeated.
     repeated: u64,
+}
+
+/// Mixes an instance key into a table index seed (fxhash-style multiply;
+/// quality only affects probe lengths, never classification results).
+#[inline]
+fn hash_key(in1: u32, in2: u32, outcome: u32) -> usize {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let h = (u64::from(in1).wrapping_mul(K))
+        .wrapping_add(u64::from(in2))
+        .wrapping_mul(K)
+        .wrapping_add(u64::from(outcome))
+        .wrapping_mul(K);
+    (h >> 32) as usize
+}
+
+impl StaticEntry {
+    /// Inserts a new instance known to be absent, growing at 7/8 load.
+    fn insert_new(&mut self, key: InstanceKey) {
+        if self.slots.is_empty() {
+            self.slots = vec![Slot::default(); 8];
+        } else if (self.len as usize + 1) * 8 > self.slots.len() * 7 {
+            let doubled = vec![Slot::default(); self.slots.len() * 2];
+            let old = std::mem::replace(&mut self.slots, doubled);
+            for s in old.into_iter().filter(|s| s.count_plus > 0) {
+                let mask = self.slots.len() - 1;
+                let mut i = hash_key(s.in1, s.in2, s.outcome) & mask;
+                while self.slots[i].count_plus > 0 {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = s;
+            }
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_key(key.0, key.1, key.2) & mask;
+        while self.slots[i].count_plus > 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Slot { in1: key.0, in2: key.1, outcome: key.2, count_plus: 1 };
+        self.len += 1;
+    }
+
+    /// Repeat counts of occupied slots (count excludes first occurrence).
+    fn counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter(|s| s.count_plus > 0).map(|s| s.count_plus - 1)
+    }
 }
 
 /// Statistics for one static instruction, as exposed to reports.
@@ -104,14 +168,25 @@ impl RepetitionTracker {
         entry.exec += 1;
         self.dyn_total += 1;
         let key = (ev.in1, ev.in2, ev.outcome());
-        if let Some(count) = entry.instances.get_mut(&key) {
-            *count += 1;
-            entry.repeated += 1;
-            self.dyn_repeated += 1;
-            return true;
+        if !entry.slots.is_empty() {
+            let mask = entry.slots.len() - 1;
+            let mut i = hash_key(key.0, key.1, key.2) & mask;
+            loop {
+                let s = &mut entry.slots[i];
+                if s.count_plus == 0 {
+                    break;
+                }
+                if (s.in1, s.in2, s.outcome) == key {
+                    s.count_plus += 1;
+                    entry.repeated += 1;
+                    self.dyn_repeated += 1;
+                    return true;
+                }
+                i = (i + 1) & mask;
+            }
         }
-        if entry.instances.len() < self.cfg.max_instances {
-            entry.instances.insert(key, 0);
+        if (entry.len as usize) < self.cfg.max_instances {
+            entry.insert_new(key);
             self.buffered += 1;
         }
         false
@@ -146,7 +221,7 @@ impl RepetitionTracker {
     /// Total unique repeatable instances across all static instructions
     /// (paper Table 2, *Count*).
     pub fn unique_repeatable_instances(&self) -> u64 {
-        self.entries.iter().map(|e| e.instances.values().filter(|&&c| c > 0).count() as u64).sum()
+        self.entries.iter().map(|e| e.counts().filter(|&c| c > 0).count() as u64).sum()
     }
 
     /// Average number of repeats per unique repeatable instance (paper
@@ -170,7 +245,7 @@ impl RepetitionTracker {
                 index: i as u32,
                 exec: e.exec,
                 repeated: e.repeated,
-                unique_repeatable: e.instances.values().filter(|&&c| c > 0).count() as u64,
+                unique_repeatable: e.counts().filter(|&c| c > 0).count() as u64,
             })
             .collect()
     }
@@ -180,7 +255,7 @@ impl RepetitionTracker {
     pub fn instance_repeat_counts(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for e in &self.entries {
-            out.extend(e.instances.values().copied().filter(|&c| c > 0));
+            out.extend(e.counts().filter(|&c| c > 0));
         }
         out
     }
@@ -195,7 +270,7 @@ impl RepetitionTracker {
             if e.repeated == 0 {
                 continue;
             }
-            let uri = e.instances.values().filter(|&&c| c > 0).count() as u64;
+            let uri = e.counts().filter(|&c| c > 0).count() as u64;
             let bucket = match uri {
                 0 => continue,
                 1 => 0,
@@ -223,11 +298,12 @@ impl RepetitionTracker {
     }
 
     /// Rough bytes held by the instance tables (occupancy gauge): buffered
-    /// instances times their map-entry footprint plus the per-static
-    /// entry structs. An estimate — hash-map overhead varies — but
-    /// monotone in the real cost, which is what a trajectory needs.
+    /// instances times their slot footprint plus the per-static entry
+    /// structs. An estimate — open-addressed tables carry empty-slot
+    /// slack — but monotone in the real cost, which is what a trajectory
+    /// needs.
     pub fn approx_table_bytes(&self) -> u64 {
-        let per_instance = std::mem::size_of::<(InstanceKey, u64)>() as u64;
+        let per_instance = std::mem::size_of::<Slot>() as u64;
         let per_static = std::mem::size_of::<StaticEntry>() as u64;
         self.instances_buffered() * per_instance + self.entries.len() as u64 * per_static
     }
@@ -337,7 +413,11 @@ mod tests {
         for (idx, v) in [(0, 1u32), (0, 2), (0, 3), (0, 1), (1, 1), (1, 1)] {
             t.observe(&ev(idx, v, v, v));
         }
-        let recount: u64 = t.entries.iter().map(|e| e.instances.len() as u64).sum();
+        let recount: u64 = t
+            .entries
+            .iter()
+            .map(|e| e.slots.iter().filter(|s| s.count_plus > 0).count() as u64)
+            .sum();
         assert_eq!(t.instances_buffered(), recount);
         assert_eq!(t.instances_buffered(), 3); // cap of 2 at static 0, 1 at static 1
     }

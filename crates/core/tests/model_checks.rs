@@ -6,8 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use instrep_core::{
-    AnalysisConfig, AnalysisJob, Coverage, InstructionProfile, LastValuePredictor, ProfileReport,
-    RepetitionTracker, ReuseBuffer, ReuseConfig, Session, TrackerConfig,
+    AnalysisConfig, AnalysisJob, Coverage, InstructionProfile, ProfileReport, RepetitionTracker,
+    ReuseBuffer, ReuseConfig, Session, TrackerConfig, ValuePredictors,
 };
 use instrep_isa::{AluOp, Insn, Reg};
 use instrep_sim::Event;
@@ -136,15 +136,15 @@ proptest! {
 
     #[test]
     fn last_value_predictor_matches_reference(events in arb_events()) {
-        let mut p = LastValuePredictor::new();
+        let mut p = ValuePredictors::new();
         let mut last: HashMap<u32, u32> = HashMap::new();
         for e in &events {
             let out = e.out.unwrap();
             let expect = last.get(&e.index) == Some(&out);
-            prop_assert_eq!(p.observe(e, false), expect);
+            prop_assert_eq!(p.observe(e, false).0, expect);
             last.insert(e.index, out);
         }
-        prop_assert_eq!(p.stats().predictable, events.len() as u64);
+        prop_assert_eq!(p.lvp_stats().predictable, events.len() as u64);
     }
 
     #[test]

@@ -51,8 +51,8 @@ use std::process::ExitCode;
 use instrep_core::report::{self, Named};
 use instrep_core::{
     default_parallelism, interval, metrics, profile, steady_state_check, AnalysisCache,
-    AnalysisConfig, AnalysisJob, CacheOutcome, InstructionProfile, IntervalWindow, MetricsReport,
-    ProfileReport, Session, SpanLane, SpanTracer, WorkloadReport,
+    AnalysisConfig, AnalysisJob, CacheOutcome, InstructionProfile, InterpTier, IntervalWindow,
+    MetricsReport, ProfileReport, Session, SpanLane, SpanTracer, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -61,6 +61,7 @@ struct Options {
     seed: u64,
     only: Option<String>,
     jobs: usize,
+    interp: InterpTier,
     tables: Vec<u32>,
     figures: Vec<u32>,
     steady: bool,
@@ -156,6 +157,20 @@ const FLAGS: &[FlagSpec] = &[
             if o.jobs == 0 {
                 return Err("--jobs must be at least 1".to_string());
             }
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--interp",
+        alias: None,
+        value: Some(("TIER", "--interp needs a tier")),
+        help: "interpreter tier: fast (predecoded) or legacy (default: fast)",
+        apply: |o, v| {
+            o.interp = match v {
+                "fast" => InterpTier::Predecoded,
+                "legacy" => InterpTier::Legacy,
+                other => return Err(format!("unknown interpreter tier `{other}`")),
+            };
             Ok(())
         },
     },
@@ -426,6 +441,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 1998,
         only: None,
         jobs: default_parallelism(),
+        interp: InterpTier::default(),
         tables: Vec::new(),
         figures: Vec::new(),
         steady: false,
@@ -582,7 +598,7 @@ fn main() -> ExitCode {
         // and the cache memoizes without perturbing, so every flag
         // combination prints identical tables.
         let span = main_lane.as_mut().map(|l| l.begin());
-        let mut session = Session::new(cfg).jobs(threads).metrics(want_metrics);
+        let mut session = Session::new(cfg).jobs(threads).interp(opts.interp).metrics(want_metrics);
         if let Some(n) = opts.interval {
             session = session.interval(n);
         }
@@ -758,7 +774,7 @@ fn main() -> ExitCode {
         println!("{:<12}{:>14}{:>14}{:>10}", "bench", "seed A", "seed B", "delta");
         for ((wl, image), (_, r)) in workloads.iter().zip(&images).zip(&reports) {
             let alt = wl.input(opts.scale, opts.seed.wrapping_add(7919));
-            let mut session = Session::new(cfg);
+            let mut session = Session::new(cfg).interp(opts.interp);
             if let Some(c) = cache.as_ref() {
                 session = session.cache(c).cache_verify(opts.cache_verify);
             }

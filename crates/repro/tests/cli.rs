@@ -239,6 +239,7 @@ options:
   --seed N               workload input seed (default: 1998)
   --only BENCH           analyze one benchmark (see --list)
   --jobs N               worker threads (default: available parallelism)
+  --interp TIER          interpreter tier: fast (predecoded) or legacy (default: fast)
   --table N              print table N (repeatable)
   --figure N             print figure N (repeatable)
   --steady-state         run the steady-state check (paper \u{a7}3)
@@ -825,6 +826,33 @@ fn cache_verify_catches_a_poisoned_entry() {
     let err = stderr_of(&verified);
     assert!(err.contains("cache verify failed for compress"), "stderr: {err}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_interp_tier_fails_with_message() {
+    let out = run(&["--interp", "jit"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown interpreter tier `jit`"), "stderr: {err}");
+    let out = run(&["--interp"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--interp needs a tier"), "{}", stderr_of(&out));
+}
+
+/// The legacy interpreter must print the same bytes as the predecoded
+/// tier — tier selection is a performance knob, never a result knob.
+#[test]
+fn interp_tiers_print_byte_identical_tables() {
+    let args = ["--scale", "tiny", "--only", "compress", "--jobs", "2"];
+    let fast = run(&args);
+    assert!(fast.status.success(), "stderr: {}", stderr_of(&fast));
+    for tier in ["fast", "legacy"] {
+        let mut tier_args = args.to_vec();
+        tier_args.extend_from_slice(&["--interp", tier]);
+        let out = run(&tier_args);
+        assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+        assert_eq!(fast.stdout, out.stdout, "--interp {tier} changed table stdout");
+    }
 }
 
 #[test]

@@ -36,10 +36,12 @@ mod error;
 mod event;
 mod machine;
 mod mem;
+mod predecode;
 mod trace;
 
 pub use error::SimError;
 pub use event::{CtrlEffect, Event, MemEffect};
 pub use machine::{Machine, MachineFootprint, RunOutcome};
 pub use mem::Memory;
+pub use predecode::InterpTier;
 pub use trace::{RecordError, Trace};

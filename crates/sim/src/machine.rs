@@ -5,6 +5,7 @@ use instrep_isa::{decode, Insn, MemWidth, Reg};
 use crate::error::SimError;
 use crate::event::{CtrlEffect, Event, MemEffect};
 use crate::mem::Memory;
+use crate::predecode::{self, InterpTier, PreOp};
 
 /// Why [`Machine::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,18 +39,20 @@ pub struct MachineFootprint {
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Machine {
-    regs: [u32; 32],
-    pc: u32,
-    mem: Memory,
-    text: Vec<Insn>,
-    text_base: u32,
-    data_end: u32,
-    brk: u32,
-    input: Vec<u8>,
-    input_pos: usize,
-    output: Vec<u8>,
-    exited: Option<u32>,
-    icount: u64,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) mem: Memory,
+    pub(crate) text: Vec<Insn>,
+    pub(crate) pre: Vec<PreOp>,
+    pub(crate) text_base: u32,
+    pub(crate) data_end: u32,
+    pub(crate) brk: u32,
+    pub(crate) input: Vec<u8>,
+    pub(crate) input_pos: usize,
+    pub(crate) output: Vec<u8>,
+    pub(crate) exited: Option<u32>,
+    pub(crate) icount: u64,
+    tier: InterpTier,
 }
 
 impl Machine {
@@ -66,12 +69,31 @@ impl Machine {
         Machine::try_new(image).expect("image text must decode")
     }
 
+    /// Like [`Machine::new`], but with an explicit interpreter tier
+    /// instead of [`InterpTier::default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a text word of the image fails to decode.
+    pub fn with_tier(image: &Image, tier: InterpTier) -> Machine {
+        Machine::try_new_with_tier(image, tier).expect("image text must decode")
+    }
+
     /// Creates a machine, failing cleanly on undecodable text words.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::BadText`] for the first undecodable word.
     pub fn try_new(image: &Image) -> Result<Machine, SimError> {
+        Machine::try_new_with_tier(image, InterpTier::default())
+    }
+
+    /// Like [`Machine::try_new`], but with an explicit interpreter tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadText`] for the first undecodable word.
+    pub fn try_new_with_tier(image: &Image, tier: InterpTier) -> Result<Machine, SimError> {
         let text = image
             .text
             .iter()
@@ -86,11 +108,13 @@ impl Machine {
         let mut regs = [0u32; 32];
         regs[Reg::SP.number() as usize] = abi::STACK_TOP;
         regs[Reg::GP.number() as usize] = abi::GP_INIT;
+        let pre = predecode::predecode(&text, abi::TEXT_BASE);
         Ok(Machine {
             regs,
             pc: image.entry,
             mem,
             text,
+            pre,
             text_base: abi::TEXT_BASE,
             data_end: image.data_end(),
             brk: image.data_end(),
@@ -99,7 +123,13 @@ impl Machine {
             output: Vec::new(),
             exited: None,
             icount: 0,
+            tier,
         })
+    }
+
+    /// The interpreter tier this machine runs on.
+    pub fn tier(&self) -> InterpTier {
+        self.tier
     }
 
     /// Provides the byte stream returned by the `read` syscall.
@@ -179,6 +209,9 @@ impl Machine {
     /// Runs until exit or until `max_insns` have retired, feeding every
     /// retired instruction's [`Event`] to `observer`.
     ///
+    /// Dispatches to the loop selected by this machine's [`InterpTier`];
+    /// both tiers produce identical event streams and traps.
+    ///
     /// # Errors
     ///
     /// Propagates the first [`SimError`] trap.
@@ -186,6 +219,17 @@ impl Machine {
         &mut self,
         max_insns: u64,
         mut observer: F,
+    ) -> Result<RunOutcome, SimError> {
+        match self.tier {
+            InterpTier::Predecoded => self.run_predecoded(max_insns, &mut observer),
+            InterpTier::Legacy => self.run_legacy(max_insns, &mut observer),
+        }
+    }
+
+    fn run_legacy<F: FnMut(&Event)>(
+        &mut self,
+        max_insns: u64,
+        observer: &mut F,
     ) -> Result<RunOutcome, SimError> {
         let budget_end = self.icount.saturating_add(max_insns);
         while self.exited.is_none() {
@@ -328,13 +372,22 @@ impl Machine {
     }
 
     /// Snapshot of the eight potential argument slots at a call site.
-    fn peek_args(&self) -> [u32; 8] {
+    ///
+    /// The four stack slots are read only when `$sp` is 4-aligned and
+    /// the slot address lies in the stack region; otherwise they stay
+    /// 0 — hand-written asm may call with `$sp` pointing anywhere, and
+    /// a best-effort peek must not fabricate values from other regions
+    /// (or panic on a misaligned load).
+    pub(crate) fn peek_args(&self) -> [u32; 8] {
         let sp = self.reg(Reg::SP);
         let mut args = [0u32; 8];
         args[..4].copy_from_slice(&self.regs[4..8]);
         if sp.is_multiple_of(4) {
             for i in 0..4u32 {
-                args[4 + i as usize] = self.mem.load_u32(sp.wrapping_add(16 + 4 * i));
+                let addr = sp.wrapping_add(16 + 4 * i);
+                if addr >= abi::STACK_REGION_BASE {
+                    args[4 + i as usize] = self.mem.load_u32(addr);
+                }
             }
         }
         args
@@ -358,7 +411,48 @@ impl Machine {
         }
     }
 
-    fn do_syscall(&mut self, pc: u32) -> Result<CtrlEffect, SimError> {
+    /// First region boundary strictly above `addr` (or the end of the
+    /// address space). Since region membership only changes at these
+    /// boundaries, validating one address per boundary interval covers
+    /// an arbitrarily long buffer in at most a handful of checks.
+    fn region_end(&self, addr: u32) -> u64 {
+        let bounds =
+            [abi::TEXT_BASE, abi::DATA_BASE, self.data_end, self.brk, abi::STACK_REGION_BASE];
+        bounds.into_iter().map(u64::from).filter(|&b| b > u64::from(addr)).min().unwrap_or(1 << 32)
+    }
+
+    /// Validates a syscall buffer `[buf, buf + len)` with the same rules
+    /// ordinary loads/stores go through: every byte must be in a mapped
+    /// region, and writes (`is_load == false`, i.e. `read` filling the
+    /// buffer) must not target text. Byte accesses are always aligned,
+    /// so only the region rules apply. A range that wraps past the end
+    /// of the address space faults at the wrapped address.
+    fn check_buffer(&self, pc: u32, buf: u32, len: u32, is_load: bool) -> Result<(), SimError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = u64::from(buf) + u64::from(len);
+        let mut addr = u64::from(buf);
+        while addr < end.min(1 << 32) {
+            match self.region_of(addr as u32) {
+                Region::Other => return Err(SimError::BadAddress { pc, addr: addr as u32 }),
+                Region::Text if !is_load => {
+                    return Err(SimError::TextWrite { pc, addr: addr as u32 })
+                }
+                _ => {}
+            }
+            addr = self.region_end(addr as u32);
+        }
+        if end > 1 << 32 {
+            // The range wraps past the end of the address space; its
+            // first wrapped byte lands at address 0, which is always
+            // Region::Other.
+            return Err(SimError::BadAddress { pc, addr: 0 });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn do_syscall(&mut self, pc: u32) -> Result<CtrlEffect, SimError> {
         let num = self.reg(Reg::V0);
         let a = [self.reg(Reg::A0), self.reg(Reg::A1), self.reg(Reg::A2)];
         let call = Syscall::from_number(num).ok_or(SimError::BadSyscall { pc, number: num })?;
@@ -371,16 +465,23 @@ impl Machine {
                 let (buf, len) = (a[1], a[2] as usize);
                 let avail = self.input.len() - self.input_pos;
                 let n = len.min(avail);
-                // Borrow juggling: copy out of the input first.
-                let bytes: Vec<u8> = self.input[self.input_pos..self.input_pos + n].to_vec();
+                // Validate the range actually written (not the full
+                // request — a short read past the end of a clamped
+                // buffer region is the program's business), before any
+                // input is consumed or memory touched.
+                self.check_buffer(pc, buf, n as u32, false)?;
+                self.mem.write_bytes(buf, &self.input[self.input_pos..self.input_pos + n]);
                 self.input_pos += n;
-                self.mem.write_bytes(buf, &bytes);
                 n as u32
             }
             Syscall::Write => {
                 let (buf, len) = (a[1], a[2]);
-                let bytes = self.mem.read_bytes(buf, len);
-                self.output.extend_from_slice(&bytes);
+                // Validate the full requested range up front — all
+                // `len` bytes are emitted — then stream page-wise into
+                // the output buffer; no `len`-sized intermediate Vec,
+                // so a bogus 4 GiB request traps before allocating.
+                self.check_buffer(pc, buf, len, true)?;
+                self.mem.read_into(buf, len, &mut self.output);
                 len
             }
             Syscall::Sbrk => {
@@ -608,6 +709,216 @@ mod tests {
         let (_, out) =
             run_asm(".text\n__start: li $zero, 5\nmove $a0, $zero\nli $v0, 0\nsyscall\n");
         assert_eq!(out, RunOutcome::Exited(0));
+    }
+
+    fn run_asm_tiered(src: &str, tier: InterpTier) -> Result<(Machine, RunOutcome), SimError> {
+        let image = assemble(src).unwrap();
+        let mut m = Machine::with_tier(&image, tier);
+        let outcome = m.run(1_000_000, |_| {});
+        outcome.map(|o| (m, o))
+    }
+
+    const BOTH_TIERS: [InterpTier; 2] = [InterpTier::Predecoded, InterpTier::Legacy];
+
+    #[test]
+    fn tier_selection_is_explicit_and_defaulted() {
+        let image = assemble(".text\n__start: li $v0, 0\nsyscall\n").unwrap();
+        assert_eq!(Machine::new(&image).tier(), InterpTier::default());
+        assert_eq!(Machine::with_tier(&image, InterpTier::Legacy).tier(), InterpTier::Legacy);
+        assert_eq!(
+            Machine::with_tier(&image, InterpTier::Predecoded).tier(),
+            InterpTier::Predecoded
+        );
+    }
+
+    #[test]
+    fn syscall_write_from_text_is_allowed_like_a_load() {
+        // Reading text through `write` mirrors an ordinary load's rules.
+        for tier in BOTH_TIERS {
+            let (m, out) = run_asm_tiered(
+                ".text\n__start: li $a0, 1\nli $a1, 0x400000\nli $a2, 4\nli $v0, 2\nsyscall\n\
+                 li $a0, 0\nli $v0, 0\nsyscall\n",
+                tier,
+            )
+            .unwrap();
+            assert_eq!(out, RunOutcome::Exited(0));
+            assert_eq!(m.output().len(), 4);
+        }
+    }
+
+    #[test]
+    fn syscall_read_into_text_traps() {
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".text\n__start: li $a0, 0\nli $a1, 0x400000\nli $a2, 4\nli $v0, 1\nsyscall\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            m.set_input(b"oops".to_vec());
+            let err = m.run(100, |_| {}).unwrap_err();
+            assert!(matches!(err, SimError::TextWrite { addr: 0x40_0000, .. }), "{err:?}");
+            // Nothing was consumed or written before the trap.
+            assert_eq!(m.footprint().input_remaining, 4);
+            assert_eq!(m.mem().load_u8(0x40_0000), 0);
+        }
+    }
+
+    #[test]
+    fn syscall_buffers_in_unmapped_regions_trap() {
+        for tier in BOTH_TIERS {
+            // Write from the gap between heap break and stack.
+            let err = run_asm_tiered(
+                ".text\n__start: li $a0, 1\nli $a1, 0x30000000\nli $a2, 4\nli $v0, 2\nsyscall\n",
+                tier,
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::BadAddress { addr: 0x3000_0000, .. }), "{err:?}");
+
+            // Read into low unmapped memory (below text).
+            let image = assemble(
+                ".text\n__start: li $a0, 0\nli $a1, 0x1000\nli $a2, 4\nli $v0, 1\nsyscall\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            m.set_input(b"oops".to_vec());
+            let err = m.run(100, |_| {}).unwrap_err();
+            assert!(matches!(err, SimError::BadAddress { addr: 0x1000, .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn syscall_buffer_straddling_region_boundary_traps() {
+        // A buffer that starts in valid data but runs past the heap
+        // break must trap at the first invalid byte, not the base.
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".data\nx: .word 1\n.text\n__start:\n\
+                 li $a0, 1\nla $a1, x\nli $a2, 0x100000\nli $v0, 2\nsyscall\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            let err = m.run(100, |_| {}).unwrap_err();
+            let brk = m.brk();
+            assert_eq!(err, SimError::BadAddress { pc: m.pc(), addr: brk });
+        }
+    }
+
+    #[test]
+    fn syscall_write_with_huge_len_traps_without_allocating() {
+        // a2 = 0xffff_ffff used to materialize a ~4 GiB Vec before any
+        // validation; it must now trap up front, touching no memory.
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".text\n__start: li $a0, 1\nli $a1, 0x10000000\nli $a2, -1\nli $v0, 2\nsyscall\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            let pages_before = m.mem().resident_pages();
+            let err = m.run(100, |_| {}).unwrap_err();
+            assert!(matches!(err, SimError::BadAddress { .. }));
+            assert_eq!(m.mem().resident_pages(), pages_before);
+            assert!(m.output().is_empty());
+        }
+    }
+
+    #[test]
+    fn syscall_buffer_wrapping_address_space_traps() {
+        // Starts in the stack region, runs past 2^32: first wrapped
+        // byte is address 0, which is unmapped.
+        for tier in BOTH_TIERS {
+            let err = run_asm_tiered(
+                ".text\n__start: li $a0, 1\nli $a1, -16\nli $a2, 32\nli $v0, 2\nsyscall\n",
+                tier,
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::BadAddress { addr: 0, .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn syscall_read_clamped_by_input_validates_written_range_only() {
+        // The data region is one page here; a 64 KiB request would run
+        // past the heap break, but only 3 input bytes remain, so only
+        // [buf, buf+3) is validated and written.
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".data\nbuf: .space 16\n.text\n__start:\n\
+                 li $a0, 0\nla $a1, buf\nli $a2, 0x10000\nli $v0, 1\nsyscall\n\
+                 move $a0, $v0\nli $v0, 0\nsyscall\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            m.set_input(b"hey".to_vec());
+            let out = m.run(100, |_| {}).unwrap();
+            assert_eq!(out, RunOutcome::Exited(3));
+            assert_eq!(m.mem().read_bytes(abi::DATA_BASE, 3), b"hey");
+        }
+    }
+
+    #[test]
+    fn syscall_zero_len_io_is_a_no_op_anywhere() {
+        // len == 0 touches no bytes, so even a wild base address is fine
+        // (matching POSIX read/write semantics for zero-length I/O).
+        for tier in BOTH_TIERS {
+            let (m, out) = run_asm_tiered(
+                ".text\n__start: li $a0, 1\nli $a1, 0x30000000\nli $a2, 0\nli $v0, 2\nsyscall\n\
+                 li $a0, 0\nli $v0, 0\nsyscall\n",
+                tier,
+            )
+            .unwrap();
+            assert_eq!(out, RunOutcome::Exited(0));
+            assert!(m.output().is_empty());
+        }
+    }
+
+    #[test]
+    fn peek_args_outside_stack_region_reads_no_memory() {
+        // $sp re-pointed at the data region: the four stack arg slots
+        // must stay 0 instead of leaking data-region words.
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".data\nvals: .word 11, 22, 33, 44, 55, 66\n.text\n__start:\n\
+                 la $sp, vals\nli $a0, 1\njal f\nli $v0, 0\nli $a0, 0\nsyscall\n\
+                 .func f, 1\nf:\njr $ra\n.endfunc\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            let mut seen = None;
+            m.run(100, |ev| {
+                if let Some(CtrlEffect::Call { args, sp, .. }) = ev.ctrl {
+                    seen = Some((args, sp));
+                }
+            })
+            .unwrap();
+            let (args, sp) = seen.unwrap();
+            assert_eq!(sp, abi::DATA_BASE);
+            assert_eq!(args[0], 1);
+            assert_eq!(&args[4..], &[0, 0, 0, 0], "stack slots must not be peeked");
+        }
+    }
+
+    #[test]
+    fn peek_args_in_stack_region_reads_slots() {
+        for tier in BOTH_TIERS {
+            let image = assemble(
+                ".text\n__start:\n\
+                 addi $sp, $sp, -32\nli $t0, 77\nsw $t0, 16($sp)\nli $a0, 5\njal f\n\
+                 li $v0, 0\nli $a0, 0\nsyscall\n\
+                 .func f, 1\nf:\njr $ra\n.endfunc\n",
+            )
+            .unwrap();
+            let mut m = Machine::with_tier(&image, tier);
+            let mut seen = None;
+            m.run(100, |ev| {
+                if let Some(CtrlEffect::Call { args, .. }) = ev.ctrl {
+                    seen = Some(args);
+                }
+            })
+            .unwrap();
+            let args = seen.unwrap();
+            assert_eq!(args[0], 5);
+            assert_eq!(args[4], 77);
+        }
     }
 
     #[test]

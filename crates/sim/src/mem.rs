@@ -53,10 +53,19 @@ impl Memory {
         }
     }
 
-    /// Loads a little-endian halfword. `addr` must be 2-aligned.
+    /// Loads a little-endian halfword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 2-aligned. Alignment is a hard contract:
+    /// a misaligned halfword at a page end would otherwise index past
+    /// the 4 KiB page array. Callers (the interpreter tiers) trap
+    /// misaligned accesses as [`SimError::Unaligned`] before calling.
+    ///
+    /// [`SimError::Unaligned`]: crate::SimError::Unaligned
     #[inline]
     pub fn load_u16(&self, addr: u32) -> u16 {
-        debug_assert_eq!(addr & 1, 0);
+        assert!(addr.is_multiple_of(2), "misaligned halfword load at {addr:#010x}");
         match self.page(addr) {
             Some(p) => {
                 let i = (addr as usize) & (PAGE_SIZE - 1);
@@ -66,10 +75,14 @@ impl Memory {
         }
     }
 
-    /// Loads a little-endian word. `addr` must be 4-aligned.
+    /// Loads a little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-aligned (see [`Memory::load_u16`]).
     #[inline]
     pub fn load_u32(&self, addr: u32) -> u32 {
-        debug_assert_eq!(addr & 3, 0);
+        assert!(addr.is_multiple_of(4), "misaligned word load at {addr:#010x}");
         match self.page(addr) {
             Some(p) => {
                 let i = (addr as usize) & (PAGE_SIZE - 1);
@@ -86,18 +99,26 @@ impl Memory {
         self.page_mut(addr)[i] = v;
     }
 
-    /// Stores a little-endian halfword. `addr` must be 2-aligned.
+    /// Stores a little-endian halfword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 2-aligned (see [`Memory::load_u16`]).
     #[inline]
     pub fn store_u16(&mut self, addr: u32, v: u16) {
-        debug_assert_eq!(addr & 1, 0);
+        assert!(addr.is_multiple_of(2), "misaligned halfword store at {addr:#010x}");
         let i = (addr as usize) & (PAGE_SIZE - 1);
         self.page_mut(addr)[i..i + 2].copy_from_slice(&v.to_le_bytes());
     }
 
-    /// Stores a little-endian word. `addr` must be 4-aligned.
+    /// Stores a little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-aligned (see [`Memory::load_u16`]).
     #[inline]
     pub fn store_u32(&mut self, addr: u32, v: u32) {
-        debug_assert_eq!(addr & 3, 0);
+        assert!(addr.is_multiple_of(4), "misaligned word store at {addr:#010x}");
         let i = (addr as usize) & (PAGE_SIZE - 1);
         self.page_mut(addr)[i..i + 4].copy_from_slice(&v.to_le_bytes());
     }
@@ -112,6 +133,24 @@ impl Memory {
     /// Reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
         (0..len).map(|i| self.load_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Appends `len` bytes starting at `addr` to `out`, page-chunk-wise
+    /// (absent pages contribute zeros). Unlike [`Memory::read_bytes`]
+    /// this never materializes a `len`-sized intermediate buffer, so
+    /// callers can bound allocation by what they actually keep.
+    pub fn read_into(&self, addr: u32, len: u32, out: &mut Vec<u8>) {
+        let mut addr = u64::from(addr);
+        let end = addr + u64::from(len);
+        while addr < end {
+            let in_page = (addr as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - in_page).min((end - addr) as usize);
+            match self.page(addr as u32) {
+                Some(p) => out.extend_from_slice(&p[in_page..in_page + chunk]),
+                None => out.resize(out.len() + chunk, 0),
+            }
+            addr += chunk as u64;
+        }
     }
 
     /// Number of resident (touched) pages.
@@ -165,5 +204,63 @@ mod tests {
         let mut m = Memory::new();
         m.store_u32(0xffff_fffc, 7);
         assert_eq!(m.load_u32(0xffff_fffc), 7);
+    }
+
+    #[test]
+    fn aligned_accesses_at_page_boundaries() {
+        // The last aligned halfword/word of a page must stay in-page.
+        let mut m = Memory::new();
+        m.store_u16(0x2000_0ffe, 0xabcd);
+        m.store_u32(0x3000_0ffc, 0xdead_beef);
+        assert_eq!(m.load_u16(0x2000_0ffe), 0xabcd);
+        assert_eq!(m.load_u32(0x3000_0ffc), 0xdead_beef);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned halfword load")]
+    fn misaligned_u16_load_panics_at_page_end() {
+        // A misaligned halfword at the last byte of a page would index
+        // one past the page array; the hard contract catches it even in
+        // release builds.
+        let m = Memory::new();
+        let _ = m.load_u16(0x2000_0fff);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned word load")]
+    fn misaligned_u32_load_panics_at_page_end() {
+        let m = Memory::new();
+        let _ = m.load_u32(0x2000_0ffd);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned halfword store")]
+    fn misaligned_u16_store_panics() {
+        let mut m = Memory::new();
+        m.store_u16(0x2000_0fff, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned word store")]
+    fn misaligned_u32_store_panics() {
+        let mut m = Memory::new();
+        m.store_u32(0x2000_0ffe, 1);
+    }
+
+    #[test]
+    fn read_into_streams_across_pages_and_holes() {
+        let mut m = Memory::new();
+        let boundary = 0x2000_1000 - 2;
+        m.write_bytes(boundary, &[1, 2, 3, 4]);
+        let mut out = vec![9];
+        m.read_into(boundary, 4, &mut out);
+        assert_eq!(out, vec![9, 1, 2, 3, 4]);
+        // An absent page in the middle of the range reads as zeros.
+        let mut out = Vec::new();
+        m.read_into(0x2000_0ffc, 8, &mut out);
+        assert_eq!(out, vec![0, 0, 1, 2, 3, 4, 0, 0]);
+        // Matches read_bytes byte-for-byte.
+        assert_eq!(out, m.read_bytes(0x2000_0ffc, 8));
     }
 }

@@ -1,0 +1,191 @@
+//! Differential tests between the predecoded interpreter tier and the
+//! legacy `step()` oracle: for every program — clean exits, budget
+//! exhaustion, and one of each trap class — both tiers must emit
+//! byte-identical [`Event`] streams and finish in byte-identical
+//! machine states, including the exact trap.
+//!
+//! The workload-family differential (all eight benchmarks) lives in
+//! `crates/workloads/tests/differential.rs`; this file owns the trap
+//! corpus, which the workloads never reach.
+
+use instrep_asm::assemble;
+use instrep_sim::{Event, InterpTier, Machine, RunOutcome, SimError};
+
+/// Runs `src` under one tier, capturing the full event stream and the
+/// terminal state.
+struct Run {
+    events: Vec<Event>,
+    outcome: Result<RunOutcome, SimError>,
+    icount: u64,
+    pc: u32,
+    output: Vec<u8>,
+    exit_code: Option<u32>,
+}
+
+fn run_tier(src: &str, input: &[u8], budget: u64, tier: InterpTier) -> Run {
+    let image = assemble(src).expect("test program assembles");
+    let mut m = Machine::with_tier(&image, tier);
+    m.set_input(input.to_vec());
+    let mut events = Vec::new();
+    let outcome = m.run(budget, |ev| events.push(*ev));
+    Run {
+        events,
+        outcome,
+        icount: m.icount(),
+        pc: m.pc(),
+        output: m.output().to_vec(),
+        exit_code: m.exit_code(),
+    }
+}
+
+/// Asserts both tiers agree on everything observable, returning the
+/// predecoded run for program-specific assertions.
+fn assert_tiers_agree(src: &str, input: &[u8], budget: u64) -> Run {
+    let fast = run_tier(src, input, budget, InterpTier::Predecoded);
+    let legacy = run_tier(src, input, budget, InterpTier::Legacy);
+    assert_eq!(fast.events.len(), legacy.events.len(), "event counts diverge");
+    for (i, (f, l)) in fast.events.iter().zip(&legacy.events).enumerate() {
+        assert_eq!(f, l, "event {i} diverges");
+    }
+    assert_eq!(fast.outcome, legacy.outcome, "run outcomes diverge");
+    assert_eq!(fast.icount, legacy.icount, "icount diverges");
+    assert_eq!(fast.pc, legacy.pc, "final pc diverges");
+    assert_eq!(fast.output, legacy.output, "syscall output diverges");
+    assert_eq!(fast.exit_code, legacy.exit_code, "exit code diverges");
+    fast
+}
+
+#[test]
+fn clean_exit_streams_are_identical() {
+    let run = assert_tiers_agree(
+        ".text\n__start:\n\
+         li $t0, 0\n\
+         li $t1, 10\n\
+         loop: add $t0, $t0, $t1\n\
+         addiu $t1, $t1, -1\n\
+         bne $t1, $zero, loop\n\
+         move $a0, $t0\n\
+         li $v0, 0\nsyscall\n",
+        &[],
+        1_000_000,
+    );
+    assert_eq!(run.outcome, Ok(RunOutcome::Exited(55)));
+    assert!(run.events.len() > 30);
+}
+
+#[test]
+fn budget_exhaustion_cuts_both_streams_at_the_same_event() {
+    let run = assert_tiers_agree(".text\n__start: b __start\n", &[], 777);
+    assert_eq!(run.outcome, Ok(RunOutcome::MaxedOut));
+    assert_eq!(run.events.len(), 777);
+}
+
+#[test]
+fn bad_pc_traps_identically() {
+    // `jr` to an address far outside text.
+    let run = assert_tiers_agree(".text\n__start: li $t0, 0x10000000\njr $t0\n", &[], 1_000_000);
+    assert_eq!(run.outcome, Err(SimError::BadPc { pc: 0x1000_0000 }));
+    // li expands to lui+ori; both retire, then the jr retires before
+    // the fetch of the bad pc traps.
+    assert_eq!(run.events.len(), 3);
+}
+
+#[test]
+fn unaligned_access_traps_identically() {
+    let run =
+        assert_tiers_agree(".text\n__start: li $t0, 0x10000001\nlw $t1, 0($t0)\n", &[], 1_000_000);
+    assert!(
+        matches!(run.outcome, Err(SimError::Unaligned { addr: 0x1000_0001, width: 4, .. })),
+        "got {:?}",
+        run.outcome
+    );
+    assert_eq!(run.events.len(), 2, "only the two-insn li expansion retires");
+}
+
+#[test]
+fn bad_address_traps_identically() {
+    let run =
+        assert_tiers_agree(".text\n__start: li $t0, 0x00001000\nlw $t1, 0($t0)\n", &[], 1_000_000);
+    assert!(
+        matches!(run.outcome, Err(SimError::BadAddress { addr: 0x1000, .. })),
+        "got {:?}",
+        run.outcome
+    );
+}
+
+#[test]
+fn text_write_traps_identically() {
+    let run =
+        assert_tiers_agree(".text\n__start: li $t0, 0x400000\nsw $t0, 0($t0)\n", &[], 1_000_000);
+    assert!(
+        matches!(run.outcome, Err(SimError::TextWrite { addr: 0x40_0000, .. })),
+        "got {:?}",
+        run.outcome
+    );
+}
+
+#[test]
+fn divide_by_zero_traps_identically() {
+    let run = assert_tiers_agree(
+        ".text\n__start: li $t0, 9\nli $t1, 0\ndivu $t2, $t0, $t1\n",
+        &[],
+        1_000_000,
+    );
+    assert!(matches!(run.outcome, Err(SimError::DivideByZero { .. })), "got {:?}", run.outcome);
+    assert_eq!(run.events.len(), 2, "both li events retire before the div traps");
+}
+
+#[test]
+fn bad_syscall_traps_identically() {
+    let run = assert_tiers_agree(".text\n__start: li $v0, 99\nsyscall\n", &[], 1_000_000);
+    assert!(
+        matches!(run.outcome, Err(SimError::BadSyscall { number: 99, .. })),
+        "got {:?}",
+        run.outcome
+    );
+}
+
+#[test]
+fn break_traps_identically() {
+    let run = assert_tiers_agree(".text\n__start: break\n", &[], 1_000_000);
+    assert!(matches!(run.outcome, Err(SimError::Break { .. })), "got {:?}", run.outcome);
+    assert_eq!(run.events.len(), 0, "a trap retires no event");
+}
+
+#[test]
+fn syscall_read_into_text_traps_identically() {
+    // The Read syscall validates its destination buffer like stores.
+    let run = assert_tiers_agree(
+        ".text\n__start: li $a0, 0\nli $a1, 0x400000\nli $a2, 4\nli $v0, 1\nsyscall\n",
+        b"abcd",
+        1_000_000,
+    );
+    assert!(
+        matches!(run.outcome, Err(SimError::TextWrite { addr: 0x40_0000, .. })),
+        "got {:?}",
+        run.outcome
+    );
+}
+
+#[test]
+fn resume_after_budget_stays_identical() {
+    // Stop mid-loop, then resume: the predecoded loop must restart from
+    // the saved pc exactly where the legacy one does.
+    let src = ".text\n__start:\n\
+               li $t0, 0\n\
+               loop: addiu $t0, $t0, 1\n\
+               li $t1, 500\n\
+               bne $t0, $t1, loop\n\
+               li $a0, 0\nli $v0, 0\nsyscall\n";
+    let image = assemble(src).unwrap();
+    let mut streams = Vec::new();
+    for tier in [InterpTier::Predecoded, InterpTier::Legacy] {
+        let mut m = Machine::with_tier(&image, tier);
+        let mut events = Vec::new();
+        assert_eq!(m.run(100, |ev| events.push(*ev)).unwrap(), RunOutcome::MaxedOut);
+        let outcome = m.run(u64::MAX, |ev| events.push(*ev)).unwrap();
+        assert_eq!(outcome, RunOutcome::Exited(0));
+        streams.push(events);
+    }
+    assert_eq!(streams[0], streams[1]);
+}

@@ -1,0 +1,95 @@
+//! Workload-family differential: every one of the eight benchmark
+//! families must produce a byte-identical [`Event`] stream under the
+//! predecoded interpreter tier and the legacy `step()` oracle, over a
+//! budgeted window covering startup and steady state.
+//!
+//! The trap corpus (programs the workloads never reach) lives in
+//! `crates/sim/tests/differential.rs`. A proptest-gated case extends
+//! the sweep to randomly parameterized MiniC programs; run it with
+//! `cargo test -p instrep-workloads --features proptest`.
+
+use instrep_sim::{Event, InterpTier, Machine};
+use instrep_workloads::{all, Scale};
+
+/// Events per family: enough to leave initialization and enter the
+/// steady state every analysis measures, small enough to keep tier-1
+/// runtime reasonable.
+const BUDGET: u64 = 120_000;
+
+fn stream(image: &instrep_asm::Image, input: Vec<u8>, tier: InterpTier) -> (Vec<Event>, String) {
+    let mut m = Machine::with_tier(image, tier);
+    m.set_input(input);
+    let mut events = Vec::with_capacity(BUDGET as usize);
+    let outcome = m.run(BUDGET, |ev| events.push(*ev));
+    (events, format!("{outcome:?} icount={} pc={:#x}", m.icount(), m.pc()))
+}
+
+#[test]
+fn every_workload_family_streams_identically_across_tiers() {
+    for wl in all() {
+        let image = wl.build().expect("workload compiles");
+        let input = wl.input(Scale::Tiny, 1998);
+        let (fast, fast_end) = stream(&image, input.clone(), InterpTier::Predecoded);
+        let (legacy, legacy_end) = stream(&image, input, InterpTier::Legacy);
+        assert_eq!(fast.len(), legacy.len(), "{}: event counts diverge", wl.name);
+        for (i, (f, l)) in fast.iter().zip(&legacy).enumerate() {
+            assert_eq!(f, l, "{}: event {i} diverges", wl.name);
+        }
+        assert_eq!(fast_end, legacy_end, "{}: terminal states diverge", wl.name);
+        assert!(fast.len() as u64 >= BUDGET / 2, "{}: budget barely used", wl.name);
+    }
+}
+
+/// Seeds must not matter either: a second input set exercises different
+/// control-flow paths through the same text.
+#[test]
+fn alternate_seed_streams_identically_across_tiers() {
+    let wl = all().into_iter().find(|w| w.name == "gcc").expect("gcc family exists");
+    let image = wl.build().expect("workload compiles");
+    let input = wl.input(Scale::Tiny, 777);
+    let (fast, fast_end) = stream(&image, input.clone(), InterpTier::Predecoded);
+    let (legacy, legacy_end) = stream(&image, input, InterpTier::Legacy);
+    assert_eq!(fast, legacy);
+    assert_eq!(fast_end, legacy_end);
+}
+
+#[cfg(feature = "proptest")]
+mod random_programs {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Randomly parameterized MiniC programs — table contents, trip
+        /// counts, strides, and recursion depth all vary — must stream
+        /// identically under both tiers, whatever they do.
+        #[test]
+        fn random_minic_programs_stream_identically(
+            tab in proptest::collection::vec(0u32..1000, 8),
+            iters in 10u32..400,
+            step in 1u32..9,
+            depth in 1u32..8,
+        ) {
+            let src = format!(
+                "int tab[8] = {{{}}};\n\
+                 int lookup(int i) {{ return tab[i & 7]; }}\n\
+                 int rec(int n) {{ if (n <= 0) return 1; return rec(n - 1) + lookup(n); }}\n\
+                 int main() {{\n\
+                     int s = rec({depth});\n\
+                     int i;\n\
+                     for (i = 0; i < {iters}; i = i + {step}) s = s + lookup(i);\n\
+                     return s & 0xff;\n\
+                 }}",
+                tab.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            );
+            let image = instrep_minicc::build(&src).expect("random program compiles");
+            let (fast, fast_end) = stream(&image, Vec::new(), InterpTier::Predecoded);
+            let (legacy, legacy_end) = stream(&image, Vec::new(), InterpTier::Legacy);
+            prop_assert_eq!(fast.len(), legacy.len(), "event counts diverge");
+            for (i, (f, l)) in fast.iter().zip(&legacy).enumerate() {
+                prop_assert_eq!(f, l, "event {} diverges", i);
+            }
+            prop_assert_eq!(fast_end, legacy_end);
+        }
+    }
+}

@@ -172,6 +172,20 @@ grep -q 'cache verify failed for compress' "$SMOKE_DIR/verify.err" || {
     exit 1
 }
 
+echo "==> interpreter-tier differential smoke (fast vs legacy, both feature configs)"
+# The trap-corpus differential under the default feature set...
+cargo test -q -p instrep-sim --offline --test differential
+# ...and again with `legacy-interp` flipping the default tier, so both
+# feature configurations keep both loops honest.
+cargo test -q -p instrep-sim --offline --features legacy-interp --test differential
+# End to end: --interp legacy must print byte-identical tables.
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --interp legacy >"$SMOKE_DIR/legacy-interp.txt"
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/legacy-interp.txt" || {
+    echo "--interp legacy changed table stdout (tiers diverge)" >&2
+    exit 1
+}
+
 echo "==> legacy entry-point sweep (no in-tree callers of the analyze* shims)"
 LEGACY=$(grep -rn --include='*.rs' -e 'analyze_with_probes' -e 'analyze_with_metrics' \
     -e 'analyze_many' crates src tests examples benches 2>/dev/null |
