@@ -586,8 +586,16 @@ mod tests {
         )
         .unwrap();
         let cfg = AnalysisConfig::default();
-        let report =
-            run_probed(&image, Vec::new(), &cfg, InterpTier::default(), Probes::none()).unwrap();
+        let report = run_probed(
+            &image,
+            Vec::new(),
+            &cfg,
+            InterpTier::default(),
+            crate::AnalysisTier::default(),
+            crate::SplitObservers::all(),
+            Probes::none(),
+        )
+        .unwrap();
         (image, cfg, report)
     }
 

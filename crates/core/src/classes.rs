@@ -123,10 +123,17 @@ impl ClassAnalysis {
         if !counting {
             return;
         }
-        let class = InsnClass::of(&ev.insn) as usize;
-        self.counts.overall[class] += 1;
+        self.count(InsnClass::of(&ev.insn) as u8, repeated);
+    }
+
+    /// Bumps the counters for an already-classified instruction — the
+    /// fused tier caches the class in its per-static hot row instead of
+    /// re-matching the instruction enum per event.
+    #[inline]
+    pub(crate) fn count(&mut self, class: u8, repeated: bool) {
+        self.counts.overall[class as usize] += 1;
         if repeated {
-            self.counts.repeated[class] += 1;
+            self.counts.repeated[class as usize] += 1;
         }
     }
 

@@ -183,15 +183,16 @@ impl FunctionAnalysis {
         let f = &mut self.funcs[fi];
         f.calls += 1;
         let arity = f.arity as usize;
-        let tuple: ArgTuple = args[..arity].to_vec();
+        let tuple = &args[..arity];
 
-        // All-argument repetition.
+        // All-argument repetition. The map is queried through a borrowed
+        // slice so the repeated-call path allocates nothing.
         let mut all_repeated = false;
-        if let Some(c) = f.tuples.get_mut(&tuple) {
+        if let Some(c) = f.tuples.get_mut(tuple) {
             *c += 1;
             all_repeated = true;
         } else if f.tuples.len() < MAX_TUPLES {
-            f.tuples.insert(tuple.clone(), 1);
+            f.tuples.insert(tuple.to_vec(), 1);
         }
         if all_repeated {
             f.all_args_repeated += 1;

@@ -1,0 +1,783 @@
+//! The fused analysis tier: one cache-line "hot row" per static
+//! instruction plus a single open-addressed global instance table,
+//! replacing the per-event walk over seven free-standing observers.
+//!
+//! PR 6 cut the bare interpreter to ~6 ns/event, which left the
+//! observers dominating at ~55–60 ns/event combined. Three sources of
+//! that cost are structural, not essential:
+//!
+//! * `ev.outcome()` was recomputed by the tracker, the reuse buffer,
+//!   and the local analysis — three times per event.
+//! * The tracker, the global analysis, the local analysis, the class
+//!   observer, and the predictors each walked their *own* per-static
+//!   metadata row: five dependent cache lines for facts about one
+//!   instruction.
+//! * The tracker's per-static instance probe paid three dependent
+//!   loads (entry → slots `Vec` → slot) before it could even compare a
+//!   key.
+//!
+//! [`FusedAnalysis`] fuses all of that: one 64-byte [`HotRow`] holds
+//! the global metadata, the local metadata, the opcode class, the
+//! tracker's exec/repeated counters, and the predictor slot, so the
+//! per-event metadata cost is a single line; the per-static instance
+//! tables collapse into one flat open-addressed table keyed by
+//! `(index, in1, in2, outcome)` (one probe, no pointer chase); and the
+//! outcome is computed exactly once and threaded to every consumer.
+//!
+//! The seven free-standing observers are retained, bit-for-bit, as the
+//! *differential oracle* behind [`AnalysisTier::Split`] — the same
+//! pattern as the interpreter's `InterpTier`: both tiers produce
+//! byte-identical reports, interval series, profiles, and gauges, and
+//! a differential harness (`crates/workloads/tests/
+//! differential_analysis.rs`) proves it on every workload family.
+//! Because results are tier-invariant by construction, nothing
+//! downstream (analysis caches included) may key on the tier.
+
+use instrep_asm::Image;
+use instrep_isa::abi::Region;
+use instrep_isa::{decode, Insn, Reg};
+use instrep_sim::Event;
+
+use crate::classes::{ClassAnalysis, InsnClass};
+use crate::function::FunctionAnalysis;
+use crate::global::{GMeta, GlobalAnalysis};
+use crate::local::{LMeta, LocalAnalysis};
+use crate::predict::{step_slot, PredSlot, PredictStats, StrideStats};
+use crate::reuse::{ReuseBuffer, ReuseConfig};
+use crate::tracker::{StaticStats, TrackerConfig};
+
+/// Which implementation of the analysis observers a
+/// [`Session`](crate::Session) runs.
+///
+/// Both tiers produce byte-identical reports, interval series,
+/// profiles, and metrics gauges — results are tier-invariant by
+/// construction, so nothing downstream (analysis caches included) may
+/// key on the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisTier {
+    /// The fused hot-row path (default): one merged per-static row and
+    /// a single global instance probe per event.
+    Fused,
+    /// The seven free-standing observers — the differential oracle,
+    /// and the only tier on which individual observers can be disabled
+    /// for marginal-cost measurement.
+    Split,
+}
+
+impl Default for AnalysisTier {
+    /// [`AnalysisTier::Fused`] unless the `split-analysis` cargo
+    /// feature flips the default — the feature exists so the whole test
+    /// suite can be re-run with the oracle observers driving every
+    /// report.
+    fn default() -> AnalysisTier {
+        if cfg!(feature = "split-analysis") {
+            AnalysisTier::Split
+        } else {
+            AnalysisTier::Fused
+        }
+    }
+}
+
+/// Which of the seven split-tier observers run — the mechanism behind
+/// `instrep-repro --disable-observer`, used by `scripts/bench.sh` to
+/// measure each observer's marginal per-event cost. Only meaningful on
+/// [`AnalysisTier::Split`]; the fused tier has no separable observers.
+///
+/// A partial mask yields a report with the disabled observers' fields
+/// zeroed, so sessions running one never touch the analysis cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitObservers {
+    pub(crate) tracker: bool,
+    pub(crate) reuse: bool,
+    pub(crate) global: bool,
+    pub(crate) local: bool,
+    pub(crate) function: bool,
+    pub(crate) predict: bool,
+    pub(crate) classes: bool,
+}
+
+/// Observer names accepted by [`SplitObservers::disable`], in display
+/// order.
+pub const OBSERVER_NAMES: [&str; 7] =
+    ["tracker", "reuse", "global", "local", "function", "predict", "classes"];
+
+impl SplitObservers {
+    /// Every observer enabled — the oracle configuration.
+    pub fn all() -> SplitObservers {
+        SplitObservers {
+            tracker: true,
+            reuse: true,
+            global: true,
+            local: true,
+            function: true,
+            predict: true,
+            classes: true,
+        }
+    }
+
+    /// Disables one observer by name (see [`OBSERVER_NAMES`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name in the error message.
+    pub fn disable(&mut self, name: &str) -> Result<(), String> {
+        match name {
+            "tracker" => self.tracker = false,
+            "reuse" => self.reuse = false,
+            "global" => self.global = false,
+            "local" => self.local = false,
+            "function" => self.function = false,
+            "predict" => self.predict = false,
+            "classes" => self.classes = false,
+            other => {
+                return Err(format!(
+                    "unknown observer `{other}` (expected one of: {})",
+                    OBSERVER_NAMES.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every observer is enabled (the only mask whose reports
+    /// are cacheable and tier-comparable).
+    pub fn is_all(&self) -> bool {
+        *self == SplitObservers::all()
+    }
+}
+
+impl Default for SplitObservers {
+    fn default() -> SplitObservers {
+        SplitObservers::all()
+    }
+}
+
+/// Everything the per-event path needs to know about one static
+/// instruction, packed into one cache line: metadata for the global and
+/// local analyses, the opcode class, the tracker's per-static counters,
+/// and the value-predictor slot. 56 bytes of payload, padded to 64 by
+/// the alignment so rows never split across lines.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy)]
+struct HotRow {
+    /// Tracker: dynamic executions.
+    exec: u64,
+    /// Tracker: dynamic executions classified repeated.
+    repeated: u64,
+    /// Last-value + two-delta stride predictor slot (24 bytes).
+    pred: PredSlot,
+    /// Global-analysis tagging rules.
+    gmeta: GMeta,
+    /// Local-analysis classification rules.
+    lmeta: LMeta,
+    /// Opcode class (`InsnClass as u8`; undecodable slots fall back to
+    /// `System`, matching the profile renderer).
+    class: u8,
+    /// Whether the function analysis can possibly act on this static:
+    /// only memory accesses, calls (`jal`/`jalr`), returns (`jr $ra`),
+    /// and syscalls touch its purity flags or call stack — for every
+    /// other opcode `FunctionAnalysis::observe` is a no-op and the call
+    /// is skipped outright. Undecodable slots stay conservative (set).
+    fn_relevant: bool,
+    /// Tracker: instances buffered for this static (capped by
+    /// `TrackerConfig::max_instances`).
+    buffered: u32,
+}
+
+impl HotRow {
+    /// Builds the row for one text word; undecodable words get invalid
+    /// metadata (the analyses then recompute from the event, exactly as
+    /// the split observers do).
+    fn of(word: u32) -> HotRow {
+        let (gmeta, lmeta, class, fn_relevant) = match decode(word) {
+            Ok(insn) => {
+                let relevant = matches!(
+                    insn,
+                    Insn::Mem { .. }
+                        | Insn::Syscall
+                        | Insn::Jump { link: true, .. }
+                        | Insn::Jalr { .. }
+                ) || matches!(insn, Insn::Jr { rs } if rs == Reg::RA);
+                (GMeta::of(&insn), LMeta::of(&insn), InsnClass::of(&insn) as u8, relevant)
+            }
+            Err(_) => (GMeta::INVALID, LMeta::INVALID, InsnClass::System as u8, true),
+        };
+        HotRow {
+            exec: 0,
+            repeated: 0,
+            pred: PredSlot::default(),
+            gmeta,
+            lmeta,
+            class,
+            fn_relevant,
+            buffered: 0,
+        }
+    }
+}
+
+/// One instance in the global open-addressed table: the owning static
+/// index, the operand/outcome key, and the occurrence count.
+/// `count_plus == 0` marks an empty slot (the count is stored plus one,
+/// exactly as in the split tracker's per-static slots). 24 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Instance {
+    index: u32,
+    in1: u32,
+    in2: u32,
+    outcome: u32,
+    count_plus: u64,
+}
+
+/// Per-static last-instance cache entry. Loops execute the same static
+/// with the same operands and outcome for long runs, so most events
+/// would probe the (multi-megabyte) instance table only to re-find the
+/// instance they found last time. Caching that instance's key next to
+/// the hot row turns every same-key repeat into an L1 hit: the table is
+/// touched only when a static *switches* instance.
+///
+/// `delta` counts occurrences not yet added to the table entry's
+/// `count_plus` (`0` means the slot is empty); a cache entry is only
+/// ever installed for an instance already resident in the table, so the
+/// pending delta can always be flushed by a plain probe. Flushing is
+/// additive and order-independent, which is what keeps the fused
+/// aggregates byte-identical to the split tracker's. 16 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstCache {
+    in1: u32,
+    in2: u32,
+    outcome: u32,
+    delta: u32,
+}
+
+/// Initial table capacity (slots); must be a power of two.
+const INITIAL_CAPACITY: usize = 1024;
+
+/// Mixes a four-word instance key into a table index seed — the split
+/// tracker's fxhash-style multiply chain with the static index
+/// prepended (the per-static tables keyed on three words; the global
+/// table must also separate statics).
+#[inline]
+fn hash4(index: u32, in1: u32, in2: u32, outcome: u32) -> usize {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let h = (u64::from(index).wrapping_mul(K))
+        .wrapping_add(u64::from(in1))
+        .wrapping_mul(K)
+        .wrapping_add(u64::from(in2))
+        .wrapping_mul(K)
+        .wrapping_add(u64::from(outcome))
+        .wrapping_mul(K);
+    (h >> 32) as usize
+}
+
+/// Linear-probes `table` for the key. `Ok(pos)` is a match; `Err(pos)`
+/// is the first empty slot (where an insert belongs). The table is
+/// tombstone-free — instances are never deleted — so an empty slot
+/// always terminates the probe.
+#[inline]
+fn find_slot(table: &[Instance], mask: usize, key: &Instance) -> Result<usize, usize> {
+    let mut i = hash4(key.index, key.in1, key.in2, key.outcome) & mask;
+    loop {
+        let s = &table[i];
+        if s.count_plus == 0 {
+            return Err(i);
+        }
+        if s.index == key.index && s.in1 == key.in1 && s.in2 == key.in2 && s.outcome == key.outcome
+        {
+            return Ok(i);
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// Adds a cache entry's pending occurrence count to its table slot and
+/// empties the entry. The instance is resident by the [`InstCache`]
+/// invariant, so the probe always finds it.
+fn flush_delta(table: &mut [Instance], mask: usize, index: u32, c: &InstCache) {
+    let key = Instance { index, in1: c.in1, in2: c.in2, outcome: c.outcome, count_plus: 0 };
+    let pos = find_slot(table, mask, &key).expect("cached instance is resident in the table");
+    table[pos].count_plus += u64::from(c.delta);
+}
+
+/// Doubles `table`, reinserting every occupied slot. Counts are carried
+/// verbatim; only positions change.
+fn grow(table: &mut Vec<Instance>) {
+    let doubled = vec![Instance::default(); table.len() * 2];
+    let old = std::mem::replace(table, doubled);
+    let mask = table.len() - 1;
+    for s in old.into_iter().filter(|s| s.count_plus > 0) {
+        let pos = find_slot(table, mask, &s).expect_err("key is unique in the old table");
+        table[pos] = s;
+    }
+}
+
+/// The fused per-event engine: hot rows, the global instance table, and
+/// the observers whose state cannot be fused (dataflow tags, shadow
+/// memory, call stacks, the reuse buffer's set-associative array).
+///
+/// The retained sub-observers (`global`, `local`, `function`, `reuse`,
+/// `classes`) are the *same types* the split tier runs — fed through
+/// their `observe_meta`/`observe_with_outcome` entry points so the row
+/// metadata and the once-computed outcome are reused instead of
+/// recomputed. Equality of their results with the split tier is
+/// therefore structural; the differential harness checks it anyway.
+#[derive(Debug)]
+pub(crate) struct FusedAnalysis {
+    rows: Vec<HotRow>,
+    /// Last-instance cache, parallel to `rows` (kept out of [`HotRow`]
+    /// so the row stays one cache line; this array is small enough to
+    /// live in L1 alongside it).
+    caches: Vec<InstCache>,
+    table: Vec<Instance>,
+    /// `table.len() - 1` (capacity is always a power of two).
+    mask: usize,
+    /// Occupied slots across the whole table (grow trigger + gauge).
+    buffered: u64,
+    /// Per-static instance cap, from [`TrackerConfig`].
+    max_instances: usize,
+    dyn_total: u64,
+    dyn_repeated: u64,
+    /// Statics with a filled predictor slot (gauge).
+    pred_entries: u64,
+    lvp_stats: PredictStats,
+    stride_stats: StrideStats,
+    pub(crate) global: GlobalAnalysis,
+    pub(crate) local: LocalAnalysis,
+    pub(crate) function: FunctionAnalysis,
+    pub(crate) reuse: ReuseBuffer,
+    pub(crate) classes: ClassAnalysis,
+}
+
+/// The tracker-equivalent numbers the pipeline's finalize consumes,
+/// computed in one pass over the rows and the instance table.
+#[derive(Debug)]
+pub(crate) struct TrackerSummary {
+    pub static_stats: Vec<StaticStats>,
+    /// Repeat counts of every unique repeatable instance (unsorted).
+    pub instance_counts: Vec<u64>,
+    /// Figure 3 histogram (same buckets as the split tracker).
+    pub histogram: [f64; 5],
+    pub unique_repeatable: u64,
+    pub avg_repeats: f64,
+    pub static_executed: usize,
+    pub static_repeated: usize,
+}
+
+impl FusedAnalysis {
+    pub(crate) fn new(image: &Image, tracker: TrackerConfig, reuse: ReuseConfig) -> FusedAnalysis {
+        FusedAnalysis {
+            rows: image.text.iter().map(|&w| HotRow::of(w)).collect(),
+            caches: vec![InstCache::default(); image.text.len()],
+            table: vec![Instance::default(); INITIAL_CAPACITY],
+            mask: INITIAL_CAPACITY - 1,
+            buffered: 0,
+            max_instances: tracker.max_instances,
+            dyn_total: 0,
+            dyn_repeated: 0,
+            pred_entries: 0,
+            lvp_stats: PredictStats::default(),
+            stride_stats: StrideStats::default(),
+            global: GlobalAnalysis::new(image),
+            local: LocalAnalysis::new(image),
+            function: FunctionAnalysis::new(image),
+            reuse: ReuseBuffer::new(reuse),
+            classes: ClassAnalysis::new(),
+        }
+    }
+
+    /// Skip-phase event: propagate analysis state, count nothing. The
+    /// tracker, reuse buffer, classes, and predictors are idle during
+    /// the skip, exactly as on the split tier.
+    pub(crate) fn skip_event(&mut self, ev: &Event, region: Option<Region>) {
+        let outcome = ev.outcome();
+        let (gm, lm, fn_relevant) = match self.rows.get(ev.index as usize) {
+            Some(row) => (row.gmeta, row.lmeta, row.fn_relevant),
+            None => (GMeta::INVALID, LMeta::INVALID, true),
+        };
+        self.global.observe_meta(gm, ev, false, false);
+        if fn_relevant {
+            self.function.observe(ev, false, region);
+        }
+        self.local.observe_meta(&lm, ev, false, false, region, outcome);
+    }
+
+    /// Measurement-phase event: the fused hot path. Returns the
+    /// repetition verdict (the split tracker's return value), for the
+    /// differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ev.index` is out of range for the program this
+    /// analysis was sized for (as the split tracker does).
+    pub(crate) fn measure_event(&mut self, ev: &Event, region: Option<Region>) -> bool {
+        let outcome = ev.outcome();
+        self.dyn_total += 1;
+        let idx = ev.index as usize;
+
+        // One row touch covers the tracker counters, both metadata
+        // bundles, the class, and the predictor slot.
+        let row = &mut self.rows[idx];
+        row.exec += 1;
+        let gm = row.gmeta;
+        let lm = row.lmeta;
+        let class = row.class;
+        let fn_relevant = row.fn_relevant;
+        let row_buffered = row.buffered;
+
+        // Tracker half. The last-instance cache short-circuits the
+        // table probe for consecutive same-key executions — the common
+        // case inside loops; the table is touched only on a switch.
+        let repeated;
+        let c = &mut self.caches[idx];
+        if c.delta != 0 && c.in1 == ev.in1 && c.in2 == ev.in2 && c.outcome == outcome {
+            c.delta += 1;
+            if c.delta == u32::MAX {
+                // Unreachable in practice (2^32 consecutive occurrences)
+                // but flushing keeps the pending count exact forever.
+                flush_delta(&mut self.table, self.mask, ev.index, c);
+                c.delta = 0;
+            }
+            repeated = true;
+        } else {
+            let key =
+                Instance { index: ev.index, in1: ev.in1, in2: ev.in2, outcome, count_plus: 0 };
+            match find_slot(&self.table, self.mask, &key) {
+                Ok(_) => {
+                    // A known instance this static switched back to:
+                    // cache it (this occurrence becomes its pending
+                    // delta), flushing whatever was cached before.
+                    let prev = std::mem::replace(
+                        c,
+                        InstCache { in1: ev.in1, in2: ev.in2, outcome, delta: 1 },
+                    );
+                    if prev.delta != 0 {
+                        flush_delta(&mut self.table, self.mask, ev.index, &prev);
+                    }
+                    repeated = true;
+                }
+                Err(mut pos) => {
+                    repeated = false;
+                    if (row_buffered as usize) < self.max_instances {
+                        // Grow at 7/8 load (the split tracker's
+                        // threshold). Pending cache deltas only touch
+                        // counts, so growth never interleaves with them.
+                        if (self.buffered + 1) * 8 > (self.table.len() as u64) * 7 {
+                            grow(&mut self.table);
+                            self.mask = self.table.len() - 1;
+                            pos = find_slot(&self.table, self.mask, &key)
+                                .expect_err("key was absent before the grow");
+                        }
+                        self.table[pos] = Instance { count_plus: 1, ..key };
+                        self.rows[idx].buffered = row_buffered + 1;
+                        self.buffered += 1;
+                    }
+                }
+            }
+        }
+        if repeated {
+            self.rows[idx].repeated += 1;
+            self.dyn_repeated += 1;
+        }
+
+        // Predictor half: the row's slot, stepped in place.
+        if let Some(out) = ev.out {
+            let step = step_slot(
+                &mut self.rows[idx].pred,
+                out,
+                repeated,
+                &mut self.lvp_stats,
+                &mut self.stride_stats,
+            );
+            if step.new_entry {
+                self.pred_entries += 1;
+            }
+        }
+
+        self.classes.count(class, repeated);
+        self.global.observe_meta(gm, ev, repeated, true);
+        if fn_relevant {
+            self.function.observe(ev, true, region);
+        }
+        self.local.observe_meta(&lm, ev, repeated, true, region, outcome);
+        self.reuse.observe_with_outcome(ev, repeated, outcome);
+        repeated
+    }
+
+    pub(crate) fn dynamic_total(&self) -> u64 {
+        self.dyn_total
+    }
+
+    pub(crate) fn dynamic_repeated(&self) -> u64 {
+        self.dyn_repeated
+    }
+
+    pub(crate) fn instances_buffered(&self) -> u64 {
+        self.buffered
+    }
+
+    pub(crate) fn static_total(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub(crate) fn lvp_entries(&self) -> u64 {
+        self.pred_entries
+    }
+
+    pub(crate) fn lvp_stats(&self) -> &PredictStats {
+        &self.lvp_stats
+    }
+
+    pub(crate) fn stride_stats(&self) -> &StrideStats {
+        &self.stride_stats
+    }
+
+    /// Adds every cache entry's pending occurrences to its table slot.
+    /// Flushing is additive, so the table afterwards holds exactly the
+    /// counts the split tracker would — whatever order instances were
+    /// cached and evicted in.
+    fn flush_deltas(&mut self) {
+        for (i, c) in self.caches.iter_mut().enumerate() {
+            if c.delta != 0 {
+                flush_delta(&mut self.table, self.mask, i as u32, c);
+                c.delta = 0;
+            }
+        }
+    }
+
+    /// One pass over the rows and the instance table producing every
+    /// tracker aggregate the report needs — the split tracker's
+    /// `static_stats`/`instance_repeat_counts`/`instance_histogram`
+    /// family, matched number for number. Flushes the last-instance
+    /// caches first so every count is final.
+    pub(crate) fn tracker_summary(&mut self) -> TrackerSummary {
+        self.flush_deltas();
+        // Unique-repeatable-instance counts per static, and the flat
+        // instance repeat-count list. Order within the list differs
+        // from the split tracker's entry-major order, but every
+        // consumer (the Figure 4 coverage curve) sorts first.
+        let mut uri = vec![0u64; self.rows.len()];
+        let mut instance_counts = Vec::new();
+        for s in self.table.iter().filter(|s| s.count_plus >= 2) {
+            uri[s.index as usize] += 1;
+            instance_counts.push(s.count_plus - 1);
+        }
+
+        let mut static_stats = Vec::new();
+        let mut sums = [0u64; 5];
+        let mut static_repeated = 0;
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.exec == 0 {
+                continue;
+            }
+            static_stats.push(StaticStats {
+                index: i as u32,
+                exec: row.exec,
+                repeated: row.repeated,
+                unique_repeatable: uri[i],
+            });
+            if row.repeated == 0 {
+                continue;
+            }
+            static_repeated += 1;
+            let bucket = match uri[i] {
+                0 => continue,
+                1 => 0,
+                2..=10 => 1,
+                11..=100 => 2,
+                101..=1000 => 3,
+                _ => 4,
+            };
+            sums[bucket] += row.repeated;
+        }
+
+        let total: u64 = sums.iter().sum();
+        let histogram = if total == 0 { [0.0; 5] } else { sums.map(|s| s as f64 / total as f64) };
+        let unique_repeatable: u64 = uri.iter().sum();
+        let avg_repeats = if unique_repeatable == 0 {
+            0.0
+        } else {
+            self.dyn_repeated as f64 / unique_repeatable as f64
+        };
+        let static_executed = static_stats.len();
+        TrackerSummary {
+            static_stats,
+            instance_counts,
+            histogram,
+            unique_repeatable,
+            avg_repeats,
+            static_executed,
+            static_repeated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::RepetitionTracker;
+    use instrep_isa::{AluOp, Insn, Reg};
+
+    fn ev(index: u32, in1: u32, in2: u32, out: u32) -> Event {
+        Event {
+            pc: 0x40_0000 + index * 4,
+            index,
+            insn: Insn::alu(AluOp::Add, Reg::V0, Reg::A0, Reg::A1),
+            in1,
+            in2,
+            out: Some(out),
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    /// A fused analysis over a text segment of `n` plain ALU adds.
+    fn fused_for(n: usize, cfg: TrackerConfig) -> FusedAnalysis {
+        let body = "add $v0, $a0, $a1\n".repeat(n);
+        let image = instrep_asm::assemble(&format!(".text\n__start:\n{body}")).unwrap();
+        assert_eq!(image.text.len(), n);
+        FusedAnalysis::new(&image, cfg, ReuseConfig::paper())
+    }
+
+    #[test]
+    fn row_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<HotRow>(), 64);
+        assert_eq!(std::mem::align_of::<HotRow>(), 64);
+        assert_eq!(std::mem::size_of::<Instance>(), 24);
+    }
+
+    #[test]
+    fn matches_split_tracker_verdicts_and_aggregates() {
+        // The mini differential oracle: one synthetic stream, both
+        // tracker implementations, identical verdicts and summaries.
+        let cfg = TrackerConfig::default();
+        let mut fused = fused_for(8, cfg);
+        let mut split = RepetitionTracker::new(cfg, 8);
+        let mut events = Vec::new();
+        for i in 0..2000u32 {
+            // A mix of repeating and fresh instances across 8 statics.
+            events.push(ev(i % 8, i % 5, i % 3, (i % 5).wrapping_add(i % 3)));
+            events.push(ev(i % 8, i, i.wrapping_mul(7), i ^ 0xdead));
+        }
+        for e in &events {
+            assert_eq!(fused.measure_event(e, None), split.observe(e), "event {e:?}");
+        }
+        assert_eq!(fused.dynamic_total(), split.dynamic_total());
+        assert_eq!(fused.dynamic_repeated(), split.dynamic_repeated());
+        assert_eq!(fused.instances_buffered(), split.instances_buffered());
+        let s = fused.tracker_summary();
+        assert_eq!(s.static_stats, split.static_stats());
+        assert_eq!(s.unique_repeatable, split.unique_repeatable_instances());
+        assert_eq!(s.avg_repeats, split.avg_repeats());
+        assert_eq!(s.histogram, split.instance_histogram());
+        assert_eq!(s.static_executed, split.static_executed());
+        assert_eq!(s.static_repeated, split.static_repeated());
+        let mut fc = s.instance_counts;
+        let mut sc = split.instance_repeat_counts();
+        fc.sort_unstable();
+        sc.sort_unstable();
+        assert_eq!(fc, sc);
+    }
+
+    #[test]
+    fn insertion_past_the_instance_cap_stops_buffering() {
+        let cfg = TrackerConfig { max_instances: 3 };
+        let mut fused = fused_for(1, cfg);
+        let mut split = RepetitionTracker::new(cfg, 1);
+        // 10 distinct instances at one static: only the first 3 buffer.
+        for k in 0..10u32 {
+            let e = ev(0, k, 0, k);
+            assert_eq!(fused.measure_event(&e, None), split.observe(&e));
+        }
+        assert_eq!(fused.instances_buffered(), 3);
+        // Buffered instances repeat; unbuffered ones never do.
+        for k in 0..10u32 {
+            let e = ev(0, k, 0, k);
+            let expected = k < 3;
+            assert_eq!(fused.measure_event(&e, None), expected, "instance {k}");
+            assert_eq!(split.observe(&e), expected);
+        }
+        assert_eq!(fused.instances_buffered(), split.instances_buffered());
+        assert_eq!(fused.tracker_summary().static_stats, split.static_stats());
+    }
+
+    #[test]
+    fn growth_preserves_counts_across_multiple_doublings() {
+        // 4000 distinct instances forces the 1024-slot table through
+        // several doublings; every count must survive each rehash.
+        let cfg = TrackerConfig::default();
+        let mut fused = fused_for(4, cfg);
+        let reps = |k: u32| u64::from(k % 4);
+        for k in 0..4000u32 {
+            let e = ev(k % 4, k, !k, k.wrapping_mul(3));
+            assert!(!fused.measure_event(&e, None), "first occurrence never repeats");
+            for _ in 0..reps(k) {
+                assert!(fused.measure_event(&e, None), "buffered instance must repeat");
+            }
+        }
+        assert!(fused.table.len() > INITIAL_CAPACITY, "table must have grown");
+        assert_eq!(fused.buffered, 4000);
+        // The load factor invariant held through every insert.
+        assert!(fused.buffered * 8 <= (fused.table.len() as u64) * 7);
+        let s = fused.tracker_summary();
+        let expected_repeats: u64 = (0..4000u32).map(reps).sum();
+        assert_eq!(fused.dynamic_repeated(), expected_repeats);
+        assert_eq!(s.unique_repeatable, (0..4000u32).filter(|&k| reps(k) > 0).count() as u64);
+        assert_eq!(s.instance_counts.iter().sum::<u64>(), expected_repeats);
+    }
+
+    #[test]
+    fn table_is_tombstone_free() {
+        // No operation deletes: occupancy equals distinct keys inserted
+        // no matter how many lookups, hits, or growths intervene, and
+        // every key stays reachable.
+        let cfg = TrackerConfig::default();
+        let mut fused = fused_for(2, cfg);
+        for pass in 0..3 {
+            for k in 0..500u32 {
+                fused.measure_event(&ev(k % 2, k, 0, 1), None);
+            }
+            let occupied = fused.table.iter().filter(|s| s.count_plus > 0).count() as u64;
+            assert_eq!(occupied, fused.buffered, "pass {pass}");
+            assert_eq!(fused.buffered, 500);
+        }
+        // Every instance was seen 3 times: once fresh, twice repeated
+        // (flush first: recent occurrences may be pending in the
+        // last-instance caches).
+        fused.flush_deltas();
+        assert!(fused.table.iter().filter(|s| s.count_plus > 0).all(|s| s.count_plus == 3));
+    }
+
+    #[test]
+    fn collision_heavy_keys_probe_correctly() {
+        // An adversarial key set: instances brute-forced to share one
+        // initial probe position, exercising long linear-probe chains.
+        let cfg = TrackerConfig::default();
+        let mut fused = fused_for(1, cfg);
+        let target = hash4(0, 0, 0, 0) & (INITIAL_CAPACITY - 1);
+        let colliders: Vec<u32> = (0..u32::MAX)
+            .filter(|&k| hash4(0, k, 0, 0) & (INITIAL_CAPACITY - 1) == target)
+            .take(40)
+            .collect();
+        assert_eq!(colliders.len(), 40);
+        for &k in &colliders {
+            assert!(!fused.measure_event(&ev(0, k, 0, 0), None));
+        }
+        // Every collider is individually retrievable despite the pileup.
+        for &k in &colliders {
+            assert!(fused.measure_event(&ev(0, k, 0, 0), None), "collider {k:#x} lost");
+        }
+        assert_eq!(fused.instances_buffered(), 40);
+        assert_eq!(fused.dynamic_repeated(), 40);
+    }
+
+    #[test]
+    fn undecodable_slots_fall_back_like_the_split_observers() {
+        // An event whose index lies beyond the row table (e.g. a text
+        // segment the image didn't cover) must not panic the metadata
+        // path of skip_event; measure_event panics like the split
+        // tracker, which is covered by its own tests.
+        let cfg = TrackerConfig::default();
+        let mut fused = fused_for(1, cfg);
+        fused.skip_event(&ev(5, 1, 2, 3), None);
+        assert_eq!(fused.dynamic_total(), 0);
+    }
+}

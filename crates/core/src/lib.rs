@@ -23,6 +23,10 @@
 //!   methodology), with every probe and the analysis cache attached
 //!   through builder methods. The old `analyze*` family survives as
 //!   `#[deprecated]` shims for one release.
+//! * [`AnalysisTier`] — which observer implementation the pipeline
+//!   runs: the fused per-event hot row (default) or the seven
+//!   free-standing observers kept as its differential oracle. Both
+//!   tiers produce byte-identical results.
 //! * [`cache`] — content-addressed on-disk memoization of whole-workload
 //!   results (`instrep-repro --cache-dir`): a hit skips simulation
 //!   entirely and still renders byte-identical tables.
@@ -66,6 +70,7 @@ mod classes;
 mod coverage;
 pub mod export;
 mod function;
+mod fused;
 pub mod fxhash;
 mod global;
 pub mod interval;
@@ -85,6 +90,7 @@ pub use cache::{AnalysisCache, CacheKey, CACHE_SCHEMA_VERSION, ENTRY_PAYLOAD_OFF
 pub use classes::{ClassAnalysis, ClassCounts, InsnClass};
 pub use coverage::Coverage;
 pub use function::{FuncStats, FunctionAnalysis};
+pub use fused::{AnalysisTier, SplitObservers, OBSERVER_NAMES};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
 pub use instrep_sim::InterpTier;

@@ -196,8 +196,10 @@ const LM_VALID: u16 = 1 << 11;
 /// Per-static-instruction classification rules, precomputed at
 /// construction so the per-event path indexes a flat table instead of
 /// re-matching the instruction enum on every retired instruction.
+/// `pub(crate)` so the fused tier (`core::fused`) can embed one per hot
+/// row.
 #[derive(Debug, Clone, Copy)]
-struct LMeta {
+pub(crate) struct LMeta {
     /// First register read, or [`NO_REG`].
     s1: u8,
     /// Second register read, or [`NO_REG`].
@@ -210,12 +212,13 @@ struct LMeta {
 }
 
 impl LMeta {
-    const INVALID: LMeta = LMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, rt: NO_REG, flags: 0 };
+    pub(crate) const INVALID: LMeta =
+        LMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, rt: NO_REG, flags: 0 };
 
     /// Derives the classification rules for one instruction. This is the
     /// single source of truth for `classify`/`propagate`; the
     /// precomputed table is this function applied to the text segment.
-    fn of(insn: &Insn) -> LMeta {
+    pub(crate) fn of(insn: &Insn) -> LMeta {
         let mut m = LMeta { s1: NO_REG, s2: NO_REG, def: NO_REG, rt: NO_REG, flags: LM_VALID };
         match *insn {
             Insn::Jr { rs } if rs == Reg::RA => m.flags |= LM_RET,
@@ -386,11 +389,61 @@ impl LocalAnalysis {
     /// `repeated` is the tracker verdict; statistics accumulate only when
     /// `counting`.
     pub fn observe(&mut self, ev: &Event, repeated: bool, counting: bool, region: Option<Region>) {
-        let m = match self.meta.get(ev.index as usize) {
-            Some(m) if m.flags & LM_VALID != 0 => *m,
-            _ => LMeta::of(&ev.insn),
+        let m = self.meta.get(ev.index as usize).copied().unwrap_or(LMeta::INVALID);
+        self.observe_meta(&m, ev, repeated, counting, region, ev.outcome());
+    }
+
+    /// [`LocalAnalysis::observe`] with the metadata row and the event's
+    /// precomputed outcome supplied by the caller — the fused tier keeps
+    /// the row embedded in its hot row and computes `ev.outcome()`
+    /// exactly once per event. Invalid rows fall back to recomputing
+    /// from the event's instruction.
+    pub(crate) fn observe_meta(
+        &mut self,
+        m: &LMeta,
+        ev: &Event,
+        repeated: bool,
+        counting: bool,
+        region: Option<Region>,
+        outcome: u32,
+    ) {
+        let recomputed;
+        let m = if m.flags & LM_VALID != 0 {
+            m
+        } else {
+            recomputed = LMeta::of(&ev.insn);
+            &recomputed
         };
-        let cat = self.classify(&m, ev, region);
+        let f = m.flags;
+
+        // Shared sub-results: classification and propagation both need
+        // the operand-tag supersede max, the loaded value's source tag,
+        // and the global-address-product predicate, and nothing between
+        // the two touches the state they read (tags, gaddr bits, shadow
+        // stack tags) — so each is computed exactly once per event.
+        let sp = Reg::SP.number();
+        let mut reg_tag = SrcTag::FnInternal;
+        if m.s1 != NO_REG && m.s1 != sp {
+            reg_tag = reg_tag.max(self.tags[m.s1 as usize]);
+        }
+        if m.s2 != NO_REG && m.s2 != sp {
+            reg_tag = reg_tag.max(self.tags[m.s2 as usize]);
+        }
+        let loaded_tag = match ev.mem {
+            Some(mem) if mem.is_load => Some(self.data_tag(mem.addr, region)),
+            _ => None,
+        };
+        let g = if f & LM_LUI != 0 {
+            (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&outcome)
+        } else if f & LM_IMM != 0 {
+            self.is_gaddr_n(m.s1)
+        } else if f & LM_ALU != 0 {
+            self.is_gaddr_alu(m.s1, m.s2)
+        } else {
+            false
+        };
+
+        let cat = self.classify(m, ev, region, reg_tag, loaded_tag, g);
 
         // -- statistics --
         if counting {
@@ -428,12 +481,21 @@ impl LocalAnalysis {
         }
 
         // -- state propagation --
-        self.propagate(&m, ev, region);
+        self.propagate(m, ev, region, reg_tag, loaded_tag, g);
     }
 
     /// Determines the instruction's category (task-based first, then
-    /// source tags) *before* state is updated.
-    fn classify(&mut self, m: &LMeta, ev: &Event, region: Option<Region>) -> LocalCat {
+    /// source tags) *before* state is updated. `reg_tag`, `loaded_tag`,
+    /// and `g` are the shared sub-results from `observe_meta`.
+    fn classify(
+        &mut self,
+        m: &LMeta,
+        ev: &Event,
+        region: Option<Region>,
+        reg_tag: SrcTag,
+        loaded_tag: Option<SrcTag>,
+        g: bool,
+    ) -> LocalCat {
         let f = m.flags;
         // Returns.
         if f & LM_RET != 0 {
@@ -470,16 +532,9 @@ impl LocalAnalysis {
         // Global address calculation: instructions deriving a value
         // purely from gp or data-segment address immediates.
         if f & LM_LUI != 0 {
-            return if (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome()) {
-                LocalCat::GlbAddrCalc
-            } else {
-                LocalCat::FuncInternal
-            };
+            return if g { LocalCat::GlbAddrCalc } else { LocalCat::FuncInternal };
         }
-        if f & LM_IMM != 0 && self.is_gaddr_n(m.s1) {
-            return LocalCat::GlbAddrCalc;
-        }
-        if f & LM_ALU != 0 && self.is_gaddr_alu(m.s1, m.s2) {
+        if f & (LM_IMM | LM_ALU) != 0 && g {
             return LocalCat::GlbAddrCalc;
         }
 
@@ -489,18 +544,9 @@ impl LocalAnalysis {
         }
 
         // Source-based classification.
-        let sp = Reg::SP.number();
-        let mut tag = SrcTag::FnInternal;
-        if m.s1 != NO_REG && m.s1 != sp {
-            tag = tag.max(self.tags[m.s1 as usize]);
-        }
-        if m.s2 != NO_REG && m.s2 != sp {
-            tag = tag.max(self.tags[m.s2 as usize]);
-        }
-        if let Some(mem) = ev.mem {
-            if mem.is_load {
-                tag = tag.max(self.data_tag(mem.addr, region));
-            }
+        let mut tag = reg_tag;
+        if let Some(t) = loaded_tag {
+            tag = tag.max(t);
         }
         tag.to_cat()
     }
@@ -516,36 +562,28 @@ impl LocalAnalysis {
         }
     }
 
-    fn propagate(&mut self, m: &LMeta, ev: &Event, region: Option<Region>) {
+    fn propagate(
+        &mut self,
+        m: &LMeta,
+        ev: &Event,
+        region: Option<Region>,
+        reg_tag: SrcTag,
+        loaded_tag: Option<SrcTag>,
+        g: bool,
+    ) {
         let f = m.flags;
         // Result tag.
         if m.def != NO_REG {
             let new_tag = if f & (LM_LINK | LM_LUI) != 0 {
                 SrcTag::FnInternal
             } else if f & LM_LOAD != 0 {
-                let addr = ev.mem.map(|e| e.addr).unwrap_or(0);
-                self.data_tag(addr, region)
+                // `loaded_tag` covers every genuine load event; the
+                // fallback recomputes for synthetic events whose meta
+                // and memory effect disagree (`data_tag` is pure).
+                loaded_tag
+                    .unwrap_or_else(|| self.data_tag(ev.mem.map(|e| e.addr).unwrap_or(0), region))
             } else {
-                let sp = Reg::SP.number();
-                let mut t = SrcTag::FnInternal;
-                if m.s1 != NO_REG && m.s1 != sp {
-                    t = t.max(self.tags[m.s1 as usize]);
-                }
-                if m.s2 != NO_REG && m.s2 != sp {
-                    t = t.max(self.tags[m.s2 as usize]);
-                }
-                t
-            };
-
-            // gaddr flag propagation.
-            let g = if f & LM_LUI != 0 {
-                (abi::DATA_BASE..abi::STACK_REGION_BASE).contains(&ev.outcome())
-            } else if f & LM_IMM != 0 {
-                self.is_gaddr_n(m.s1)
-            } else if f & LM_ALU != 0 {
-                self.is_gaddr_alu(m.s1, m.s2)
-            } else {
-                false
+                reg_tag
             };
 
             if m.def != 0 {

@@ -15,9 +15,13 @@
 use instrep_asm::Image;
 use instrep_sim::{InterpTier, Machine, RunOutcome, SimError};
 
+use instrep_isa::abi::Region;
+use instrep_sim::Event;
+
 use crate::classes::{ClassAnalysis, ClassCounts};
 use crate::coverage::Coverage;
 use crate::function::FunctionAnalysis;
+use crate::fused::{AnalysisTier, FusedAnalysis, SplitObservers};
 use crate::global::{GlobalAnalysis, GlobalCounts};
 use crate::interval::{IntervalSampler, IntervalWindow};
 use crate::local::{LocalAnalysis, LocalCounts};
@@ -26,7 +30,7 @@ use crate::predict::{PredictStats, StrideStats, ValuePredictors};
 use crate::profile::InstructionProfile;
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::trace_span::{SpanLane, SpanTracer};
-use crate::tracker::{RepetitionTracker, TrackerConfig};
+use crate::tracker::{self, RepetitionTracker, StaticStats, TrackerConfig};
 
 /// Configuration for an analysis run ([`Session`](crate::Session)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,7 +170,15 @@ pub fn analyze(
     input: Vec<u8>,
     cfg: &AnalysisConfig,
 ) -> Result<WorkloadReport, SimError> {
-    run_probed(image, input, cfg, InterpTier::default(), Probes::none())
+    run_probed(
+        image,
+        input,
+        cfg,
+        InterpTier::default(),
+        AnalysisTier::default(),
+        SplitObservers::all(),
+        Probes::none(),
+    )
 }
 
 /// [`Session::run_one`](crate::Session::run_one) with an optional
@@ -183,7 +195,15 @@ pub fn analyze_with_metrics(
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
     let probes = Probes { metrics, spans: None, sampler: None, profile: None };
-    run_probed(image, input, cfg, InterpTier::default(), probes)
+    run_probed(
+        image,
+        input,
+        cfg,
+        InterpTier::default(),
+        AnalysisTier::default(),
+        SplitObservers::all(),
+        probes,
+    )
 }
 
 /// The pipeline's optional observability hooks, all riding the same
@@ -228,12 +248,23 @@ pub fn analyze_with_probes(
     cfg: &AnalysisConfig,
     probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
-    run_probed(image, input, cfg, InterpTier::default(), probes)
+    run_probed(
+        image,
+        input,
+        cfg,
+        InterpTier::default(),
+        AnalysisTier::default(),
+        SplitObservers::all(),
+        probes,
+    )
 }
 
 /// One simulation pass with any combination of [`Probes`] attached —
-/// the engine everything else (the `Session` builder, the deprecated
-/// shims, `steady_state_check`) runs on.
+/// the entry everything else (the `Session` builder, the deprecated
+/// shims, `steady_state_check`) runs on. Dispatches once, before any
+/// event retires, to the per-event engine the analysis tier selects;
+/// the phase scaffolding and the report/gauge assembly are shared, so
+/// the two tiers cannot drift in anything but the per-event hot path.
 ///
 /// Metrics and spans sample the clock at phase boundaries only; the
 /// interval sampler adds one counter increment per measured instruction
@@ -243,30 +274,242 @@ pub(crate) fn run_probed(
     image: &Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
-    tier: InterpTier,
+    interp: InterpTier,
+    analysis: AnalysisTier,
+    observers: SplitObservers,
+    probes: Probes<'_>,
+) -> Result<WorkloadReport, SimError> {
+    match analysis {
+        AnalysisTier::Fused => {
+            let engine = FusedAnalysis::new(image, cfg.tracker, cfg.reuse);
+            run_engine(image, input, cfg, interp, engine, probes)
+        }
+        AnalysisTier::Split => {
+            let engine = SplitEngine::new(image, cfg, observers);
+            run_engine(image, input, cfg, interp, engine, probes)
+        }
+    }
+}
+
+/// The per-event half of an analysis tier, monomorphized into the
+/// measure loop (no dynamic dispatch on the hot path). The finalize
+/// half hands back tier-independent aggregates so the report and gauge
+/// assembly in [`run_engine`] is literally shared code.
+trait AnalysisEngine {
+    /// Skip-phase event: propagate state, count nothing.
+    fn skip(&mut self, ev: &Event, region: Option<Region>);
+    /// Measurement-phase event.
+    fn measure(&mut self, ev: &Event, region: Option<Region>);
+    /// `(dynamic_repeated, reuse_hits, instances_buffered)` for the
+    /// interval sampler's window flush.
+    fn sampler_gauges(&self) -> (u64, u64, u64);
+    /// Tracker-equivalent aggregates for the report (takes `&mut self`
+    /// so a tier may flush deferred per-event state first).
+    fn numbers(&mut self) -> TrackerNumbers;
+    /// Borrowed views of the non-tracker observers and predictor stats.
+    fn parts(&self) -> ObserverParts<'_>;
+}
+
+/// The tracker-side aggregates a tier produces for the report — the
+/// split [`RepetitionTracker`] accessor family, materialized.
+struct TrackerNumbers {
+    dynamic_total: u64,
+    dynamic_repeated: u64,
+    static_total: usize,
+    static_executed: usize,
+    static_repeated: usize,
+    unique_repeatable: u64,
+    avg_repeats: f64,
+    instance_histogram: [f64; 5],
+    static_stats: Vec<StaticStats>,
+    /// Repeat counts of every unique repeatable instance; order is
+    /// unspecified (every consumer sorts).
+    instance_counts: Vec<u64>,
+    instances_buffered: u64,
+}
+
+/// Borrowed views of the observers whose state both tiers keep in the
+/// same structures, plus the (Copy) predictor statistics.
+struct ObserverParts<'a> {
+    global: &'a GlobalAnalysis,
+    function: &'a FunctionAnalysis,
+    local: &'a LocalAnalysis,
+    reuse: &'a ReuseBuffer,
+    classes: &'a ClassAnalysis,
+    predict: PredictStats,
+    stride: StrideStats,
+    lvp_entries: u64,
+}
+
+/// The split tier: the seven free-standing observers, each gated by its
+/// [`SplitObservers`] flag (the mechanism behind `--disable-observer`,
+/// which `scripts/bench.sh` uses to measure marginal per-event costs).
+/// With every flag set this is exactly the pre-fusion pipeline — the
+/// differential oracle.
+struct SplitEngine {
+    obs: SplitObservers,
+    tracker: RepetitionTracker,
+    global: GlobalAnalysis,
+    function: FunctionAnalysis,
+    local: LocalAnalysis,
+    reuse: ReuseBuffer,
+    classes: ClassAnalysis,
+    values: ValuePredictors,
+}
+
+impl SplitEngine {
+    fn new(image: &Image, cfg: &AnalysisConfig, obs: SplitObservers) -> SplitEngine {
+        SplitEngine {
+            obs,
+            tracker: RepetitionTracker::new(cfg.tracker, image.text.len()),
+            global: GlobalAnalysis::new(image),
+            function: FunctionAnalysis::new(image),
+            local: LocalAnalysis::new(image),
+            reuse: ReuseBuffer::new(cfg.reuse),
+            classes: ClassAnalysis::new(),
+            values: ValuePredictors::new(),
+        }
+    }
+}
+
+impl AnalysisEngine for SplitEngine {
+    fn skip(&mut self, ev: &Event, region: Option<Region>) {
+        if self.obs.global {
+            self.global.observe(ev, false, false);
+        }
+        if self.obs.function {
+            self.function.observe(ev, false, region);
+        }
+        if self.obs.local {
+            self.local.observe(ev, false, false, region);
+        }
+    }
+
+    fn measure(&mut self, ev: &Event, region: Option<Region>) {
+        let repeated = if self.obs.tracker { self.tracker.observe(ev) } else { false };
+        if self.obs.global {
+            self.global.observe(ev, repeated, true);
+        }
+        if self.obs.function {
+            self.function.observe(ev, true, region);
+        }
+        if self.obs.local {
+            self.local.observe(ev, repeated, true, region);
+        }
+        if self.obs.reuse {
+            self.reuse.observe(ev, repeated);
+        }
+        if self.obs.classes {
+            self.classes.observe(ev, repeated, true);
+        }
+        if self.obs.predict {
+            self.values.observe(ev, repeated);
+        }
+    }
+
+    fn sampler_gauges(&self) -> (u64, u64, u64) {
+        (
+            self.tracker.dynamic_repeated(),
+            self.reuse.stats().hits,
+            self.tracker.instances_buffered(),
+        )
+    }
+
+    fn numbers(&mut self) -> TrackerNumbers {
+        TrackerNumbers {
+            dynamic_total: self.tracker.dynamic_total(),
+            dynamic_repeated: self.tracker.dynamic_repeated(),
+            static_total: self.tracker.static_total(),
+            static_executed: self.tracker.static_executed(),
+            static_repeated: self.tracker.static_repeated(),
+            unique_repeatable: self.tracker.unique_repeatable_instances(),
+            avg_repeats: self.tracker.avg_repeats(),
+            instance_histogram: self.tracker.instance_histogram(),
+            static_stats: self.tracker.static_stats(),
+            instance_counts: self.tracker.instance_repeat_counts(),
+            instances_buffered: self.tracker.instances_buffered(),
+        }
+    }
+
+    fn parts(&self) -> ObserverParts<'_> {
+        ObserverParts {
+            global: &self.global,
+            function: &self.function,
+            local: &self.local,
+            reuse: &self.reuse,
+            classes: &self.classes,
+            predict: *self.values.lvp_stats(),
+            stride: *self.values.stride_stats(),
+            lvp_entries: self.values.lvp_entries(),
+        }
+    }
+}
+
+impl AnalysisEngine for FusedAnalysis {
+    fn skip(&mut self, ev: &Event, region: Option<Region>) {
+        self.skip_event(ev, region);
+    }
+
+    fn measure(&mut self, ev: &Event, region: Option<Region>) {
+        self.measure_event(ev, region);
+    }
+
+    fn sampler_gauges(&self) -> (u64, u64, u64) {
+        (self.dynamic_repeated(), self.reuse.stats().hits, self.instances_buffered())
+    }
+
+    fn numbers(&mut self) -> TrackerNumbers {
+        let s = self.tracker_summary();
+        TrackerNumbers {
+            dynamic_total: self.dynamic_total(),
+            dynamic_repeated: self.dynamic_repeated(),
+            static_total: self.static_total(),
+            static_executed: s.static_executed,
+            static_repeated: s.static_repeated,
+            unique_repeatable: s.unique_repeatable,
+            avg_repeats: s.avg_repeats,
+            instance_histogram: s.histogram,
+            static_stats: s.static_stats,
+            instance_counts: s.instance_counts,
+            instances_buffered: self.instances_buffered(),
+        }
+    }
+
+    fn parts(&self) -> ObserverParts<'_> {
+        ObserverParts {
+            global: &self.global,
+            function: &self.function,
+            local: &self.local,
+            reuse: &self.reuse,
+            classes: &self.classes,
+            predict: *self.lvp_stats(),
+            stride: *self.stride_stats(),
+            lvp_entries: self.lvp_entries(),
+        }
+    }
+}
+
+/// The tier-independent pipeline: phase scaffolding, probe plumbing,
+/// and the shared report/gauge assembly around one [`AnalysisEngine`].
+fn run_engine<E: AnalysisEngine>(
+    image: &Image,
+    input: Vec<u8>,
+    cfg: &AnalysisConfig,
+    interp: InterpTier,
+    mut engine: E,
     mut probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
-    let mut machine = Machine::with_tier(image, tier);
+    let mut machine = Machine::with_tier(image, interp);
     machine.set_input(input);
 
-    let mut tracker = RepetitionTracker::new(cfg.tracker, image.text.len());
-    let mut global = GlobalAnalysis::new(image);
-    let mut function = FunctionAnalysis::new(image);
-    let mut local = LocalAnalysis::new(image);
-    let mut reuse = ReuseBuffer::new(cfg.reuse);
-    let mut classes = ClassAnalysis::new();
-    let mut values = ValuePredictors::new();
-
-    // Skip phase: propagate analysis state without counting. The tracker
-    // is idle during the skip (buffering starts with measurement, as in
-    // the paper).
     // Region classification: the simulator traps accesses between the
     // real heap break and the stack region, so any surviving address in
     // (data_end, STACK_REGION_BASE) is heap — pass the stack base as the
     // effective break.
     let pseudo_brk = instrep_isa::abi::STACK_REGION_BASE;
+    let data_end = image.data_end();
     if let Some(m) = probes.metrics.as_deref_mut() {
         m.record_phase("setup", timer.expect("timer started with metrics"), 0);
     }
@@ -274,16 +517,16 @@ pub(crate) fn run_probed(
         l.end(span.expect("span opened with lane"), "setup", "phase", 0);
     }
 
+    // Skip phase: propagate analysis state without counting. The tracker
+    // is idle during the skip (buffering starts with measurement, as in
+    // the paper).
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
     let mut outcome = RunOutcome::MaxedOut;
     if cfg.skip > 0 {
         outcome = machine.run(cfg.skip, |ev| {
-            let region =
-                ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
-            global.observe(ev, false, false);
-            function.observe(ev, false, region);
-            local.observe(ev, false, false, region);
+            let region = ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+            engine.skip(ev, region);
         })?;
     }
     if let Some(m) = probes.metrics.as_deref_mut() {
@@ -293,42 +536,32 @@ pub(crate) fn run_probed(
         l.end(span.expect("span opened with lane"), "skip", "phase", machine.icount());
     }
 
-    // Measurement window. The loop body is a macro so the sampled and
-    // unsampled paths cannot drift apart; the sampler variant adds one
-    // tick per event and reads gauges only at window boundaries.
+    // Measurement window; the sampler variant adds one tick per event
+    // and reads gauges only at window boundaries.
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
     let measured_from = machine.icount();
-    macro_rules! measure_event {
-        ($ev:ident) => {{
-            let region =
-                $ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, image.data_end(), pseudo_brk));
-            let repeated = tracker.observe($ev);
-            global.observe($ev, repeated, true);
-            function.observe($ev, true, region);
-            local.observe($ev, repeated, true, region);
-            reuse.observe($ev, repeated);
-            classes.observe($ev, repeated, true);
-            values.observe($ev, repeated);
-        }};
-    }
     if machine.exit_code().is_none() {
         outcome = match probes.sampler.as_deref_mut() {
-            None => machine.run(cfg.window, |ev| measure_event!(ev))?,
+            None => machine.run(cfg.window, |ev| {
+                let region =
+                    ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                engine.measure(ev, region);
+            })?,
             Some(s) => machine.run(cfg.window, |ev| {
-                measure_event!(ev);
+                let region =
+                    ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                engine.measure(ev, region);
                 if s.tick() {
-                    s.flush(
-                        tracker.dynamic_repeated(),
-                        reuse.stats().hits,
-                        tracker.instances_buffered(),
-                    );
+                    let (repeated, reuse_hits, buffered) = engine.sampler_gauges();
+                    s.flush(repeated, reuse_hits, buffered);
                 }
             })?,
         };
     }
     if let Some(s) = probes.sampler.as_deref_mut() {
-        s.finish(tracker.dynamic_repeated(), reuse.stats().hits, tracker.instances_buffered());
+        let (repeated, reuse_hits, buffered) = engine.sampler_gauges();
+        s.finish(repeated, reuse_hits, buffered);
     }
     if let Some(m) = probes.metrics.as_deref_mut() {
         let t = timer.expect("timer started with metrics");
@@ -341,59 +574,67 @@ pub(crate) fn run_probed(
 
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
+    let mut tn = engine.numbers();
+    let parts = engine.parts();
     let static_coverage =
-        tracker.static_stats().iter().filter(|s| s.repeated > 0).map(|s| s.repeated).collect();
-    let instance_coverage = Coverage::new(tracker.instance_repeat_counts());
-    let (prologue_top, prologue_coverage) = local.prologue_report(cfg.top_k);
+        tn.static_stats.iter().filter(|s| s.repeated > 0).map(|s| s.repeated).collect();
+    let instance_coverage = Coverage::new(std::mem::take(&mut tn.instance_counts));
+    let (prologue_top, prologue_coverage) = parts.local.prologue_report(cfg.top_k);
 
     let report = WorkloadReport {
         outcome,
-        dynamic_total: tracker.dynamic_total(),
-        dynamic_repeated: tracker.dynamic_repeated(),
-        static_total: tracker.static_total(),
-        static_executed: tracker.static_executed(),
-        static_repeated: tracker.static_repeated(),
-        unique_repeatable: tracker.unique_repeatable_instances(),
-        avg_repeats: tracker.avg_repeats(),
+        dynamic_total: tn.dynamic_total,
+        dynamic_repeated: tn.dynamic_repeated,
+        static_total: tn.static_total,
+        static_executed: tn.static_executed,
+        static_repeated: tn.static_repeated,
+        unique_repeatable: tn.unique_repeatable,
+        avg_repeats: tn.avg_repeats,
         static_coverage,
-        instance_histogram: tracker.instance_histogram(),
+        instance_histogram: tn.instance_histogram,
         instance_coverage,
-        global: *global.counts(),
-        funcs_called: function.static_called(),
-        dynamic_calls: function.total_calls(),
-        all_arg_rate: function.all_arg_rate(),
-        no_arg_rate: function.no_arg_rate(),
-        pure_rate: function.pure_rate(),
-        pure_all_arg_rate: function.pure_all_arg_rate(),
-        argset_coverage: function.top_argset_coverage(cfg.top_k),
-        local: *local.counts(),
+        global: *parts.global.counts(),
+        funcs_called: parts.function.static_called(),
+        dynamic_calls: parts.function.total_calls(),
+        all_arg_rate: parts.function.all_arg_rate(),
+        no_arg_rate: parts.function.no_arg_rate(),
+        pure_rate: parts.function.pure_rate(),
+        pure_all_arg_rate: parts.function.pure_all_arg_rate(),
+        argset_coverage: parts.function.top_argset_coverage(cfg.top_k),
+        local: *parts.local.counts(),
         prologue_top,
         prologue_coverage,
-        load_value_coverage: local.load_value_coverage(cfg.top_k),
-        reuse: *reuse.stats(),
-        classes: *classes.counts(),
-        predict: *values.lvp_stats(),
-        stride: *values.stride_stats(),
+        load_value_coverage: parts.local.load_value_coverage(cfg.top_k),
+        reuse: *parts.reuse.stats(),
+        classes: *parts.classes.counts(),
+        predict: parts.predict,
+        stride: parts.stride,
     };
 
     if let Some(p) = probes.profile {
-        // Pull-based: one pass over state the tracker accumulated anyway.
-        p.fill(image, &tracker);
+        // Pull-based: one pass over state the tier accumulated anyway.
+        p.fill_from_stats(image, &tn.static_stats);
     }
     if let Some(m) = probes.metrics {
         m.record_phase("finalize", timer.expect("timer started with metrics"), 0);
         // Occupancy gauges, in a fixed order (deterministic documents).
-        m.gauge("tracker_static_entries", tracker.static_total() as u64);
-        m.gauge("tracker_instances_buffered", tracker.instances_buffered());
-        m.gauge("tracker_table_bytes_est", tracker.approx_table_bytes());
-        m.gauge("reuse_entries_valid", reuse.occupancy());
-        m.gauge("global_shadow_words", global.shadow_words());
-        m.gauge("function_argtuples", function.distinct_argtuples());
-        m.gauge("local_stack_tag_words", local.shadow_stack_words());
-        m.gauge("local_load_sites", local.load_sites());
-        m.gauge("local_load_values", local.load_values_tracked());
-        m.gauge("predict_lvp_entries", values.lvp_entries());
-        m.gauge("predict_stride_entries", values.stride_entries());
+        // All of them are tier-invariant: the fused tier reports the
+        // same logical occupancies (and the same split-layout byte
+        // estimate) as the oracle observers.
+        m.gauge("tracker_static_entries", tn.static_total as u64);
+        m.gauge("tracker_instances_buffered", tn.instances_buffered);
+        m.gauge(
+            "tracker_table_bytes_est",
+            tracker::table_bytes_estimate(tn.instances_buffered, tn.static_total),
+        );
+        m.gauge("reuse_entries_valid", parts.reuse.occupancy());
+        m.gauge("global_shadow_words", parts.global.shadow_words());
+        m.gauge("function_argtuples", parts.function.distinct_argtuples());
+        m.gauge("local_stack_tag_words", parts.local.shadow_stack_words());
+        m.gauge("local_load_sites", parts.local.load_sites());
+        m.gauge("local_load_values", parts.local.load_values_tracked());
+        m.gauge("predict_lvp_entries", parts.lvp_entries);
+        m.gauge("predict_stride_entries", parts.lvp_entries);
         let fp = machine.footprint();
         m.gauge("sim_resident_pages", fp.resident_pages as u64);
         m.gauge("sim_resident_bytes", fp.resident_bytes as u64);
@@ -590,10 +831,26 @@ pub fn steady_state_check(
     cfg: &AnalysisConfig,
     factor: u64,
 ) -> Result<f64, SimError> {
-    let short = run_probed(image, input.clone(), cfg, InterpTier::default(), Probes::none())?;
+    let short = run_probed(
+        image,
+        input.clone(),
+        cfg,
+        InterpTier::default(),
+        AnalysisTier::default(),
+        SplitObservers::all(),
+        Probes::none(),
+    )?;
     let mut long_cfg = *cfg;
     long_cfg.window = cfg.window.saturating_mul(factor);
-    let long = run_probed(image, input, &long_cfg, InterpTier::default(), Probes::none())?;
+    let long = run_probed(
+        image,
+        input,
+        &long_cfg,
+        InterpTier::default(),
+        AnalysisTier::default(),
+        SplitObservers::all(),
+        Probes::none(),
+    )?;
     let mut max_dev: f64 = 0.0;
     for cat in crate::local::LocalCat::ALL {
         let dev = (short.local.overall_share(cat) - long.local.overall_share(cat)).abs();
@@ -710,8 +967,16 @@ mod tests {
         let plain = quick(&image, &cfg);
         let mut m = WorkloadMetrics::default();
         let probes = Probes { metrics: Some(&mut m), ..Probes::none() };
-        let instrumented =
-            run_probed(&image, Vec::new(), &cfg, InterpTier::default(), probes).unwrap();
+        let instrumented = run_probed(
+            &image,
+            Vec::new(),
+            &cfg,
+            InterpTier::default(),
+            AnalysisTier::default(),
+            SplitObservers::all(),
+            probes,
+        )
+        .unwrap();
         assert_eq!(format!("{plain:?}"), format!("{instrumented:?}"));
         // Phases arrive in pipeline order with the right event counts.
         let names: Vec<&str> = m.phases.iter().map(|p| p.name).collect();
@@ -764,6 +1029,8 @@ mod tests {
             Vec::new(),
             &cfg,
             InterpTier::default(),
+            AnalysisTier::default(),
+            SplitObservers::all(),
             Probes {
                 metrics: Some(&mut m),
                 spans: Some(&mut lane),
@@ -804,6 +1071,8 @@ mod tests {
             Vec::new(),
             &cfg,
             InterpTier::default(),
+            AnalysisTier::default(),
+            SplitObservers::all(),
             Probes { sampler: Some(&mut sampler), ..Probes::none() },
         )
         .unwrap();

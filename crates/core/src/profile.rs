@@ -140,10 +140,17 @@ impl InstructionProfile {
     /// the pipeline in its finalize phase; idempotent (refilling
     /// replaces the previous contents).
     pub fn fill(&mut self, image: &Image, tracker: &RepetitionTracker) {
+        self.fill_from_stats(image, &tracker.static_stats());
+    }
+
+    /// [`InstructionProfile::fill`] from an already-materialized
+    /// per-static statistics table — the form both analysis tiers
+    /// produce, so the attribution join is shared.
+    pub(crate) fn fill_from_stats(&mut self, image: &Image, stats: &[crate::tracker::StaticStats]) {
         let text_base = instrep_isa::abi::TEXT_BASE;
-        self.sites = tracker
-            .static_stats()
-            .into_iter()
+        self.sites = stats
+            .iter()
+            .copied()
             .map(|s| {
                 let pc = text_base + s.index * 4;
                 let class = image

@@ -130,12 +130,23 @@ impl ReuseBuffer {
 
     /// Observes an instruction; returns whether it hit.
     pub fn observe(&mut self, ev: &Event, repeated: bool) -> bool {
+        self.observe_with_outcome(ev, repeated, ev.outcome())
+    }
+
+    /// [`ReuseBuffer::observe`] with the event's outcome supplied by the
+    /// caller — the fused tier computes `ev.outcome()` exactly once per
+    /// event and threads it to every consumer.
+    pub(crate) fn observe_with_outcome(
+        &mut self,
+        ev: &Event,
+        repeated: bool,
+        outcome: u32,
+    ) -> bool {
         self.clock += 1;
         self.stats.total += 1;
         if repeated {
             self.stats.repeated_total += 1;
         }
-        let outcome = ev.outcome();
         let pc_word = (ev.pc >> 2) as usize;
         let set = match self.set_mask {
             Some(mask) => pc_word & mask,

@@ -51,8 +51,9 @@ use std::process::ExitCode;
 use instrep_core::report::{self, Named};
 use instrep_core::{
     default_parallelism, interval, metrics, profile, steady_state_check, AnalysisCache,
-    AnalysisConfig, AnalysisJob, CacheOutcome, InstructionProfile, InterpTier, IntervalWindow,
-    MetricsReport, ProfileReport, Session, SpanLane, SpanTracer, WorkloadReport,
+    AnalysisConfig, AnalysisJob, AnalysisTier, CacheOutcome, InstructionProfile, InterpTier,
+    IntervalWindow, MetricsReport, ProfileReport, Session, SpanLane, SpanTracer, SplitObservers,
+    WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -62,6 +63,8 @@ struct Options {
     only: Option<String>,
     jobs: usize,
     interp: InterpTier,
+    analysis: AnalysisTier,
+    observers: SplitObservers,
     tables: Vec<u32>,
     figures: Vec<u32>,
     steady: bool,
@@ -173,6 +176,27 @@ const FLAGS: &[FlagSpec] = &[
             };
             Ok(())
         },
+    },
+    FlagSpec {
+        name: "--analysis",
+        alias: None,
+        value: Some(("TIER", "--analysis needs a tier")),
+        help: "analysis tier: fused (hot row) or split (oracle) (default: fused)",
+        apply: |o, v| {
+            o.analysis = match v {
+                "fused" => AnalysisTier::Fused,
+                "split" => AnalysisTier::Split,
+                other => return Err(format!("unknown analysis tier `{other}`")),
+            };
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--disable-observer",
+        alias: None,
+        value: Some(("NAME", "--disable-observer needs an observer name")),
+        help: "drop one split-tier observer (repeatable; needs --analysis split)",
+        apply: |o, v| o.observers.disable(v),
     },
     FlagSpec {
         name: "--table",
@@ -411,6 +435,11 @@ const RULES: &[Rule] = &[
         broken: |o| o.cache_verify && o.cache_dir.is_none(),
         message: "--cache-verify requires --cache-dir",
     },
+    Rule {
+        broken: |o| o.observers != SplitObservers::all() && o.analysis != AnalysisTier::Split,
+        message: "--disable-observer requires --analysis split \
+                  (the fused tier has no per-observer seams)",
+    },
 ];
 
 /// Prints the help text generated from [`FLAGS`] — there is no
@@ -442,6 +471,8 @@ fn parse_args() -> Result<Options, String> {
         only: None,
         jobs: default_parallelism(),
         interp: InterpTier::default(),
+        analysis: AnalysisTier::default(),
+        observers: SplitObservers::all(),
         tables: Vec::new(),
         figures: Vec::new(),
         steady: false,
@@ -598,7 +629,12 @@ fn main() -> ExitCode {
         // and the cache memoizes without perturbing, so every flag
         // combination prints identical tables.
         let span = main_lane.as_mut().map(|l| l.begin());
-        let mut session = Session::new(cfg).jobs(threads).interp(opts.interp).metrics(want_metrics);
+        let mut session = Session::new(cfg)
+            .jobs(threads)
+            .interp(opts.interp)
+            .analysis(opts.analysis)
+            .split_observers(opts.observers)
+            .metrics(want_metrics);
         if let Some(n) = opts.interval {
             session = session.interval(n);
         }
@@ -774,7 +810,10 @@ fn main() -> ExitCode {
         println!("{:<12}{:>14}{:>14}{:>10}", "bench", "seed A", "seed B", "delta");
         for ((wl, image), (_, r)) in workloads.iter().zip(&images).zip(&reports) {
             let alt = wl.input(opts.scale, opts.seed.wrapping_add(7919));
-            let mut session = Session::new(cfg).interp(opts.interp);
+            let mut session = Session::new(cfg)
+                .interp(opts.interp)
+                .analysis(opts.analysis)
+                .split_observers(opts.observers);
             if let Some(c) = cache.as_ref() {
                 session = session.cache(c).cache_verify(opts.cache_verify);
             }

@@ -1,0 +1,175 @@
+//! Analysis-tier differential: every one of the eight benchmark
+//! families must produce byte-identical analysis output under the fused
+//! per-event hot row and the split (oracle) observers — the report, the
+//! rendered tables, the interval JSONL, the profile JSON, and the
+//! occupancy gauges, at one worker thread and several.
+//!
+//! This is the analysis-layer sibling of `tests/differential.rs` (which
+//! proves the two *interpreter* tiers stream identical events). A
+//! proptest-gated case extends the sweep to randomly parameterized
+//! MiniC programs; run it with
+//! `cargo test -p instrep-workloads --features proptest`.
+
+use instrep_core::report::{self, Named};
+use instrep_core::{
+    interval, AnalysisConfig, AnalysisTier, IntervalWindow, ProfileReport, Session,
+};
+use instrep_workloads::{all, Scale, Workload};
+
+/// Tiny-scale analysis windows (mirroring `instrep-repro --scale tiny`):
+/// past initialization, into the steady state every table measures.
+const SKIP: u64 = 20_000;
+const WINDOW: u64 = 400_000;
+const INTERVAL: u64 = 7_000;
+
+struct TierOutput {
+    report_debug: String,
+    tables: String,
+    interval_jsonl: String,
+    profile_json: String,
+    gauges: Vec<(&'static str, u64)>,
+}
+
+/// One fully-probed run of `wl` under `tier`, everything the tier can
+/// influence rendered to comparable bytes.
+fn run_tier(
+    wl: &Workload,
+    image: &instrep_asm::Image,
+    seed: u64,
+    tier: AnalysisTier,
+) -> TierOutput {
+    let cfg = AnalysisConfig { skip: SKIP, window: WINDOW, ..AnalysisConfig::default() };
+    let ir = Session::new(cfg)
+        .analysis(tier)
+        .metrics(true)
+        .interval(INTERVAL)
+        .profile(true)
+        .run_one(image, wl.input(Scale::Tiny, seed))
+        .expect("workload analyzes");
+
+    let named: Vec<Named<'_>> = vec![(wl.name, &ir.report)];
+    let tables = [
+        report::table1(&named),
+        report::table2(&named),
+        report::table3(&named),
+        report::table4(&named),
+        report::tables5_6_7(&named),
+        report::table8(&named),
+        report::table9(&named),
+        report::table10(&named),
+        report::ext_classes(&named),
+        report::ext_predict(&named),
+    ]
+    .join("\n");
+
+    let windows: Vec<(String, Vec<IntervalWindow>)> =
+        vec![(wl.name.to_string(), ir.intervals.expect("interval probe attached"))];
+    let profile = ProfileReport {
+        scale: "tiny".to_string(),
+        seed,
+        top: 10,
+        workloads: vec![(wl.name.to_string(), ir.profile.expect("profile probe attached"))],
+    };
+    TierOutput {
+        report_debug: format!("{:?}", ir.report),
+        tables,
+        interval_jsonl: interval::to_jsonl("tiny", seed, 1, INTERVAL, &windows),
+        profile_json: profile.to_json(),
+        gauges: ir.metrics.expect("metrics probe attached").gauges,
+    }
+}
+
+fn assert_tiers_identical(wl: &Workload, seed: u64) {
+    let image = wl.build().expect("workload compiles");
+    let fused = run_tier(wl, &image, seed, AnalysisTier::Fused);
+    let split = run_tier(wl, &image, seed, AnalysisTier::Split);
+    assert_eq!(fused.report_debug, split.report_debug, "{}: reports diverge", wl.name);
+    assert_eq!(fused.tables, split.tables, "{}: rendered tables diverge", wl.name);
+    assert_eq!(fused.interval_jsonl, split.interval_jsonl, "{}: interval series", wl.name);
+    assert_eq!(fused.profile_json, split.profile_json, "{}: profile JSON", wl.name);
+    assert_eq!(fused.gauges, split.gauges, "{}: occupancy gauges", wl.name);
+}
+
+#[test]
+fn every_workload_family_analyzes_identically_across_tiers() {
+    for wl in all() {
+        assert_tiers_identical(&wl, 1998);
+    }
+}
+
+/// Seeds must not matter either: a second input set exercises different
+/// control-flow paths through the same text.
+#[test]
+fn alternate_seed_analyzes_identically_across_tiers() {
+    let wl = all().into_iter().find(|w| w.name == "gcc").expect("gcc family exists");
+    assert_tiers_identical(&wl, 777);
+}
+
+#[cfg(feature = "proptest")]
+mod random_programs {
+    use super::*;
+    use instrep_core::AnalysisJob;
+    use proptest::prelude::*;
+
+    /// Report Debug string + interval windows + final gauges for one
+    /// tier at one thread count over `jobs` copies of the image.
+    fn tier_fingerprint(
+        image: &instrep_asm::Image,
+        tier: AnalysisTier,
+        threads: usize,
+    ) -> Vec<(String, String, Vec<(&'static str, u64)>)> {
+        let cfg = AnalysisConfig { skip: 1_000, window: 50_000, ..AnalysisConfig::default() };
+        let jobs: Vec<AnalysisJob<'_>> =
+            (0..4).map(|_| AnalysisJob { image, input: Vec::new(), label: "rand" }).collect();
+        Session::new(cfg)
+            .jobs(threads)
+            .analysis(tier)
+            .metrics(true)
+            .interval(1_000)
+            .run(jobs)
+            .into_iter()
+            .map(|r| {
+                let ir = r.expect("random program analyzes");
+                (
+                    format!("{:?}", ir.report),
+                    format!("{:?}", ir.intervals.expect("interval probe attached")),
+                    ir.metrics.expect("metrics probe attached").gauges,
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Every occupancy/memory gauge — the final set and the ones
+        /// sampled at each interval boundary — must match between the
+        /// fused and split tiers on randomly parameterized MiniC
+        /// programs, at one worker thread and at four.
+        #[test]
+        fn fused_gauges_match_split_on_random_workloads(
+            tab in proptest::collection::vec(0u32..1000, 8),
+            iters in 10u32..400,
+            step in 1u32..9,
+            depth in 1u32..8,
+        ) {
+            let src = format!(
+                "int tab[8] = {{{}}};\n\
+                 int lookup(int i) {{ return tab[i & 7]; }}\n\
+                 int rec(int n) {{ if (n <= 0) return 1; return rec(n - 1) + lookup(n); }}\n\
+                 int main() {{\n\
+                     int s = rec({depth});\n\
+                     int i;\n\
+                     for (i = 0; i < {iters}; i = i + {step}) s = s + lookup(i);\n\
+                     return s & 0xff;\n\
+                 }}",
+                tab.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            );
+            let image = instrep_minicc::build(&src).expect("random program compiles");
+            for threads in [1usize, 4] {
+                let fused = tier_fingerprint(&image, AnalysisTier::Fused, threads);
+                let split = tier_fingerprint(&image, AnalysisTier::Split, threads);
+                prop_assert_eq!(fused, split, "tiers diverge at {} thread(s)", threads);
+            }
+        }
+    }
+}

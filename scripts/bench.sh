@@ -6,16 +6,28 @@
 # file: successive entries across PRs chart the pipeline's throughput
 # over time (see DESIGN.md for the schema and methodology).
 #
+# Besides the per-scale summaries the document carries one
+# `observer-costs` entry: the split (oracle) tier re-run at OBS_SCALE
+# with each of the seven observers disabled in turn, and the marginal
+# ns/event each observer costs derived from the deltas. Skip the sweep
+# with OBS_SWEEP=0 when only the trajectory numbers are wanted.
+#
 # Modes:
 #   scripts/bench.sh            run the benchmark and write BENCH_<date>.json
+#                               (suffixed b, c, ... if the date is taken —
+#                               re-benching after a perf change on the same
+#                               day must not overwrite the 'before' file)
 #   scripts/bench.sh --check    validate every committed BENCH_*.json
-#                               (schema version + kind); non-zero on drift
+#                               (schema version + kinds, and the
+#                               observer-costs fields where that entry is
+#                               present); non-zero on drift
 #   scripts/bench.sh --concat   merge all BENCH_*.json, ordered by file
 #                               name (dates sort chronologically), into one
 #                               bench-history document on stdout
 #
 # Tunables (env): RUNS (default 3), SCALES ("tiny small"), JOBS (4),
-# SEED (1998), OUT (BENCH_$(date +%F).json).
+# SEED (1998), OUT (first free BENCH_$(date +%F)*.json), OBS_SWEEP (1),
+# OBS_SCALE (tiny).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +55,19 @@ check_trajectories() {
         if ! grep -q '"kind": "bench",' "$f"; then
             echo "bench schema drift: $f carries no per-scale bench summaries" >&2
             status=1
+        fi
+        # Files benched since the observer sweep landed carry an
+        # observer-costs entry; where one is present its fields must be
+        # intact (older trajectory files legitimately predate it).
+        if grep -q '"kind": "observer-costs",' "$f"; then
+            if ! grep -q '"baseline_ns_per_event":' "$f"; then
+                echo "bench schema drift: observer-costs entry in $f lacks baseline_ns_per_event" >&2
+                status=1
+            fi
+            if ! grep -q '"marginal_ns_per_event":' "$f"; then
+                echo "bench schema drift: observer-costs entry in $f lacks marginal_ns_per_event" >&2
+                status=1
+            fi
         fi
     done
     [ "$status" -eq 0 ] && echo "bench trajectories OK ($(echo "$files" | wc -l) file(s))"
@@ -91,7 +116,24 @@ RUNS="${RUNS:-3}"
 SCALES="${SCALES:-tiny small}"
 JOBS="${JOBS:-4}"
 SEED="${SEED:-1998}"
-OUT="${OUT:-BENCH_$(date +%F).json}"
+OBS_SWEEP="${OBS_SWEEP:-1}"
+OBS_SCALE="${OBS_SCALE:-tiny}"
+
+# First free BENCH_<date>[b-f].json: a same-day re-bench (before/after a
+# perf change) lands beside the earlier file, and the letter suffix
+# keeps `ls | sort` chronological.
+default_out() {
+    local base="BENCH_$(date +%F)" suffix
+    for suffix in "" b c d e f; do
+        if [ ! -e "$base$suffix.json" ]; then
+            echo "$base$suffix.json"
+            return
+        fi
+    done
+    echo "too many trajectory files for $base" >&2
+    return 1
+}
+OUT="${OUT:-$(default_out)}"
 
 echo "==> cargo build --release (offline)"
 cargo build --release --offline -p instrep-repro
@@ -106,6 +148,80 @@ for scale in $SCALES; do
         --bench "$RUNS" --metrics-out "$TMP/$scale.json" >/dev/null
 done
 
+# Per-observer marginal cost: the split (oracle) tier benched whole,
+# then once per observer with that observer disabled. The difference in
+# measure-phase ns/event is what the observer costs on top of the other
+# six — the number that says where fusion headroom is.
+#
+# One pass = the baseline plus the seven one-disabled configs, benched
+# back to back; marginals are computed *within* each pass and the
+# median across RUNS passes is reported. (Benching each config RUNS
+# times sequentially would put minutes between baseline and deltas and
+# fold this box's ±30% drift into every marginal; same-pass deltas
+# mostly cancel it.)
+if [ "$OBS_SWEEP" = 1 ]; then
+    echo "==> observer-cost sweep: split tier, scale=$OBS_SCALE passes=$RUNS jobs=$JOBS"
+    for pass in $(seq 1 "$RUNS"); do
+        "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+            --analysis split --bench 1 \
+            --metrics-out "$TMP/obs-all-$pass.json" >/dev/null
+        for obs in tracker reuse global local function predict classes; do
+            "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+                --analysis split --disable-observer "$obs" --bench 1 \
+                --metrics-out "$TMP/obs-no-$obs-$pass.json" >/dev/null
+        done
+        echo "==> observer-cost sweep: pass $pass/$RUNS done"
+    done
+    python3 - "$TMP" "$OBS_SCALE" "$RUNS" "$JOBS" "$SEED" >"$TMP/obs-costs.json" <<'EOF'
+import json
+import statistics
+import sys
+
+tmp, scale, runs, jobs, seed = sys.argv[1:6]
+OBSERVERS = ["tracker", "reuse", "global", "local", "function", "predict", "classes"]
+
+
+def measure_ns(path):
+    """Per-workload measure-phase ns/event from one bench summary."""
+    out = {}
+    for wl in json.load(open(path))["workloads"]:
+        for ph in wl["phases"]:
+            if ph["name"] == "measure" and ph["median_events_per_sec"] > 0:
+                out[wl["name"]] = 1e9 / ph["median_events_per_sec"]
+    return out
+
+
+passes = range(1, int(runs) + 1)
+base = [measure_ns(f"{tmp}/obs-all-{p}.json") for p in passes]
+workloads = sorted(base[0], key=list(base[0]).index)
+rows = []
+for obs in OBSERVERS:
+    without = [measure_ns(f"{tmp}/obs-no-{obs}-{p}.json") for p in passes]
+    per = {
+        w: round(statistics.median(b[w] - n[w] for b, n in zip(base, without)), 2)
+        for w in workloads
+        if all(w in n for n in without)
+    }
+    mean = round(sum(per.values()) / len(per), 2) if per else 0.0
+    rows.append(
+        {"name": obs, "mean_marginal_ns_per_event": mean, "marginal_ns_per_event": per}
+    )
+doc = {
+    "schema_version": 1,
+    "kind": "observer-costs",
+    "scale": scale,
+    "runs": int(runs),
+    "jobs": int(jobs),
+    "seed": int(seed),
+    "baseline_ns_per_event": {
+        w: round(statistics.median(b[w] for b in base), 2) for w in workloads
+    },
+    "observers": rows,
+}
+print(json.dumps(doc, indent=1))
+EOF
+fi
+
 {
     printf '{\n'
     printf '  "schema_version": 1,\n'
@@ -119,6 +235,9 @@ done
         # Indent the per-scale summary; $(...) strips its trailing newline.
         printf '%s' "$(sed 's/^/    /' "$TMP/$scale.json")"
     done
+    if [ -s "$TMP/obs-costs.json" ]; then
+        printf ',\n%s' "$(sed 's/^/    /' "$TMP/obs-costs.json")"
+    fi
     printf '\n  ]\n'
     printf '}\n'
 } >"$OUT"

@@ -20,6 +20,13 @@ cargo test -q --workspace --offline
 echo "==> cargo test --features proptest (property tests, offline)"
 cargo test -q --workspace --offline --features proptest
 
+echo "==> cargo test --features split-analysis (split oracle drives every report)"
+# Flips AnalysisTier::default() to the free-standing observers, so the
+# whole tier-1 suite — golden snapshots included — re-proves the oracle
+# path end to end. (The later smoke steps rebuild the default-feature
+# binary via the golden test, so this cannot leak into them.)
+cargo test -q --workspace --offline --features split-analysis
+
 echo "==> golden snapshots (byte-for-byte table output)"
 cargo test -q -p instrep-repro --offline --test golden
 
@@ -183,6 +190,16 @@ target/debug/instrep-repro --scale tiny --only compress --table 1 \
     --jobs 2 --interp legacy >"$SMOKE_DIR/legacy-interp.txt"
 cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/legacy-interp.txt" || {
     echo "--interp legacy changed table stdout (tiers diverge)" >&2
+    exit 1
+}
+
+echo "==> analysis-tier differential smoke (split oracle vs fused hot row)"
+# End to end: --analysis split must print byte-identical tables to the
+# default fused tier — the acceptance bar for the observer fusion.
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --analysis split >"$SMOKE_DIR/split-analysis.txt"
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/split-analysis.txt" || {
+    echo "--analysis split changed table stdout (analysis tiers diverge)" >&2
     exit 1
 }
 
