@@ -57,7 +57,9 @@ use instrep_sim::RunOutcome;
 
 use crate::coverage::Coverage;
 use crate::fxhash::FxHasher;
+use crate::metrics::PhaseTimer;
 use crate::pipeline::{AnalysisConfig, WorkloadReport};
+use crate::telemetry::{Counter, Histogram, TelemetryRegistry};
 
 /// Version of the cache entry format *and* of the serialized report
 /// payload. Bump whenever [`WorkloadReport`]'s fields, their meaning,
@@ -189,18 +191,73 @@ fn feed<H: Hasher>(h: &mut H, image: &Image, input: &[u8], cfg: &AnalysisConfig)
 #[derive(Debug)]
 pub struct AnalysisCache {
     dir: PathBuf,
+    /// Stale temp files removed by [`AnalysisCache::open`]'s sweep.
+    tmp_swept: u64,
+    telemetry: Option<CacheTelemetry>,
+}
+
+/// Live telemetry handles the cache updates on its hot paths (see
+/// [`AnalysisCache::attach_telemetry`]).
+#[derive(Debug, Clone)]
+struct CacheTelemetry {
+    hit: Counter,
+    miss: Counter,
+    corrupt_miss: Counter,
+    store: Counter,
+    lookup_ns: Histogram,
+    write_ns: Histogram,
 }
 
 impl AnalysisCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, sweeping any
+    /// stale `.tmp-*` files an interrupted temp+rename
+    /// [`store`](AnalysisCache::store) left behind. (Temp names embed
+    /// the writer's pid, so a *live* concurrent writer's temp file can
+    /// only be swept in the unlikely window between its write and
+    /// rename — which costs that writer one failed rename and a
+    /// recomputation, never a corrupt entry.)
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
+    /// Returns the I/O error if the directory cannot be created. Sweep
+    /// failures are ignored — a leftover temp file is unreferenced
+    /// garbage, not a correctness hazard.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<AnalysisCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(AnalysisCache { dir })
+        let mut tmp_swept = 0;
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for entry in rd.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let is_tmp = name.to_str().is_some_and(|n| n.starts_with(".tmp-"));
+                if is_tmp && std::fs::remove_file(entry.path()).is_ok() {
+                    tmp_swept += 1;
+                }
+            }
+        }
+        Ok(AnalysisCache { dir, tmp_swept, telemetry: None })
+    }
+
+    /// Stale temp files [`AnalysisCache::open`]'s sweep removed.
+    pub fn tmp_swept(&self) -> u64 {
+        self.tmp_swept
+    }
+
+    /// Installs live telemetry: hit/miss/corrupt-miss/store counters
+    /// and lookup/write latency histograms, updated on every
+    /// [`load`](AnalysisCache::load)/[`store`](AnalysisCache::store),
+    /// plus a one-time `cache_tmp_swept` credit for the open-time
+    /// sweep. Without this call the cache touches no atomics.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        registry.counter("cache_tmp_swept").add(self.tmp_swept);
+        self.telemetry = Some(CacheTelemetry {
+            hit: registry.counter("cache_hit"),
+            miss: registry.counter("cache_miss"),
+            corrupt_miss: registry.counter("cache_corrupt_miss"),
+            store: registry.counter("cache_store"),
+            lookup_ns: registry.histogram("cache_lookup_ns"),
+            write_ns: registry.histogram("cache_write_ns"),
+        });
     }
 
     /// The cache's root directory.
@@ -217,8 +274,34 @@ impl AnalysisCache {
     /// miss — absent, truncated, corrupt, or version-mismatched entries
     /// all degrade to a silent recomputation (see the module docs).
     pub fn load(&self, key: &CacheKey) -> Option<WorkloadReport> {
-        let bytes = std::fs::read(self.entry_path(key)).ok()?;
-        parse_entry(&bytes, key)
+        let timer = self.telemetry.as_ref().map(|_| PhaseTimer::start());
+        let report = match std::fs::read(self.entry_path(key)) {
+            Err(_) => {
+                // Absent (or unreadable) entry: a plain miss.
+                if let Some(t) = &self.telemetry {
+                    t.miss.inc();
+                }
+                None
+            }
+            Ok(bytes) => {
+                let report = parse_entry(&bytes, key);
+                if let Some(t) = &self.telemetry {
+                    // The file existed, so a parse failure means it was
+                    // damaged or foreign — a corrupt miss, worth its own
+                    // counter (it should stay 0 on a healthy cache).
+                    if report.is_some() {
+                        t.hit.inc();
+                    } else {
+                        t.corrupt_miss.inc();
+                    }
+                }
+                report
+            }
+        };
+        if let (Some(t), Some(timer)) = (&self.telemetry, timer) {
+            t.lookup_ns.record(timer.elapsed_ns());
+        }
+        report
     }
 
     /// Stores `report` under `key`, replacing any existing entry. The
@@ -231,10 +314,18 @@ impl AnalysisCache {
     /// Returns the underlying I/O error; callers that treat the cache
     /// as best-effort (the pipeline does) may ignore it.
     pub fn store(&self, key: &CacheKey, report: &WorkloadReport) -> std::io::Result<()> {
+        let timer = self.telemetry.as_ref().map(|_| PhaseTimer::start());
         let bytes = entry_bytes(key, &encode_report(report));
         let tmp = self.dir.join(format!(".tmp-{}-{:016x}", std::process::id(), key.lo));
         std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, self.entry_path(key))
+        let result = std::fs::rename(&tmp, self.entry_path(key));
+        if let (Some(t), Some(timer)) = (&self.telemetry, timer) {
+            t.write_ns.record(timer.elapsed_ns());
+            if result.is_ok() {
+                t.store.inc();
+            }
+        }
+        result
     }
 
     /// Number of entry files currently in the cache directory.
@@ -706,6 +797,61 @@ mod tests {
         cache.store(&key, &report).unwrap();
         assert!(cache.load(&key).is_some(), "store replaces the stale entry");
         assert_eq!(cache.entries(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_and_reports_them() {
+        let dir = tmp_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A stale temp file from an interrupted writer, plus a real
+        // entry that must survive the sweep.
+        let stale = dir.join(".tmp-123-00000000deadbeef");
+        std::fs::write(&stale, b"half-written entry").unwrap();
+        let keeper = dir.join("0123456789abcdef0123456789abcdef.bin");
+        std::fs::write(&keeper, b"entry bytes").unwrap();
+
+        let mut cache = AnalysisCache::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale temp file must be swept");
+        assert!(keeper.exists(), "entry files must survive the sweep");
+        assert_eq!(cache.tmp_swept(), 1);
+
+        // Attaching telemetry credits the sweep to a counter.
+        let registry = TelemetryRegistry::new();
+        cache.attach_telemetry(&registry);
+        let swept = registry.counter("cache_tmp_swept").get();
+        assert_eq!(swept, 1);
+
+        // A second open finds nothing left to sweep.
+        assert_eq!(AnalysisCache::open(&dir).unwrap().tmp_swept(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_classifies_hits_misses_and_corruption() {
+        let dir = tmp_dir("telemetry");
+        let mut cache = AnalysisCache::open(&dir).unwrap();
+        let registry = TelemetryRegistry::new();
+        cache.attach_telemetry(&registry);
+        let (image, cfg, report) = sample();
+        let key = CacheKey::derive(&image, &[], &cfg);
+
+        assert!(cache.load(&key).is_none());
+        assert_eq!(registry.counter("cache_miss").get(), 1, "absent entry is a plain miss");
+        cache.store(&key, &report).unwrap();
+        assert_eq!(registry.counter("cache_store").get(), 1);
+        assert!(cache.load(&key).is_some());
+        assert_eq!(registry.counter("cache_hit").get(), 1);
+
+        std::fs::write(cache.entry_path(&key), b"garbage").unwrap();
+        assert!(cache.load(&key).is_none());
+        assert_eq!(registry.counter("cache_corrupt_miss").get(), 1);
+
+        let snap = registry.snapshot();
+        let lookup = snap.hists.iter().find(|(n, _)| n == "cache_lookup_ns").unwrap();
+        assert_eq!(lookup.1.count, 3, "every load records a lookup latency");
+        let write = snap.hists.iter().find(|(n, _)| n == "cache_write_ns").unwrap();
+        assert_eq!(write.1.count, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

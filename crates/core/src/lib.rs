@@ -34,6 +34,12 @@
 //! * [`metrics`] — pull-based observability: phase timers, throughput,
 //!   occupancy gauges, and the versioned JSON documents behind
 //!   `instrep-repro --metrics-out` and the `BENCH_*.json` trajectory.
+//! * [`telemetry`] — live observability: a shared registry of named
+//!   atomic counters/gauges/latency histograms updated from the hot
+//!   paths with relaxed ordering, a wall-clock heartbeat sampler
+//!   streaming JSONL (`instrep-repro --heartbeat-out/--heartbeat-ms`),
+//!   Prometheus-style text exposition (`--telemetry-out`), and a live
+//!   TTY progress line (`--progress`).
 //! * [`trace_span`] — explicit span tracer exporting Chrome trace-event
 //!   JSON (`instrep-repro --trace-out`): one lane per pipeline worker
 //!   thread, one span per phase, Perfetto-loadable.
@@ -83,6 +89,7 @@ pub mod report;
 mod reuse;
 mod session;
 mod shadow;
+pub mod telemetry;
 pub mod trace_span;
 mod tracker;
 
@@ -112,5 +119,9 @@ pub use profile::{
 };
 pub use reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 pub use session::{CacheOutcome, Session};
+pub use telemetry::{
+    HeartbeatConfig, HeartbeatSampler, LanePhase, PipelineTelemetry, TelemetryRegistry,
+    TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+};
 pub use trace_span::{OpenSpan, Span, SpanLane, SpanTracer, TRACE_SCHEMA_VERSION};
 pub use tracker::{RepetitionTracker, StaticStats, TrackerConfig};

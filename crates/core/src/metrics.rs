@@ -224,6 +224,14 @@ pub struct BenchPhase {
     pub median_ms: f64,
     /// Interquartile range of wall time in milliseconds.
     pub iqr_ms: f64,
+    /// Fastest run's wall time in milliseconds — the
+    /// repetition-tester headline number (noise only ever adds time,
+    /// so the minimum is the best estimate of the true cost).
+    pub min_ms: f64,
+    /// Slowest run's wall time in milliseconds.
+    pub max_ms: f64,
+    /// Mean wall time in milliseconds.
+    pub avg_ms: f64,
     /// Median throughput in events/sec (0.0 for event-free phases).
     pub median_events_per_sec: f64,
 }
@@ -273,11 +281,14 @@ impl BenchSummary {
             for (pi, p) in w.phases.iter().enumerate() {
                 indent(&mut s, 3);
                 s.push_str(&format!(
-                    "{{\"name\": {}, \"median_ms\": {}, \"iqr_ms\": {}, \
-                     \"median_events_per_sec\": {}}}{}\n",
+                    "{{\"name\": {}, \"median_ms\": {}, \"iqr_ms\": {}, \"min_ms\": {}, \
+                     \"max_ms\": {}, \"avg_ms\": {}, \"median_events_per_sec\": {}}}{}\n",
                     json_string(p.name),
                     json_f64(p.median_ms),
                     json_f64(p.iqr_ms),
+                    json_f64(p.min_ms),
+                    json_f64(p.max_ms),
+                    json_f64(p.avg_ms),
                     json_f64(p.median_events_per_sec),
                     comma(pi + 1 < w.phases.len()),
                 ));
@@ -322,10 +333,21 @@ pub fn summarize_runs(runs: &[MetricsReport]) -> Result<BenchSummary, String> {
                 walls.push(p.wall_ms());
                 rates.push(p.events_per_sec());
             }
+            let min_ms = walls.iter().copied().fold(f64::INFINITY, f64::min);
+            let max_ms = walls.iter().copied().fold(0.0, f64::max);
+            let avg_ms = walls.iter().sum::<f64>() / walls.len() as f64;
             let median_ms = median(&mut walls);
             let iqr_ms = iqr(&mut walls);
             let median_events_per_sec = median(&mut rates);
-            phases.push(BenchPhase { name: p0.name, median_ms, iqr_ms, median_events_per_sec });
+            phases.push(BenchPhase {
+                name: p0.name,
+                median_ms,
+                iqr_ms,
+                min_ms,
+                max_ms,
+                avg_ms,
+                median_events_per_sec,
+            });
         }
         workloads.push(BenchWorkload { name: name.clone(), phases });
     }
@@ -516,6 +538,9 @@ mod tests {
         let p = &s.workloads[0].phases[0];
         assert_eq!(p.name, "measure");
         assert!((p.median_ms - 20.0).abs() < 1e-9);
+        assert!((p.min_ms - 10.0).abs() < 1e-9);
+        assert!((p.max_ms - 30.0).abs() < 1e-9);
+        assert!((p.avg_ms - 20.0).abs() < 1e-9);
         assert!(p.median_events_per_sec > 0.0);
     }
 
@@ -538,6 +563,9 @@ mod tests {
         assert!(bench_json.contains("\"schema_version\": 1"));
         assert!(bench_json.contains("\"kind\": \"bench\""));
         assert!(bench_json.contains("\"median_ms\""));
+        assert!(bench_json.contains("\"min_ms\""));
+        assert!(bench_json.contains("\"max_ms\""));
+        assert!(bench_json.contains("\"avg_ms\""));
     }
 
     #[test]

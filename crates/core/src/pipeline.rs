@@ -29,6 +29,7 @@ use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::predict::{PredictStats, StrideStats, ValuePredictors};
 use crate::profile::InstructionProfile;
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
+use crate::telemetry::{LanePhase, LiveCount, PipelineTelemetry};
 use crate::trace_span::{SpanLane, SpanTracer};
 use crate::tracker::{self, RepetitionTracker, StaticStats, TrackerConfig};
 
@@ -194,7 +195,7 @@ pub fn analyze_with_metrics(
     cfg: &AnalysisConfig,
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    let probes = Probes { metrics, spans: None, sampler: None, profile: None };
+    let probes = Probes { metrics, spans: None, sampler: None, profile: None, telemetry: None };
     run_probed(
         image,
         input,
@@ -225,6 +226,12 @@ pub struct Probes<'a> {
     /// filled once during finalize from the tracker's per-PC counters —
     /// no per-event cost at all.
     pub profile: Option<&'a mut InstructionProfile>,
+    /// Live lane telemetry (`core::telemetry`): current phase, batched
+    /// instruction counts, and per-phase wall-time counters, published
+    /// through relaxed atomics for the wall-clock heartbeat sampler. A
+    /// shared reference — unlike the other probes it is read
+    /// concurrently while the run executes.
+    pub telemetry: Option<&'a PipelineTelemetry>,
 }
 
 impl Probes<'_> {
@@ -499,8 +506,10 @@ fn run_engine<E: AnalysisEngine>(
     mut engine: E,
     mut probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
+    let tel = probes.telemetry;
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
+    let lt = tel.map(|t| t.begin(LanePhase::Setup));
     let mut machine = Machine::with_tier(image, interp);
     machine.set_input(input);
 
@@ -516,18 +525,36 @@ fn run_engine<E: AnalysisEngine>(
     if let Some(l) = probes.spans.as_deref_mut() {
         l.end(span.expect("span opened with lane"), "setup", "phase", 0);
     }
+    if let Some(t) = tel {
+        t.end(LanePhase::Setup, lt.expect("telemetry timer started"));
+    }
 
     // Skip phase: propagate analysis state without counting. The tracker
     // is idle during the skip (buffering starts with measurement, as in
     // the paper).
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
+    let lt = tel.map(|t| t.begin(LanePhase::Skip));
     let mut outcome = RunOutcome::MaxedOut;
     if cfg.skip > 0 {
-        outcome = machine.run(cfg.skip, |ev| {
-            let region = ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
-            engine.skip(ev, region);
-        })?;
+        outcome = match tel {
+            None => machine.run(cfg.skip, |ev| {
+                let region =
+                    ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                engine.skip(ev, region);
+            })?,
+            Some(t) => {
+                let mut live = LiveCount::new(t.lane());
+                let outcome = machine.run(cfg.skip, |ev| {
+                    let region =
+                        ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                    engine.skip(ev, region);
+                    live.tick();
+                })?;
+                live.flush();
+                outcome
+            }
+        };
     }
     if let Some(m) = probes.metrics.as_deref_mut() {
         m.record_phase("skip", timer.expect("timer started with metrics"), machine.icount());
@@ -535,20 +562,35 @@ fn run_engine<E: AnalysisEngine>(
     if let Some(l) = probes.spans.as_deref_mut() {
         l.end(span.expect("span opened with lane"), "skip", "phase", machine.icount());
     }
+    if let Some(t) = tel {
+        t.end(LanePhase::Skip, lt.expect("telemetry timer started"));
+    }
 
     // Measurement window; the sampler variant adds one tick per event
     // and reads gauges only at window boundaries.
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
+    let lt = tel.map(|t| t.begin(LanePhase::Measure));
     let measured_from = machine.icount();
     if machine.exit_code().is_none() {
-        outcome = match probes.sampler.as_deref_mut() {
-            None => machine.run(cfg.window, |ev| {
+        outcome = match (probes.sampler.as_deref_mut(), tel) {
+            (None, None) => machine.run(cfg.window, |ev| {
                 let region =
                     ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
                 engine.measure(ev, region);
             })?,
-            Some(s) => machine.run(cfg.window, |ev| {
+            (None, Some(t)) => {
+                let mut live = LiveCount::new(t.lane());
+                let outcome = machine.run(cfg.window, |ev| {
+                    let region =
+                        ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                    engine.measure(ev, region);
+                    live.tick();
+                })?;
+                live.flush();
+                outcome
+            }
+            (Some(s), None) => machine.run(cfg.window, |ev| {
                 let region =
                     ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
                 engine.measure(ev, region);
@@ -557,6 +599,21 @@ fn run_engine<E: AnalysisEngine>(
                     s.flush(repeated, reuse_hits, buffered);
                 }
             })?,
+            (Some(s), Some(t)) => {
+                let mut live = LiveCount::new(t.lane());
+                let outcome = machine.run(cfg.window, |ev| {
+                    let region =
+                        ev.mem.map(|m| instrep_isa::abi::region_of(m.addr, data_end, pseudo_brk));
+                    engine.measure(ev, region);
+                    live.tick();
+                    if s.tick() {
+                        let (repeated, reuse_hits, buffered) = engine.sampler_gauges();
+                        s.flush(repeated, reuse_hits, buffered);
+                    }
+                })?;
+                live.flush();
+                outcome
+            }
         };
     }
     if let Some(s) = probes.sampler.as_deref_mut() {
@@ -571,9 +628,13 @@ fn run_engine<E: AnalysisEngine>(
         let sp = span.expect("span opened with lane");
         l.end(sp, "measure", "phase", machine.icount() - measured_from);
     }
+    if let Some(t) = tel {
+        t.end(LanePhase::Measure, lt.expect("telemetry timer started"));
+    }
 
     let timer = probes.metrics.as_ref().map(|_| PhaseTimer::start());
     let span = probes.spans.as_mut().map(|l| l.begin());
+    let lt = tel.map(|t| t.begin(LanePhase::Finalize));
     let mut tn = engine.numbers();
     let parts = engine.parts();
     let static_coverage =
@@ -642,6 +703,9 @@ fn run_engine<E: AnalysisEngine>(
     }
     if let Some(l) = probes.spans {
         l.end(span.expect("span opened with lane"), "finalize", "phase", 0);
+    }
+    if let Some(t) = tel {
+        t.end(LanePhase::Finalize, lt.expect("telemetry timer started"));
     }
 
     Ok(report)
@@ -1024,6 +1088,8 @@ mod tests {
         let mut sampler = IntervalSampler::new(700);
         let mut m = WorkloadMetrics::default();
         let mut profile = InstructionProfile::default();
+        let registry = crate::TelemetryRegistry::new();
+        let tel = registry.pipeline_lane(0);
         let probed = run_probed(
             &image,
             Vec::new(),
@@ -1036,10 +1102,14 @@ mod tests {
                 spans: Some(&mut lane),
                 sampler: Some(&mut sampler),
                 profile: Some(&mut profile),
+                telemetry: Some(&tel),
             },
         )
         .unwrap();
         assert_eq!(format!("{plain:?}"), format!("{probed:?}"));
+        // The live lane count matches exactly after the flushes: skip
+        // window plus the measured instructions.
+        assert_eq!(tel.lane().icount(), cfg.skip + probed.dynamic_total);
         // One span per pipeline phase, closed in pipeline order.
         let names: Vec<&str> = lane.spans().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["setup", "skip", "measure", "finalize"]);

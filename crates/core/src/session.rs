@@ -60,6 +60,7 @@ use crate::pipeline::{
     parallel_map_indexed, run_probed, AnalysisConfig, AnalysisJob, InstrumentedReport, Probes,
 };
 use crate::profile::InstructionProfile;
+use crate::telemetry::{LanePhase, PipelineTelemetry, TelemetryRegistry};
 use crate::trace_span::{SpanLane, SpanTracer};
 
 /// How the analysis cache participated in producing one job's report.
@@ -95,6 +96,7 @@ pub struct Session<'t> {
     profile: bool,
     tracer: Option<&'t mut SpanTracer>,
     cache: Option<&'t AnalysisCache>,
+    telemetry: Option<&'t TelemetryRegistry>,
     verify: bool,
     tier: InterpTier,
     analysis: AnalysisTier,
@@ -112,6 +114,7 @@ impl<'t> Session<'t> {
             profile: false,
             tracer: None,
             cache: None,
+            telemetry: None,
             verify: false,
             tier: InterpTier::default(),
             analysis: AnalysisTier::default(),
@@ -195,6 +198,17 @@ impl<'t> Session<'t> {
         self
     }
 
+    /// Publish live telemetry into `registry`: per-worker-lane icount
+    /// and phase ([`crate::telemetry::LaneTelemetry`]), shared
+    /// `phase_ns_*` wall-time counters, `session_*` run counters, and
+    /// `cache_verify_*` outcomes. Updates are relaxed atomics read
+    /// concurrently by the wall-clock heartbeat sampler; like every
+    /// probe, attaching a registry cannot perturb the reports.
+    pub fn telemetry(mut self, registry: &'t TelemetryRegistry) -> Session<'t> {
+        self.telemetry = Some(registry);
+        self
+    }
+
     /// On a cache hit, recompute anyway and compare — reporting
     /// [`CacheOutcome::VerifyOk`] or [`CacheOutcome::VerifyMismatch`]
     /// instead of skipping the run. No effect without
@@ -222,6 +236,7 @@ impl<'t> Session<'t> {
             profile,
             mut tracer,
             cache,
+            telemetry,
             verify,
             tier,
             analysis,
@@ -235,7 +250,26 @@ impl<'t> Session<'t> {
         let cache = if interval.is_some() || profile || !observers.is_all() { None } else { cache };
         let epoch = tracer.as_ref().map(|t| t.epoch());
 
+        // Telemetry handles, interned up front (one mutex pass): one
+        // lane per worker the pool will actually spawn, plus the shared
+        // session counters. The worker closure only touches atomics.
+        let lane_count = threads.clamp(1, jobs.len().max(1));
+        let lanes: Vec<PipelineTelemetry> = telemetry
+            .map(|r| (0..lane_count).map(|w| r.pipeline_lane(w)).collect())
+            .unwrap_or_default();
+        let runs_started = telemetry.map(|r| r.counter("session_runs_started"));
+        let runs_finished = telemetry.map(|r| r.counter("session_runs_finished"));
+        let verify_ok = telemetry.map(|r| r.counter("cache_verify_ok"));
+        let verify_mismatch = telemetry.map(|r| r.counter("cache_verify_mismatch"));
+        if let Some(r) = telemetry {
+            r.counter("session_jobs_submitted").add(jobs.len() as u64);
+        }
+
         let results = parallel_map_indexed(jobs, threads, |worker, job| {
+            let tel = lanes.get(worker);
+            if let Some(c) = &runs_started {
+                c.inc();
+            }
             let mut m = metrics.then(WorkloadMetrics::default);
             let mut lane = epoch.map(|e| SpanLane::new(worker as u32 + 1, e));
             let label = job.label.to_string();
@@ -247,6 +281,7 @@ impl<'t> Session<'t> {
             if let Some(cache) = cache {
                 let timer = m.as_ref().map(|_| PhaseTimer::start());
                 let span = lane.as_mut().map(|l| l.begin());
+                let lt = tel.map(|t| t.begin(LanePhase::Cache));
                 let k = CacheKey::derive(job.image, &job.input, &cfg);
                 cached = cache.load(&k);
                 key = Some(k);
@@ -256,6 +291,9 @@ impl<'t> Session<'t> {
                 if let Some(l) = lane.as_mut() {
                     l.end(span.expect("span opened with lane"), "cache", "phase", 0);
                 }
+                if let Some(t) = tel {
+                    t.end(LanePhase::Cache, lt.expect("telemetry timer started"));
+                }
             }
 
             if let Some(report) = cached.take_if(|_| !verify) {
@@ -263,6 +301,13 @@ impl<'t> Session<'t> {
                 // simulation — zero instructions execute.
                 if let Some(l) = lane.as_mut() {
                     l.end(job_span.expect("span opened with lane"), label, "workload", 0);
+                }
+                if let Some(t) = tel {
+                    t.lane().job_done();
+                    t.lane().set_phase(LanePhase::Idle);
+                }
+                if let Some(c) = &runs_finished {
+                    c.inc();
                 }
                 let instrumented = InstrumentedReport {
                     report,
@@ -288,6 +333,7 @@ impl<'t> Session<'t> {
                     spans: lane.as_mut(),
                     sampler: sampler.as_mut(),
                     profile: prof.as_mut(),
+                    telemetry: tel,
                 },
             );
 
@@ -297,9 +343,17 @@ impl<'t> Session<'t> {
                     // Verified hit: canonical encodings are equal iff
                     // every report field is.
                     Some(prior) if encode_report(&prior) == encode_report(report) => {
+                        if let Some(c) = &verify_ok {
+                            c.inc();
+                        }
                         CacheOutcome::VerifyOk
                     }
-                    Some(_) => CacheOutcome::VerifyMismatch,
+                    Some(_) => {
+                        if let Some(c) = &verify_mismatch {
+                            c.inc();
+                        }
+                        CacheOutcome::VerifyMismatch
+                    }
                     None => {
                         // Best-effort store: a full disk costs us the
                         // memoization, not the run.
@@ -311,6 +365,13 @@ impl<'t> Session<'t> {
 
             if let (Some(l), Ok(_)) = (lane.as_mut(), &result) {
                 l.end(job_span.expect("span opened with lane"), label, "workload", 0);
+            }
+            if let Some(t) = tel {
+                t.lane().job_done();
+                t.lane().set_phase(LanePhase::Idle);
+            }
+            if let (Some(c), Ok(_)) = (&runs_finished, &result) {
+                c.inc();
             }
             let spans = lane.map(SpanLane::into_spans);
             let instrumented = result.map(|report| InstrumentedReport {
@@ -574,6 +635,92 @@ mod tests {
         assert_eq!(ir.cache, CacheOutcome::Uncached);
         assert!(ir.profile.is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_runs_and_cache_outcomes() {
+        let (dir, mut cache) = tmp_cache("telemetry");
+        let registry = TelemetryRegistry::new();
+        cache.attach_telemetry(&registry);
+        let image = small_image();
+        let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
+        let counter = |name: &str| registry.counter(name).get();
+
+        // Cold: one run, one miss, one store.
+        let cold = Session::new(cfg)
+            .cache(&cache)
+            .telemetry(&registry)
+            .run_one(&image, Vec::new())
+            .unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss);
+        assert_eq!(counter("session_jobs_submitted"), 1);
+        assert_eq!(counter("session_runs_started"), 1);
+        assert_eq!(counter("session_runs_finished"), 1);
+        assert_eq!(counter("cache_miss"), 1);
+        assert_eq!(counter("cache_store"), 1);
+        assert_eq!(counter("cache_hit"), 0);
+
+        // The lane's live icount is exact after the run: the skip
+        // window plus every measured instruction, and one job done.
+        let snap = registry.snapshot();
+        assert_eq!(snap.lanes.len(), 1);
+        assert_eq!(snap.lanes[0].icount, cfg.skip + cold.report.dynamic_total);
+        assert_eq!(snap.lanes[0].jobs_done, 1);
+        assert_eq!(snap.lanes[0].phase, LanePhase::Idle);
+        for phase in ["cache", "setup", "skip", "measure", "finalize"] {
+            assert!(counter(&format!("phase_ns_{phase}")) > 0, "phase_ns_{phase} unrecorded");
+        }
+
+        // Warm: a pure hit, no simulation.
+        let warm = Session::new(cfg)
+            .cache(&cache)
+            .telemetry(&registry)
+            .run_one(&image, Vec::new())
+            .unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(counter("cache_hit"), 1);
+        assert_eq!(counter("session_runs_finished"), 2);
+        assert_eq!(registry.snapshot().lanes[0].icount, cfg.skip + cold.report.dynamic_total);
+
+        // Verify mode recomputes and agrees.
+        let verified = Session::new(cfg)
+            .cache(&cache)
+            .cache_verify(true)
+            .telemetry(&registry)
+            .run_one(&image, Vec::new())
+            .unwrap();
+        assert_eq!(verified.cache, CacheOutcome::VerifyOk);
+        assert_eq!(counter("cache_verify_ok"), 1);
+        assert_eq!(counter("cache_verify_mismatch"), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_reports() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
+        };
+        let plain: Vec<String> = Session::new(cfg)
+            .jobs(2)
+            .run(jobs(3))
+            .into_iter()
+            .map(|r| format!("{:?}", r.unwrap().report))
+            .collect();
+        let registry = TelemetryRegistry::new();
+        let with: Vec<String> = Session::new(cfg)
+            .jobs(2)
+            .telemetry(&registry)
+            .run(jobs(3))
+            .into_iter()
+            .map(|r| format!("{:?}", r.unwrap().report))
+            .collect();
+        assert_eq!(plain, with);
+        // All three jobs landed on some lane; the total is exact.
+        let snap = registry.snapshot();
+        assert_eq!(snap.lanes.iter().map(|l| l.jobs_done).sum::<u64>(), 3);
+        assert_eq!(registry.counter("session_runs_finished").get(), 3);
     }
 
     #[test]

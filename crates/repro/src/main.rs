@@ -46,16 +46,24 @@
 //! measured instruction. `--cache-verify` recomputes on every hit and
 //! fails loudly if an entry disagrees with a fresh analysis.
 
+use std::io::IsTerminal;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
-    default_parallelism, interval, metrics, profile, steady_state_check, AnalysisCache,
-    AnalysisConfig, AnalysisJob, AnalysisTier, CacheOutcome, InstructionProfile, InterpTier,
-    IntervalWindow, MetricsReport, ProfileReport, Session, SpanLane, SpanTracer, SplitObservers,
-    WorkloadReport,
+    default_parallelism, interval, metrics, profile, steady_state_check, telemetry, AnalysisCache,
+    AnalysisConfig, AnalysisJob, AnalysisTier, CacheOutcome, HeartbeatConfig, HeartbeatSampler,
+    InstructionProfile, InterpTier, IntervalWindow, MetricsReport, ProfileReport, Session,
+    SpanLane, SpanTracer, SplitObservers, TelemetryRegistry, WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
+
+/// Hard ceiling on `--bench` iterations when the settle loop keeps
+/// finding new minimums (a pathologically noisy box must still halt).
+const BENCH_MAX_RUNS: u32 = 200;
 
 struct Options {
     scale: Scale,
@@ -82,6 +90,10 @@ struct Options {
     top_given: bool,
     cache_dir: Option<String>,
     cache_verify: bool,
+    heartbeat_out: Option<String>,
+    heartbeat_ms: Option<u64>,
+    telemetry_out: Option<String>,
+    progress: bool,
 }
 
 impl Options {
@@ -374,6 +386,50 @@ const FLAGS: &[FlagSpec] = &[
         },
     },
     FlagSpec {
+        name: "--heartbeat-out",
+        alias: None,
+        value: Some(("PATH", "--heartbeat-out needs a path")),
+        help: "stream live telemetry heartbeats as JSONL to PATH",
+        apply: |o, v| {
+            o.heartbeat_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--heartbeat-ms",
+        alias: None,
+        value: Some(("N", "--heartbeat-ms needs a period")),
+        help: "wall-clock heartbeat period in milliseconds",
+        apply: |o, v| {
+            let n: u64 = v.parse().map_err(|_| format!("bad heartbeat period `{v}`"))?;
+            if n == 0 {
+                return Err("--heartbeat-ms must be at least 1".to_string());
+            }
+            o.heartbeat_ms = Some(n);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--telemetry-out",
+        alias: None,
+        value: Some(("PATH", "--telemetry-out needs a path")),
+        help: "write Prometheus-style telemetry exposition to PATH at exit",
+        apply: |o, v| {
+            o.telemetry_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--progress",
+        alias: None,
+        value: None,
+        help: "live single-line progress on stderr (TTY only)",
+        apply: |o, _| {
+            o.progress = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
         name: "--all",
         alias: None,
         value: None,
@@ -440,6 +496,17 @@ const RULES: &[Rule] = &[
         message: "--disable-observer requires --analysis split \
                   (the fused tier has no per-observer seams)",
     },
+    Rule {
+        broken: |o| o.heartbeat_out.is_some() != o.heartbeat_ms.is_some(),
+        message: "--heartbeat-out and --heartbeat-ms must be given together",
+    },
+    Rule {
+        broken: |o| {
+            o.bench.is_some()
+                && (o.heartbeat_out.is_some() || o.telemetry_out.is_some() || o.progress)
+        },
+        message: "--bench cannot be combined with --heartbeat-out, --telemetry-out, or --progress",
+    },
 ];
 
 /// Prints the help text generated from [`FLAGS`] — there is no
@@ -490,6 +557,10 @@ fn parse_args() -> Result<Options, String> {
         top_given: false,
         cache_dir: None,
         cache_verify: false,
+        heartbeat_out: None,
+        heartbeat_ms: None,
+        telemetry_out: None,
+        progress: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -554,14 +625,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let cache = match opts.cache_dir.as_ref().map(|d| AnalysisCache::open(d.as_str())).transpose() {
-        Ok(c) => c,
-        Err(e) => {
-            let dir = opts.cache_dir.as_deref().unwrap_or_default();
-            eprintln!("error: opening cache at {dir}: {e}");
-            return ExitCode::FAILURE;
+    // Telemetry is strictly opt-in: no registry, no atomics anywhere on
+    // the hot path. `--progress` silently degrades to off when stderr is
+    // not a terminal so piped runs never see control sequences.
+    let progress = opts.progress && std::io::stderr().is_terminal();
+    let registry = (opts.heartbeat_out.is_some() || opts.telemetry_out.is_some() || progress)
+        .then(|| Arc::new(TelemetryRegistry::new()));
+    let mut cache =
+        match opts.cache_dir.as_ref().map(|d| AnalysisCache::open(d.as_str())).transpose() {
+            Ok(c) => c,
+            Err(e) => {
+                let dir = opts.cache_dir.as_deref().unwrap_or_default();
+                eprintln!("error: opening cache at {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if let (Some(c), Some(r)) = (cache.as_mut(), registry.as_deref()) {
+        c.attach_telemetry(r);
+    }
+    let cache = cache;
+    let mut heartbeat = None;
+    if let Some(r) = registry.as_ref() {
+        if opts.heartbeat_out.is_some() || progress {
+            let hb_cfg = HeartbeatConfig {
+                out: opts.heartbeat_out.as_ref().map(PathBuf::from),
+                period: Duration::from_millis(opts.heartbeat_ms.unwrap_or(200)),
+                progress,
+            };
+            match HeartbeatSampler::start(Arc::clone(r), hb_cfg) {
+                Ok(s) => heartbeat = Some(s),
+                Err(e) => {
+                    eprintln!("error: starting heartbeat stream: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-    };
+    }
 
     let threads = opts.jobs.clamp(1, workloads.len());
     eprintln!(
@@ -610,11 +709,21 @@ fn main() -> ExitCode {
 
     let want_metrics = opts.metrics_out.is_some();
     let iterations = opts.bench.unwrap_or(1);
+    // Repetition-tester settle phase (--bench only): keep re-running past
+    // the requested count until no new minimum wall time appears within
+    // INSTREP_BENCH_SETTLE_MS of wall clock (default 2000; 0 disables),
+    // capped at BENCH_MAX_RUNS. Noise only ever adds time, so a settled
+    // minimum is the best estimate of the true cost.
+    let settle_ms: u64 =
+        std::env::var("INSTREP_BENCH_SETTLE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2000);
     let mut runs: Vec<MetricsReport> = Vec::new();
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
     let mut interval_series: Vec<(String, Vec<IntervalWindow>)> = Vec::new();
     let mut profiles: Vec<(String, InstructionProfile)> = Vec::new();
-    for iter in 0..iterations {
+    let mut iter: u32 = 0;
+    let mut best_ns = u64::MAX;
+    let mut best_at = std::time::Instant::now();
+    loop {
         let iter_start = std::time::Instant::now();
         let jobs: Vec<AnalysisJob<'_>> = workloads
             .iter()
@@ -646,6 +755,9 @@ fn main() -> ExitCode {
         }
         if let Some(c) = cache.as_ref() {
             session = session.cache(c).cache_verify(opts.cache_verify);
+        }
+        if let Some(r) = registry.as_deref() {
+            session = session.telemetry(r);
         }
         let results = session.run(jobs);
         let mut analyzed_events = 0;
@@ -707,12 +819,27 @@ fn main() -> ExitCode {
                 wall_ns_total: u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             });
         }
-        if iterations > 1 {
-            eprintln!(
-                "  bench iteration {}/{iterations}: {} ms",
-                iter + 1,
-                iter_start.elapsed().as_millis()
-            );
+        let iter_ns = u64::try_from(iter_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if iter_ns < best_ns {
+            best_ns = iter_ns;
+            best_at = std::time::Instant::now();
+        }
+        iter += 1;
+        if opts.bench.is_some() {
+            if iter > iterations {
+                eprintln!("  bench iteration {iter} (settling): {} ms", iter_ns / 1_000_000);
+            } else if iterations > 1 {
+                eprintln!("  bench iteration {iter}/{iterations}: {} ms", iter_ns / 1_000_000);
+            }
+        }
+        if iter < iterations {
+            continue;
+        }
+        if opts.bench.is_none() || settle_ms == 0 || iter >= BENCH_MAX_RUNS {
+            break;
+        }
+        if best_at.elapsed().as_millis() >= u128::from(settle_ms) {
+            break;
         }
     }
     eprintln!("  analysis took {} ms on {threads} thread(s)", start.elapsed().as_millis());
@@ -817,6 +944,9 @@ fn main() -> ExitCode {
             if let Some(c) = cache.as_ref() {
                 session = session.cache(c).cache_verify(opts.cache_verify);
             }
+            if let Some(r) = registry.as_deref() {
+                session = session.telemetry(r);
+            }
             match session.run_one(image, alt) {
                 Ok(ir) if ir.cache == CacheOutcome::VerifyMismatch => {
                     eprintln!(
@@ -902,6 +1032,26 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote folded stacks to {path} (render with a flamegraph tool)");
         }
+    }
+
+    // The sampler is stopped (and its final beat flushed) before the
+    // exposition snapshot so both exports agree on the final totals.
+    if let Some(hb) = heartbeat {
+        if let Err(e) = hb.stop() {
+            eprintln!("error: writing heartbeats: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &opts.heartbeat_out {
+            eprintln!("wrote heartbeats to {path}");
+        }
+    }
+    if let (Some(path), Some(r)) = (opts.telemetry_out.as_ref(), registry.as_deref()) {
+        let doc = telemetry::render_prometheus(&r.snapshot());
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing telemetry exposition to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote telemetry exposition to {path}");
     }
 
     ExitCode::SUCCESS

@@ -18,6 +18,14 @@ fn run(args: &[&str]) -> Output {
         .expect("spawn instrep-repro")
 }
 
+fn run_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_instrep-repro"))
+        .args(args)
+        .envs(envs.iter().copied())
+        .output()
+        .expect("spawn instrep-repro")
+}
+
 fn stderr_of(out: &Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
@@ -130,25 +138,30 @@ fn metrics_out_writes_schema_v1_json() {
 }
 
 /// `--bench N` turns the same path into a median+IQR summary document.
+/// The settle phase is disabled via the environment so exactly the
+/// requested run count executes.
 #[test]
 fn bench_mode_writes_schema_v1_summary() {
     let dir = std::env::temp_dir().join(format!("instrep-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bench.json");
-    let out = run(&[
-        "--scale",
-        "tiny",
-        "--only",
-        "compress",
-        "--table",
-        "1",
-        "--jobs",
-        "1",
-        "--bench",
-        "2",
-        "--metrics-out",
-        path.to_str().unwrap(),
-    ]);
+    let out = run_env(
+        &[
+            "--scale",
+            "tiny",
+            "--only",
+            "compress",
+            "--table",
+            "1",
+            "--jobs",
+            "1",
+            "--bench",
+            "2",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ],
+        &[("INSTREP_BENCH_SETTLE_MS", "0")],
+    );
     assert!(out.status.success(), "stderr: {}", stderr_of(&out));
     let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
     assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
@@ -165,6 +178,45 @@ fn bench_mode_writes_schema_v1_summary() {
     assert!(measure.get("median_ms").and_then(Json::num).unwrap() > 0.0);
     assert!(measure.get("iqr_ms").and_then(Json::num).unwrap() >= 0.0);
     assert!(measure.get("median_events_per_sec").and_then(Json::num).unwrap() > 0.0);
+    let min = measure.get("min_ms").and_then(Json::num).expect("min_ms present");
+    let max = measure.get("max_ms").and_then(Json::num).expect("max_ms present");
+    let avg = measure.get("avg_ms").and_then(Json::num).expect("avg_ms present");
+    assert!(min > 0.0 && min <= avg && avg <= max, "min {min} <= avg {avg} <= max {max}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With a settle interval, `--bench N` keeps re-running past N until the
+/// minimum stops improving — the summary reports the actual run count.
+#[test]
+fn bench_settle_phase_extends_the_run_count() {
+    let dir = std::env::temp_dir().join(format!("instrep-settle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    let out = run_env(
+        &[
+            "--scale",
+            "tiny",
+            "--only",
+            "compress",
+            "--table",
+            "1",
+            "--jobs",
+            "1",
+            "--bench",
+            "1",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ],
+        &[("INSTREP_BENCH_SETTLE_MS", "200")],
+    );
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    let runs = doc.get("runs").and_then(Json::num).expect("runs present");
+    assert!(runs >= 2.0, "the first run sets a minimum, so settling must add a run; got {runs}");
+    let err = stderr_of(&out);
+    // The first run always sets a new minimum, so a 200ms settle window
+    // forces at least one extra (settling) iteration on any machine.
+    assert!(err.contains("(settling)"), "stderr: {err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -258,6 +310,10 @@ options:
   --top N                  hot sites listed per profile output (default: 10)
   --cache-dir PATH         memoize analysis results in a cache at PATH
   --cache-verify           recompute cache hits and fail on any mismatch
+  --heartbeat-out PATH     stream live telemetry heartbeats as JSONL to PATH
+  --heartbeat-ms N         wall-clock heartbeat period in milliseconds
+  --telemetry-out PATH     write Prometheus-style telemetry exposition to PATH at exit
+  --progress               live single-line progress on stderr (TTY only)
   --all                    print every table and figure (the default)
   --list                   list the benchmarks and their SPEC analogs
   --help                   print this help (also -h)
@@ -952,4 +1008,184 @@ fn tiny_parallel_table_run_succeeds() {
     assert!(stdout.contains("Table 1"), "stdout: {stdout}");
     // Table-only selection must not drag in the other reports.
     assert!(!stdout.contains("Table 2"), "stdout: {stdout}");
+}
+
+#[test]
+fn heartbeat_flags_must_come_together() {
+    for args in [&["--heartbeat-out", "hb.jsonl"] as &[&str], &["--heartbeat-ms", "10"]] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let err = stderr_of(&out);
+        assert!(err.contains("--heartbeat-out and --heartbeat-ms must be given together"), "{err}");
+    }
+}
+
+#[test]
+fn zero_or_garbage_heartbeat_period_fails_with_message() {
+    let out = run(&["--heartbeat-out", "hb.jsonl", "--heartbeat-ms", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--heartbeat-ms must be at least 1"), "{}", stderr_of(&out));
+    let out = run(&["--heartbeat-out", "hb.jsonl", "--heartbeat-ms", "soon"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("bad heartbeat period `soon`"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn bench_excludes_telemetry_outputs() {
+    for extra in [
+        &["--heartbeat-out", "hb.jsonl", "--heartbeat-ms", "10"] as &[&str],
+        &["--telemetry-out", "t.txt"],
+        &["--progress"],
+    ] {
+        let mut args = vec!["--bench", "2", "--metrics-out", "m.json"];
+        args.extend_from_slice(extra);
+        let out = run(&args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let err = stderr_of(&out);
+        assert!(
+            err.contains(
+                "--bench cannot be combined with --heartbeat-out, --telemetry-out, or --progress"
+            ),
+            "{args:?} stderr: {err}"
+        );
+    }
+}
+
+/// `--progress` must degrade to a no-op when stderr is not a terminal
+/// (as in this test harness): the run succeeds and stderr carries no
+/// carriage-return progress repaints.
+#[test]
+fn progress_degrades_silently_without_a_tty() {
+    let out = run(&["--scale", "tiny", "--only", "compress", "--table", "1", "--progress"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(!err.contains('\r'), "piped stderr must not see progress repaints: {err:?}");
+    assert!(!err.contains("telemetry:"), "piped stderr must not see progress lines: {err:?}");
+}
+
+/// The full telemetry stack — heartbeat stream, exposition file, and
+/// progress flag — must not change a byte of table stdout, at any jobs
+/// count (the acceptance bar for the observability layer).
+#[test]
+fn telemetry_outputs_leave_stdout_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("instrep-telem-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for jobs in ["1", "4"] {
+        let args = ["--scale", "tiny", "--only", "compress", "--table", "1", "--jobs", jobs];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let hb = dir.join(format!("hb{jobs}.jsonl"));
+        let telem = dir.join(format!("telem{jobs}.txt"));
+        let mut instrumented_args = args.to_vec();
+        instrumented_args.extend_from_slice(&[
+            "--heartbeat-out",
+            hb.to_str().unwrap(),
+            "--heartbeat-ms",
+            "10",
+            "--telemetry-out",
+            telem.to_str().unwrap(),
+            "--progress",
+        ]);
+        let instrumented = run(&instrumented_args);
+        assert!(instrumented.status.success(), "stderr: {}", stderr_of(&instrumented));
+        assert_eq!(
+            plain.stdout, instrumented.stdout,
+            "telemetry outputs changed stdout at --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The heartbeat stream must be parseable JSONL: a schema-v1 header,
+/// then at least one beat with increasing sequence numbers and per-lane
+/// instruction counts that never move backwards.
+#[test]
+fn heartbeat_stream_is_schema_v1_jsonl_with_monotone_lanes() {
+    let dir = std::env::temp_dir().join(format!("instrep-heartbeat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hb.jsonl");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--jobs",
+        "2",
+        "--heartbeat-out",
+        path.to_str().unwrap(),
+        "--heartbeat-ms",
+        "10",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("heartbeat file written");
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad heartbeat line ({e:?}): {l}")))
+        .collect();
+    assert!(lines.len() >= 2, "expected a header plus at least one beat: {text}");
+    let header = &lines[0];
+    assert_eq!(header.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(header.get("kind").and_then(Json::str), Some("heartbeats"));
+    assert_eq!(header.get("period_ms").and_then(Json::num), Some(10.0));
+    let mut last_seq = 0.0;
+    let mut last_icount: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut last_elapsed = 0.0;
+    for beat in &lines[1..] {
+        assert_eq!(beat.get("kind").and_then(Json::str), Some("heartbeat"));
+        let seq = beat.get("seq").and_then(Json::num).expect("seq");
+        assert!(seq > last_seq, "sequence numbers must increase: {seq} after {last_seq}");
+        last_seq = seq;
+        let elapsed = beat.get("elapsed_ms").and_then(Json::num).expect("elapsed_ms");
+        assert!(elapsed >= last_elapsed, "elapsed must not go backwards");
+        last_elapsed = elapsed;
+        assert!(beat.get("counters").is_some(), "beats carry a counters object");
+        for lane in beat.get("lanes").expect("lanes array").items() {
+            let id = lane.get("lane").and_then(Json::num).expect("lane id") as u64;
+            let icount = lane.get("icount").and_then(Json::num).expect("icount");
+            assert!(icount >= 0.0);
+            let prev = last_icount.insert(id, icount).unwrap_or(0.0);
+            assert!(icount >= prev, "lane {id} icount moved backwards: {icount} after {prev}");
+            assert!(lane.get("phase").and_then(Json::str).is_some(), "lanes carry a phase");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A warm-cache run with `--telemetry-out` must expose nonzero hit
+/// counters and lookup-latency histogram counts in the exposition file.
+#[test]
+fn warm_cache_exposition_shows_hits_and_lookup_latency() {
+    let dir = std::env::temp_dir().join(format!("instrep-telem-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let telem = dir.join("telem.txt");
+    let base = [
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+    let cold = run(&base);
+    assert!(cold.status.success(), "stderr: {}", stderr_of(&cold));
+    let mut warm_args = base.to_vec();
+    warm_args.extend_from_slice(&["--telemetry-out", telem.to_str().unwrap()]);
+    let warm = run(&warm_args);
+    assert!(warm.status.success(), "stderr: {}", stderr_of(&warm));
+    let text = std::fs::read_to_string(&telem).expect("exposition file written");
+    let metric = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+    };
+    assert!(metric("instrep_cache_hit") > 0.0, "warm run must record cache hits");
+    assert!(metric("instrep_cache_lookup_ns_count") > 0.0, "lookups must land in the histogram");
+    assert!(metric("instrep_cache_miss") == 0.0, "warm run must not miss");
+    assert!(text.contains("# TYPE instrep_cache_lookup_ns histogram"), "histogram typed: {text}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,7 +27,9 @@
 #
 # Tunables (env): RUNS (default 3), SCALES ("tiny small"), JOBS (4),
 # SEED (1998), OUT (first free BENCH_$(date +%F)*.json), OBS_SWEEP (1),
-# OBS_SCALE (tiny).
+# OBS_SCALE (tiny), SETTLE_MS (500 — repetition-tester settle window for
+# the trajectory runs; the observer sweep always runs with settling off
+# so its same-pass deltas stay back to back).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +61,19 @@ check_trajectories() {
         # Files benched since the observer sweep landed carry an
         # observer-costs entry; where one is present its fields must be
         # intact (older trajectory files legitimately predate it).
+        # Files benched since the repetition-tester upgrade carry
+        # min/max/avg beside median+IQR; where min_ms is present the
+        # other two must be too (older files legitimately predate them).
+        if grep -q '"min_ms":' "$f"; then
+            if ! grep -q '"max_ms":' "$f"; then
+                echo "bench schema drift: $f has min_ms but no max_ms" >&2
+                status=1
+            fi
+            if ! grep -q '"avg_ms":' "$f"; then
+                echo "bench schema drift: $f has min_ms but no avg_ms" >&2
+                status=1
+            fi
+        fi
         if grep -q '"kind": "observer-costs",' "$f"; then
             if ! grep -q '"baseline_ns_per_event":' "$f"; then
                 echo "bench schema drift: observer-costs entry in $f lacks baseline_ns_per_event" >&2
@@ -118,6 +133,7 @@ JOBS="${JOBS:-4}"
 SEED="${SEED:-1998}"
 OBS_SWEEP="${OBS_SWEEP:-1}"
 OBS_SCALE="${OBS_SCALE:-tiny}"
+SETTLE_MS="${SETTLE_MS:-500}"
 
 # First free BENCH_<date>[b-f].json: a same-day re-bench (before/after a
 # perf change) lands beside the earlier file, and the letter suffix
@@ -143,8 +159,9 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for scale in $SCALES; do
-    echo "==> bench: scale=$scale runs=$RUNS jobs=$JOBS seed=$SEED"
-    "$BIN" --scale "$scale" --seed "$SEED" --jobs "$JOBS" --table 1 \
+    echo "==> bench: scale=$scale runs=$RUNS jobs=$JOBS seed=$SEED settle=${SETTLE_MS}ms"
+    INSTREP_BENCH_SETTLE_MS="$SETTLE_MS" \
+        "$BIN" --scale "$scale" --seed "$SEED" --jobs "$JOBS" --table 1 \
         --bench "$RUNS" --metrics-out "$TMP/$scale.json" >/dev/null
 done
 
@@ -162,11 +179,13 @@ done
 if [ "$OBS_SWEEP" = 1 ]; then
     echo "==> observer-cost sweep: split tier, scale=$OBS_SCALE passes=$RUNS jobs=$JOBS"
     for pass in $(seq 1 "$RUNS"); do
-        "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+        INSTREP_BENCH_SETTLE_MS=0 \
+            "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
             --analysis split --bench 1 \
             --metrics-out "$TMP/obs-all-$pass.json" >/dev/null
         for obs in tracker reuse global local function predict classes; do
-            "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+            INSTREP_BENCH_SETTLE_MS=0 \
+                "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
                 --analysis split --disable-observer "$obs" --bench 1 \
                 --metrics-out "$TMP/obs-no-$obs-$pass.json" >/dev/null
         done

@@ -203,6 +203,42 @@ cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/split-analysis.txt" || {
     exit 1
 }
 
+echo "==> telemetry smoke run (heartbeats, exposition, stdout-identity)"
+# The full telemetry stack on, at two jobs counts: table stdout must not
+# move a byte, the heartbeat stream must carry a schema-v1 header plus
+# at least one beat, and the exposition file must be Prometheus-shaped.
+for JOBS in 1 4; do
+    target/debug/instrep-repro --scale tiny --only compress --table 1 \
+        --jobs "$JOBS" --heartbeat-out "$SMOKE_DIR/hb$JOBS.jsonl" \
+        --heartbeat-ms 10 --telemetry-out "$SMOKE_DIR/telem$JOBS.txt" \
+        --progress >"$SMOKE_DIR/telemetry$JOBS.txt" 2>/dev/null
+    cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/telemetry$JOBS.txt" || {
+        echo "telemetry outputs perturbed table stdout at --jobs $JOBS" >&2
+        exit 1
+    }
+done
+head -1 "$SMOKE_DIR/hb1.jsonl" | grep -q '"kind": "heartbeats"' || {
+    echo "heartbeat schema drift: expected kind \"heartbeats\" in the header" >&2
+    exit 1
+}
+head -1 "$SMOKE_DIR/hb1.jsonl" | grep -q '"schema_version": 1' || {
+    echo "heartbeat schema drift: expected schema_version 1 in the header" >&2
+    exit 1
+}
+BEATS=$(grep -c '"kind": "heartbeat"' "$SMOKE_DIR/hb1.jsonl" || true)
+[ "$BEATS" -ge 1 ] || {
+    echo "heartbeat stream carried no beats (got $BEATS)" >&2
+    exit 1
+}
+grep -q '^instrep_' "$SMOKE_DIR/telem1.txt" || {
+    echo "telemetry exposition has no instrep_ metrics" >&2
+    exit 1
+}
+grep -q '^# TYPE instrep_' "$SMOKE_DIR/telem1.txt" || {
+    echo "telemetry exposition has no # TYPE lines" >&2
+    exit 1
+}
+
 echo "==> legacy entry-point sweep (no in-tree callers of the analyze* shims)"
 LEGACY=$(grep -rn --include='*.rs' -e 'analyze_with_probes' -e 'analyze_with_metrics' \
     -e 'analyze_many' crates src tests examples benches 2>/dev/null |
