@@ -53,6 +53,11 @@
 //!   function, MiniC source line (`.loc` provenance), and opcode class;
 //!   exports versioned JSON, flamegraph collapsed stacks, and an
 //!   annotated source view.
+//! * [`loops`] — dynamic loop-nest repetition attribution
+//!   (`instrep-repro --loops-out/--loops-folded`): online loop
+//!   detection from executed back edges, per-loop trip/depth counters,
+//!   and exec/repeated attribution per (loop, depth, class), with a
+//!   top-k redundancy summary per workload.
 //!
 //! # Examples
 //!
@@ -81,6 +86,7 @@ pub mod fxhash;
 mod global;
 pub mod interval;
 mod local;
+pub mod loops;
 pub mod metrics;
 mod pipeline;
 mod predict;
@@ -103,6 +109,9 @@ pub use global::{GlobalAnalysis, GlobalCounts, GlobalTag};
 pub use instrep_sim::InterpTier;
 pub use interval::{IntervalSampler, IntervalWindow, INTERVAL_SCHEMA_VERSION};
 pub use local::{LocalAnalysis, LocalCat, LocalCounts};
+pub use loops::{
+    LoopNestProfile, LoopPathStats, LoopProfiler, LoopRecord, LoopsReport, LOOPS_SCHEMA_VERSION,
+};
 pub use metrics::{
     BenchSummary, MetricsReport, PhaseMetrics, WorkloadMetrics, METRICS_SCHEMA_VERSION,
 };

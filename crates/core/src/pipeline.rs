@@ -25,6 +25,7 @@ use crate::fused::{AnalysisTier, FusedAnalysis, SplitObservers};
 use crate::global::{GlobalAnalysis, GlobalCounts};
 use crate::interval::{IntervalSampler, IntervalWindow};
 use crate::local::{LocalAnalysis, LocalCounts};
+use crate::loops::{LoopNestProfile, LoopProfiler};
 use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::predict::{PredictStats, StrideStats, ValuePredictors};
 use crate::profile::InstructionProfile;
@@ -195,7 +196,8 @@ pub fn analyze_with_metrics(
     cfg: &AnalysisConfig,
     metrics: Option<&mut WorkloadMetrics>,
 ) -> Result<WorkloadReport, SimError> {
-    let probes = Probes { metrics, spans: None, sampler: None, profile: None, telemetry: None };
+    let probes =
+        Probes { metrics, spans: None, sampler: None, profile: None, telemetry: None, loops: None };
     run_probed(
         image,
         input,
@@ -232,6 +234,13 @@ pub struct Probes<'a> {
     /// shared reference — unlike the other probes it is read
     /// concurrently while the run executes.
     pub telemetry: Option<&'a PipelineTelemetry>,
+    /// Dynamic loop-nest profiler (`core::loops`): online back-edge
+    /// loop detection plus a per-event path assignment, joined against
+    /// the tracker's per-static stats at finalize. The one probe with a
+    /// per-event cost on the analysis side, so the engine is
+    /// re-monomorphized with it attached and the probe-off hot path is
+    /// untouched.
+    pub loops: Option<&'a mut LoopProfiler>,
 }
 
 impl Probes<'_> {
@@ -284,15 +293,29 @@ pub(crate) fn run_probed(
     interp: InterpTier,
     analysis: AnalysisTier,
     observers: SplitObservers,
-    probes: Probes<'_>,
+    mut probes: Probes<'_>,
 ) -> Result<WorkloadReport, SimError> {
-    match analysis {
-        AnalysisTier::Fused => {
+    // The loop profiler is the one probe with per-event analysis work,
+    // so it wraps the engine instead of hanging off the event loop:
+    // each (tier, probe) combination monomorphizes separately and the
+    // probe-off paths compile exactly as before.
+    let loops = probes.loops.take();
+    match (analysis, loops) {
+        (AnalysisTier::Fused, None) => {
             let engine = FusedAnalysis::new(image, cfg.tracker, cfg.reuse);
             run_engine(image, input, cfg, interp, engine, probes)
         }
-        AnalysisTier::Split => {
+        (AnalysisTier::Fused, Some(lp)) => {
+            let engine =
+                LoopedEngine { inner: FusedAnalysis::new(image, cfg.tracker, cfg.reuse), lp };
+            run_engine(image, input, cfg, interp, engine, probes)
+        }
+        (AnalysisTier::Split, None) => {
             let engine = SplitEngine::new(image, cfg, observers);
+            run_engine(image, input, cfg, interp, engine, probes)
+        }
+        (AnalysisTier::Split, Some(lp)) => {
+            let engine = LoopedEngine { inner: SplitEngine::new(image, cfg, observers), lp };
             run_engine(image, input, cfg, interp, engine, probes)
         }
     }
@@ -315,6 +338,48 @@ trait AnalysisEngine {
     fn numbers(&mut self) -> TrackerNumbers;
     /// Borrowed views of the non-tracker observers and predictor stats.
     fn parts(&self) -> ObserverParts<'_>;
+    /// Finalize hook for the loop profiler: joins the per-static stats
+    /// against the recorded loop paths. A no-op unless the engine is
+    /// wrapped in [`LoopedEngine`].
+    fn finalize_loops(&mut self, _image: &Image, _stats: &[StaticStats]) {}
+}
+
+/// An [`AnalysisEngine`] with the loop-nest profiler fused into its
+/// per-event path — the mechanism behind [`Probes::loops`]. Pure
+/// delegation plus one `LoopProfiler::observe` per event; the profiler
+/// reads the event stream only, so the inner engine's report is
+/// byte-identical with or without the wrapper.
+struct LoopedEngine<'a, E> {
+    inner: E,
+    lp: &'a mut LoopProfiler,
+}
+
+impl<E: AnalysisEngine> AnalysisEngine for LoopedEngine<'_, E> {
+    fn skip(&mut self, ev: &Event, region: Option<Region>) {
+        self.lp.observe(ev, false);
+        self.inner.skip(ev, region);
+    }
+
+    fn measure(&mut self, ev: &Event, region: Option<Region>) {
+        self.lp.observe(ev, true);
+        self.inner.measure(ev, region);
+    }
+
+    fn sampler_gauges(&self) -> (u64, u64, u64) {
+        self.inner.sampler_gauges()
+    }
+
+    fn numbers(&mut self) -> TrackerNumbers {
+        self.inner.numbers()
+    }
+
+    fn parts(&self) -> ObserverParts<'_> {
+        self.inner.parts()
+    }
+
+    fn finalize_loops(&mut self, image: &Image, stats: &[StaticStats]) {
+        self.lp.fill_from_stats(image, stats);
+    }
 }
 
 /// The tracker-side aggregates a tier produces for the report — the
@@ -701,6 +766,10 @@ fn run_engine<E: AnalysisEngine>(
         m.gauge("sim_resident_bytes", fp.resident_bytes as u64);
         m.gauge("sim_output_bytes", fp.output_bytes as u64);
     }
+    // Pull-based like the profile: one pass over state the tier (and
+    // the wrapper's path assignments) accumulated anyway. A no-op for
+    // unwrapped engines.
+    engine.finalize_loops(image, &tn.static_stats);
     if let Some(l) = probes.spans {
         l.end(span.expect("span opened with lane"), "finalize", "phase", 0);
     }
@@ -792,6 +861,8 @@ pub struct InstrumentedReport {
     pub intervals: Option<Vec<IntervalWindow>>,
     /// Per-PC attribution profile, when `Session::profile` was set.
     pub profile: Option<InstructionProfile>,
+    /// Loop-nest attribution profile, when `Session::loops` was set.
+    pub loops: Option<LoopNestProfile>,
     /// How the analysis cache participated, if one was attached.
     pub cache: crate::CacheOutcome,
 }
@@ -1088,6 +1159,7 @@ mod tests {
         let mut sampler = IntervalSampler::new(700);
         let mut m = WorkloadMetrics::default();
         let mut profile = InstructionProfile::default();
+        let mut lp = LoopProfiler::new(image.text.len());
         let registry = crate::TelemetryRegistry::new();
         let tel = registry.pipeline_lane(0);
         let probed = run_probed(
@@ -1103,6 +1175,7 @@ mod tests {
                 sampler: Some(&mut sampler),
                 profile: Some(&mut profile),
                 telemetry: Some(&tel),
+                loops: Some(&mut lp),
             },
         )
         .unwrap();
@@ -1126,6 +1199,12 @@ mod tests {
         assert_eq!(profile.total_exec(), probed.dynamic_total);
         assert_eq!(profile.total_repeated(), probed.dynamic_repeated);
         assert_eq!(profile.sites.len(), probed.static_executed);
+        // The loop profiler saw the whole window: its path assignment
+        // conserves the report's totals and found the for loop.
+        let loops = lp.finish();
+        assert_eq!(loops.total_exec(), probed.dynamic_total);
+        assert_eq!(loops.total_repeated(), probed.dynamic_repeated);
+        assert!(loops.max_depth >= 1 && !loops.loops.is_empty());
     }
 
     #[test]

@@ -409,34 +409,52 @@ fn push_site(s: &mut String, site: &SiteProfile, more: bool) {
 }
 
 /// Renders the perf-annotate-style source view: every line of `source`
-/// with the exec/repeat counters of the instructions compiled from it.
-/// Lines that produced no measured instruction get blank columns.
+/// with the exec/repeat counters of the instructions compiled from it,
+/// plus — when a [`LoopNestProfile`](crate::LoopNestProfile) is
+/// supplied — the deepest loop nest each line ran under. Lines that
+/// produced no measured instruction (or ran under no loop) get blank
+/// columns.
 ///
 /// ```text
-/// == compress: source-level repetition profile (exec / repeated / rep%) ==
-///       exec   repeated   rep%  line  source
-///          .          .      .     1  // --- shared workload prelude ---
-///      12345      11000   89.1     5  int read_int() {
+/// == compress: source-level repetition profile (exec / repeated / rep% / loop) ==
+///       exec   repeated   rep%  loop  line  source
+///          .          .      .     .     1  // --- shared workload prelude ---
+///      12345      11000   89.1     2     5  int read_int() {
 /// ```
-pub fn annotate(name: &str, source: &str, profile: &InstructionProfile) -> String {
+pub fn annotate(
+    name: &str,
+    source: &str,
+    profile: &InstructionProfile,
+    loops: Option<&crate::LoopNestProfile>,
+) -> String {
     let totals = profile.line_totals();
+    let depths = loops.map(crate::LoopNestProfile::line_depths).unwrap_or_default();
     let mut s = String::with_capacity(source.len() * 2);
     s.push_str(&format!(
-        "== {name}: source-level repetition profile (exec / repeated / rep%) ==\n"
+        "== {name}: source-level repetition profile (exec / repeated / rep% / loop) ==\n"
     ));
     s.push_str(&format!(
-        "{:>10} {:>10} {:>6}  {:>4}  source\n",
-        "exec", "repeated", "rep%", "line"
+        "{:>10} {:>10} {:>6}  {:>4}  {:>4}  source\n",
+        "exec", "repeated", "rep%", "loop", "line"
     ));
     for (i, text) in source.lines().enumerate() {
         let line = (i + 1) as u32;
+        let depth = match depths.iter().find(|&&(l, _)| l == line) {
+            Some(&(_, d)) => d.to_string(),
+            None => ".".to_string(),
+        };
         match totals.iter().find(|&&(l, ..)| l == line) {
             Some(&(_, exec, repeated)) => {
                 let rate = if exec == 0 { 0.0 } else { repeated as f64 / exec as f64 * 100.0 };
-                s.push_str(&format!("{exec:>10} {repeated:>10} {rate:>6.1}  {line:>4}  {text}\n"));
+                s.push_str(&format!(
+                    "{exec:>10} {repeated:>10} {rate:>6.1}  {depth:>4}  {line:>4}  {text}\n"
+                ));
             }
             None => {
-                s.push_str(&format!("{:>10} {:>10} {:>6}  {line:>4}  {text}\n", ".", ".", "."));
+                s.push_str(&format!(
+                    "{:>10} {:>10} {:>6}  {depth:>4}  {line:>4}  {text}\n",
+                    ".", ".", "."
+                ));
             }
         }
     }
@@ -582,7 +600,7 @@ int main() {
     #[test]
     fn annotate_renders_every_source_line() {
         let (profile, _) = profiled(LOOP_SRC);
-        let view = annotate("loop", LOOP_SRC, &profile);
+        let view = annotate("loop", LOOP_SRC, &profile, None);
         // Header + column row + one row per source line.
         assert_eq!(view.lines().count(), 2 + LOOP_SRC.lines().count());
         // The loop-body line carries counts; its source text is present.
@@ -591,6 +609,31 @@ int main() {
         // Line totals match the profile's line-attributed sites.
         let attributed: u64 = profile.sites.iter().filter(|s| s.line != 0).map(|s| s.exec).sum();
         assert_eq!(profile.line_totals().iter().map(|&(_, e, _)| e).sum::<u64>(), attributed);
+    }
+
+    #[test]
+    fn annotate_loop_column_shows_nest_depth() {
+        let image = build(LOOP_SRC).unwrap();
+        let ir = Session::new(AnalysisConfig::default())
+            .profile(true)
+            .loops(true)
+            .run_one(&image, Vec::new())
+            .unwrap();
+        let profile = ir.profile.expect("profile was requested");
+        let loops = ir.loops.expect("loops were requested");
+        let view = annotate("loop", LOOP_SRC, &profile, Some(&loops));
+        assert!(view.lines().nth(1).unwrap().contains("loop  line  source"));
+        // The for-loop body line shows a nest depth of at least 1; the
+        // function-signature line of `twice` sits outside any loop span
+        // unless the loop's body covers it, so just check the body.
+        let body = view.lines().find(|l| l.contains("s += twice(i & 7);")).unwrap();
+        let cols: Vec<&str> = body.split_whitespace().collect();
+        let depth: u32 = cols[3].parse().expect("loop column is a depth number");
+        assert!(depth >= 1, "{body}");
+        // Without a loop profile the column renders as '.'.
+        let plain = annotate("loop", LOOP_SRC, &profile, None);
+        let body = plain.lines().find(|l| l.contains("s += twice(i & 7);")).unwrap();
+        assert_eq!(body.split_whitespace().nth(3), Some("."), "{body}");
     }
 
     #[test]

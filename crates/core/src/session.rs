@@ -55,6 +55,7 @@ use instrep_sim::{InterpTier, SimError};
 use crate::cache::{encode_report, AnalysisCache, CacheKey};
 use crate::fused::{AnalysisTier, SplitObservers};
 use crate::interval::IntervalSampler;
+use crate::loops::LoopProfiler;
 use crate::metrics::{PhaseTimer, WorkloadMetrics};
 use crate::pipeline::{
     parallel_map_indexed, run_probed, AnalysisConfig, AnalysisJob, InstrumentedReport, Probes,
@@ -94,6 +95,7 @@ pub struct Session<'t> {
     metrics: bool,
     interval: Option<u64>,
     profile: bool,
+    loops: bool,
     tracer: Option<&'t mut SpanTracer>,
     cache: Option<&'t AnalysisCache>,
     telemetry: Option<&'t TelemetryRegistry>,
@@ -112,6 +114,7 @@ impl<'t> Session<'t> {
             metrics: false,
             interval: None,
             profile: false,
+            loops: false,
             tracer: None,
             cache: None,
             telemetry: None,
@@ -182,6 +185,14 @@ impl<'t> Session<'t> {
         self
     }
 
+    /// Fill a [`LoopNestProfile`](crate::LoopNestProfile) per job —
+    /// dynamic loop detection from back edges with exec/repeated
+    /// attribution per loop nest. Bypasses the cache.
+    pub fn loops(mut self, on: bool) -> Session<'t> {
+        self.loops = on;
+        self
+    }
+
     /// Record span traces into `tracer`: one lane per worker thread
     /// (lane `1 + worker index`; lane 0 is the driver's), one
     /// `"workload"` span per job wrapping the pipeline's `"phase"`
@@ -234,6 +245,7 @@ impl<'t> Session<'t> {
             metrics,
             interval,
             profile,
+            loops,
             mut tracer,
             cache,
             telemetry,
@@ -247,7 +259,11 @@ impl<'t> Session<'t> {
         // those probe sets bypass the cache entirely. So does a partial
         // observer mask: its zeroed report must neither be stored under
         // nor served for the full-analysis key.
-        let cache = if interval.is_some() || profile || !observers.is_all() { None } else { cache };
+        let cache = if interval.is_some() || profile || loops || !observers.is_all() {
+            None
+        } else {
+            cache
+        };
         let epoch = tracer.as_ref().map(|t| t.epoch());
 
         // Telemetry handles, interned up front (one mutex pass): one
@@ -261,6 +277,16 @@ impl<'t> Session<'t> {
         let runs_finished = telemetry.map(|r| r.counter("session_runs_finished"));
         let verify_ok = telemetry.map(|r| r.counter("cache_verify_ok"));
         let verify_mismatch = telemetry.map(|r| r.counter("cache_verify_mismatch"));
+        // Loop-profiler instruments, registered only when the probe is
+        // on so an off run leaves no zero-valued ghosts in expositions.
+        let loop_tel = telemetry.filter(|_| loops).map(|r| {
+            (
+                r.counter("loops_discovered"),
+                r.counter("loops_back_edges"),
+                r.counter("loops_irregular"),
+                r.gauge("loops_max_depth"),
+            )
+        });
         if let Some(r) = telemetry {
             r.counter("session_jobs_submitted").add(jobs.len() as u64);
         }
@@ -273,6 +299,9 @@ impl<'t> Session<'t> {
             let mut m = metrics.then(WorkloadMetrics::default);
             let mut lane = epoch.map(|e| SpanLane::new(worker as u32 + 1, e));
             let label = job.label.to_string();
+            if let Some(t) = tel {
+                t.lane().set_label(&label);
+            }
             let job_span = lane.as_mut().map(|l| l.begin());
 
             // Cache lookup, timed as its own pipeline phase.
@@ -305,6 +334,7 @@ impl<'t> Session<'t> {
                 if let Some(t) = tel {
                     t.lane().job_done();
                     t.lane().set_phase(LanePhase::Idle);
+                    t.lane().set_label("");
                 }
                 if let Some(c) = &runs_finished {
                     c.inc();
@@ -314,6 +344,7 @@ impl<'t> Session<'t> {
                     metrics: m,
                     intervals: None,
                     profile: None,
+                    loops: None,
                     cache: CacheOutcome::Hit,
                 };
                 return (Ok(instrumented), lane.map(SpanLane::into_spans));
@@ -321,6 +352,7 @@ impl<'t> Session<'t> {
 
             let mut sampler = interval.map(IntervalSampler::new);
             let mut prof = profile.then(InstructionProfile::default);
+            let mut lp = loops.then(|| LoopProfiler::new(job.image.text.len()));
             let result = run_probed(
                 job.image,
                 job.input,
@@ -334,8 +366,17 @@ impl<'t> Session<'t> {
                     sampler: sampler.as_mut(),
                     profile: prof.as_mut(),
                     telemetry: tel,
+                    loops: lp.as_mut(),
                 },
             );
+            if let (Some((discovered, back_edges, irregular, max_depth)), Some(p)) =
+                (&loop_tel, &lp)
+            {
+                discovered.add(p.loops_discovered());
+                back_edges.add(p.back_edges());
+                irregular.add(p.irregular());
+                max_depth.set_max(u64::from(p.max_depth()));
+            }
 
             let mut outcome = CacheOutcome::Uncached;
             if let (Some(cache), Some(key), Ok(report)) = (cache, key.as_ref(), &result) {
@@ -369,6 +410,7 @@ impl<'t> Session<'t> {
             if let Some(t) = tel {
                 t.lane().job_done();
                 t.lane().set_phase(LanePhase::Idle);
+                t.lane().set_label("");
             }
             if let (Some(c), Ok(_)) = (&runs_finished, &result) {
                 c.inc();
@@ -379,6 +421,7 @@ impl<'t> Session<'t> {
                 metrics: m,
                 intervals: sampler.map(IntervalSampler::into_windows),
                 profile: prof,
+                loops: lp.map(LoopProfiler::finish),
                 cache: outcome,
             });
             (instrumented, spans)
@@ -634,7 +677,41 @@ mod tests {
         let ir = Session::new(cfg).cache(&cache).profile(true).run_one(&image, Vec::new()).unwrap();
         assert_eq!(ir.cache, CacheOutcome::Uncached);
         assert!(ir.profile.is_some());
+
+        let ir = Session::new(cfg).cache(&cache).loops(true).run_one(&image, Vec::new()).unwrap();
+        assert_eq!(ir.cache, CacheOutcome::Uncached);
+        assert!(ir.loops.is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loop_probe_is_identical_across_threads_and_publishes_telemetry() {
+        let image = small_image();
+        let cfg = AnalysisConfig::default();
+        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
+            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
+        };
+        let serial: Vec<_> = Session::new(cfg)
+            .loops(true)
+            .run(jobs(3))
+            .into_iter()
+            .map(|r| r.unwrap().loops.expect("loops were requested"))
+            .collect();
+        assert!(serial.iter().all(|p| !p.loops.is_empty() && p.max_depth >= 1));
+        let registry = TelemetryRegistry::new();
+        let parallel: Vec<_> = Session::new(cfg)
+            .jobs(4)
+            .loops(true)
+            .telemetry(&registry)
+            .run(jobs(3))
+            .into_iter()
+            .map(|r| r.unwrap().loops.expect("loops were requested"))
+            .collect();
+        assert_eq!(serial, parallel);
+        // Each job contributed its counts; the depth gauge holds the max.
+        assert_eq!(registry.counter("loops_discovered").get(), 3 * serial[0].loops.len() as u64);
+        assert_eq!(registry.counter("loops_back_edges").get(), 3 * serial[0].back_edges);
+        assert_eq!(registry.gauge("loops_max_depth").get(), u64::from(serial[0].max_depth));
     }
 
     #[test]

@@ -104,6 +104,14 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` if `v` is larger — a monotone
+    /// running-maximum gauge (e.g. the deepest loop nest seen across
+    /// concurrent workers), race-free under `Relaxed` because
+    /// `fetch_max` is a single read-modify-write.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -209,6 +217,10 @@ pub struct LaneTelemetry {
     icount: AtomicU64,
     jobs_done: AtomicU64,
     phase: AtomicU8,
+    /// Workload label of the job the lane is running (empty when
+    /// idle). The one non-atomic field: labels change once per *job*,
+    /// so a mutex costs nothing on the hot path.
+    label: Mutex<String>,
 }
 
 impl LaneTelemetry {
@@ -245,6 +257,17 @@ impl LaneTelemetry {
     /// Jobs finished on this lane so far.
     pub fn jobs_done(&self) -> u64 {
         self.jobs_done.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the workload label the lane is currently running
+    /// (clear with `""` when going idle).
+    pub fn set_label(&self, label: &str) {
+        label.clone_into(&mut self.label.lock().expect("lane label poisoned"));
+    }
+
+    /// The workload label the lane is currently running, or `""`.
+    pub fn label(&self) -> String {
+        self.label.lock().expect("lane label poisoned").clone()
     }
 }
 
@@ -464,6 +487,7 @@ impl TelemetryRegistry {
                 icount: l.icount(),
                 jobs_done: l.jobs_done(),
                 phase: l.phase(),
+                label: l.label(),
             })
             .collect();
         TelemetrySnapshot { elapsed_ns, counters, gauges, hists, lanes }
@@ -482,7 +506,7 @@ pub struct HistSnapshot {
 }
 
 /// Point-in-time state of one worker lane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaneSnapshot {
     /// Lane (worker) index.
     pub lane: u32,
@@ -492,6 +516,8 @@ pub struct LaneSnapshot {
     pub jobs_done: u64,
     /// Phase the lane was in when sampled.
     pub phase: LanePhase,
+    /// Workload the lane was running when sampled (`""` when idle).
+    pub label: String,
 }
 
 /// A point-in-time copy of every instrument in a
@@ -609,11 +635,12 @@ pub fn heartbeat_json(
         }
         s.push_str(&format!(
             "{{\"lane\": {}, \"icount\": {}, \"events_per_sec\": {}, \"phase\": {}, \
-             \"jobs_done\": {}}}",
+             \"workload\": {}, \"jobs_done\": {}}}",
             l.lane,
             l.icount,
             json_f64(lane_rate(l, snap, prev)),
             json_string(l.phase.name()),
+            json_string(&l.label),
             l.jobs_done,
         ));
     }
@@ -634,12 +661,23 @@ fn lane_rate(l: &LaneSnapshot, snap: &TelemetrySnapshot, prev: Option<&Telemetry
 }
 
 /// The single-line live progress string (`--progress`): totals across
-/// all lanes plus the per-lane rate sum from the last heartbeat.
+/// all lanes plus the per-lane rate sum from the last heartbeat,
+/// followed by each lane's phase and current workload — so a long
+/// ten-family run shows *what* is executing, not just that something
+/// is.
 pub fn progress_line(snap: &TelemetrySnapshot, prev: Option<&TelemetrySnapshot>) -> String {
     let jobs: u64 = snap.lanes.iter().map(|l| l.jobs_done).sum();
     let icount: u64 = snap.lanes.iter().map(|l| l.icount).sum();
     let rate: f64 = snap.lanes.iter().map(|l| lane_rate(l, snap, prev)).sum();
-    format!("telemetry: {jobs} job(s) done, {icount} events, {rate:.0} events/s")
+    let mut s = format!("telemetry: {jobs} job(s) done, {icount} events, {rate:.0} events/s");
+    for l in &snap.lanes {
+        s.push_str(&format!(" | lane{} {}", l.lane, l.phase.name()));
+        if !l.label.is_empty() {
+            s.push(' ');
+            s.push_str(&l.label);
+        }
+    }
+    s
 }
 
 /// Configuration for [`HeartbeatSampler::start`].
@@ -944,8 +982,28 @@ mod tests {
         assert!(rate > 0.0 && rate.is_finite());
         assert_eq!(
             progress_line(&first, None),
-            "telemetry: 0 job(s) done, 1000 events, 0 events/s"
+            "telemetry: 0 job(s) done, 1000 events, 0 events/s | lane0 idle"
         );
+        // With a label published, the progress line names the workload
+        // next to the phase, and the heartbeat carries it too.
+        registry.lane(0).set_phase(LanePhase::Measure);
+        registry.lane(0).set_label("compress");
+        let labeled = registry.snapshot();
+        assert!(progress_line(&labeled, None).ends_with(" | lane0 measure compress"));
+        assert!(heartbeat_json(3, &labeled, None).contains("\"workload\": \"compress\""));
+        registry.lane(0).set_label("");
+        assert_eq!(registry.snapshot().lanes[0].label, "");
+    }
+
+    #[test]
+    fn gauge_set_max_is_monotone() {
+        let registry = TelemetryRegistry::new();
+        let g = registry.gauge("depth");
+        g.set_max(3);
+        g.set_max(1);
+        assert_eq!(g.get(), 3);
+        g.set_max(7);
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

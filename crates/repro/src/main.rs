@@ -1,6 +1,6 @@
 //! `instrep-repro`: regenerates every table and figure of Sodani & Sohi,
 //! *An Empirical Analysis of Instruction Repetition* (ASPLOS 1998), over
-//! the eight SPEC-'95-like workloads.
+//! the ten SPEC-'95-like workloads.
 //!
 //! Run `instrep-repro --help` for the full flag list — the help text,
 //! the parser, and the flag-conflict checks are all generated from one
@@ -40,6 +40,15 @@
 //! byte-identical, and every output is identical for every `--jobs`
 //! count.
 //!
+//! The loop-nest profiler (see `DESIGN.md` §16) detects loops online
+//! from executed back edges and attributes every measured instruction to
+//! its innermost dynamic loop, nesting depth, and opcode class.
+//! `--loops-out PATH` writes the versioned JSON document (per-loop
+//! table, depth/class rollups, and a top-k redundancy summary);
+//! `--loops-folded PATH` writes collapsed stacks keyed by loop-nest
+//! path; `--annotate` gains a per-line loop-depth column. Pull-based
+//! like the profiler: the tables stay byte-identical.
+//!
 //! `--cache-dir PATH` memoizes whole-workload results in a
 //! content-addressed on-disk cache (see `DESIGN.md` §12): a warm run
 //! reproduces the same tables byte-for-byte without executing a single
@@ -56,8 +65,9 @@ use instrep_core::report::{self, Named};
 use instrep_core::{
     default_parallelism, interval, metrics, profile, steady_state_check, telemetry, AnalysisCache,
     AnalysisConfig, AnalysisJob, AnalysisTier, CacheOutcome, HeartbeatConfig, HeartbeatSampler,
-    InstructionProfile, InterpTier, IntervalWindow, MetricsReport, ProfileReport, Session,
-    SpanLane, SpanTracer, SplitObservers, TelemetryRegistry, WorkloadReport,
+    InstructionProfile, InterpTier, IntervalWindow, LoopNestProfile, LoopsReport, MetricsReport,
+    ProfileReport, Session, SpanLane, SpanTracer, SplitObservers, TelemetryRegistry,
+    WorkloadReport,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -85,6 +95,8 @@ struct Options {
     interval_out: Option<String>,
     profile_out: Option<String>,
     profile_folded: Option<String>,
+    loops_out: Option<String>,
+    loops_folded: Option<String>,
     annotate: Option<String>,
     top: usize,
     top_given: bool,
@@ -100,6 +112,12 @@ impl Options {
     /// Whether any output needs the per-PC attribution profile.
     fn wants_profile(&self) -> bool {
         self.profile_out.is_some() || self.profile_folded.is_some() || self.annotate.is_some()
+    }
+
+    /// Whether any output needs the loop-nest profile (`--annotate`
+    /// shows a loop-depth column, so it pulls both probes).
+    fn wants_loops(&self) -> bool {
+        self.loops_out.is_some() || self.loops_folded.is_some() || self.annotate.is_some()
     }
 }
 
@@ -339,6 +357,26 @@ const FLAGS: &[FlagSpec] = &[
         },
     },
     FlagSpec {
+        name: "--loops-out",
+        alias: None,
+        value: Some(("PATH", "--loops-out needs a path")),
+        help: "write the loop-nest repetition profile JSON to PATH",
+        apply: |o, v| {
+            o.loops_out = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--loops-folded",
+        alias: None,
+        value: Some(("PATH", "--loops-folded needs a path")),
+        help: "write loop-nest collapsed stacks to PATH",
+        apply: |o, v| {
+            o.loops_folded = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
         name: "--annotate",
         alias: None,
         value: Some(("BENCH", "--annotate needs a benchmark name")),
@@ -479,8 +517,13 @@ const RULES: &[Rule] = &[
         message: "--bench cannot be combined with --profile-out, --profile-folded, or --annotate",
     },
     Rule {
-        broken: |o| o.top_given && !o.wants_profile(),
-        message: "--top requires --profile-out, --profile-folded, or --annotate",
+        broken: |o| o.bench.is_some() && (o.loops_out.is_some() || o.loops_folded.is_some()),
+        message: "--bench cannot be combined with --loops-out or --loops-folded",
+    },
+    Rule {
+        broken: |o| o.top_given && !o.wants_profile() && !o.wants_loops(),
+        message: "--top requires --profile-out, --profile-folded, --loops-out, \
+                  --loops-folded, or --annotate",
     },
     Rule {
         broken: |o| o.bench.is_some() && o.cache_dir.is_some(),
@@ -515,7 +558,7 @@ fn print_help() {
     println!("usage: instrep-repro [options]\n");
     println!(
         "Regenerates the tables and figures of \"An Empirical Analysis of\n\
-         Instruction Repetition\" over the eight SPEC-'95-like workloads.\n\
+         Instruction Repetition\" over the ten SPEC-'95-like workloads.\n\
          With no table or figure selection, everything is printed.\n"
     );
     println!("options:");
@@ -552,6 +595,8 @@ fn parse_args() -> Result<Options, String> {
         interval_out: None,
         profile_out: None,
         profile_folded: None,
+        loops_out: None,
+        loops_folded: None,
         annotate: None,
         top: 10,
         top_given: false,
@@ -720,6 +765,7 @@ fn main() -> ExitCode {
     let mut reports: Vec<(String, WorkloadReport)> = Vec::new();
     let mut interval_series: Vec<(String, Vec<IntervalWindow>)> = Vec::new();
     let mut profiles: Vec<(String, InstructionProfile)> = Vec::new();
+    let mut loop_profiles: Vec<(String, LoopNestProfile)> = Vec::new();
     let mut iter: u32 = 0;
     let mut best_ns = u64::MAX;
     let mut best_at = std::time::Instant::now();
@@ -749,6 +795,9 @@ fn main() -> ExitCode {
         }
         if opts.wants_profile() {
             session = session.profile(true);
+        }
+        if opts.wants_loops() {
+            session = session.loops(true);
         }
         if let Some(t) = tracer.as_mut() {
             session = session.trace(t);
@@ -793,6 +842,9 @@ fn main() -> ExitCode {
                         }
                         if let Some(p) = ir.profile {
                             profiles.push((wl.name.to_string(), p));
+                        }
+                        if let Some(p) = ir.loops {
+                            loop_profiles.push((wl.name.to_string(), p));
                         }
                     }
                     if let Some(mut m) = ir.metrics {
@@ -985,7 +1037,8 @@ fn main() -> ExitCode {
             .find(|(n, _)| n == name)
             .map(|(_, p)| p)
             .expect("profile collected for every workload");
-        println!("{}", profile::annotate(name, &wl.full_source(), p));
+        let lp = loop_profiles.iter().find(|(n, _)| n == name).map(|(_, p)| p);
+        println!("{}", profile::annotate(name, &wl.full_source(), p, lp));
     }
 
     if let (Some(path), Some(mut t)) = (opts.trace_out.as_ref(), tracer) {
@@ -1031,6 +1084,28 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote folded stacks to {path} (render with a flamegraph tool)");
+        }
+    }
+    if opts.loops_out.is_some() || opts.loops_folded.is_some() {
+        let doc = LoopsReport {
+            scale: scale_label(opts.scale).to_string(),
+            seed: opts.seed,
+            top: opts.top,
+            workloads: std::mem::take(&mut loop_profiles),
+        };
+        if let Some(path) = &opts.loops_out {
+            if let Err(e) = std::fs::write(path, doc.to_json()) {
+                eprintln!("error: writing loop profile to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote loop profile to {path}");
+        }
+        if let Some(path) = &opts.loops_folded {
+            if let Err(e) = std::fs::write(path, doc.to_folded()) {
+                eprintln!("error: writing loop stacks to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote loop stacks to {path} (render with a flamegraph tool)");
         }
     }
 

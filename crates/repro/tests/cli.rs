@@ -2,8 +2,9 @@
 //! errors must exit non-zero with a clear message, a real (tiny,
 //! parallel) run must succeed, and the observability exports
 //! (`--metrics-out`, `--trace-out`, `--interval-out`, `--profile-out`,
-//! `--profile-folded`, `--annotate`) must write valid schema-v1
-//! documents without changing a byte of table stdout.
+//! `--profile-folded`, `--loops-out`, `--loops-folded`, `--annotate`)
+//! must write valid schema-v1 documents without changing a byte of
+//! table stdout.
 
 mod json;
 
@@ -283,7 +284,7 @@ fn help_text_is_pinned() {
 usage: instrep-repro [options]
 
 Regenerates the tables and figures of \"An Empirical Analysis of
-Instruction Repetition\" over the eight SPEC-'95-like workloads.
+Instruction Repetition\" over the ten SPEC-'95-like workloads.
 With no table or figure selection, everything is printed.
 
 options:
@@ -306,6 +307,8 @@ options:
   --interval-out PATH      write the interval series as JSONL to PATH
   --profile-out PATH       write the per-PC repetition profile JSON to PATH
   --profile-folded PATH    write flamegraph-ready collapsed stacks to PATH
+  --loops-out PATH         write the loop-nest repetition profile JSON to PATH
+  --loops-folded PATH      write loop-nest collapsed stacks to PATH
   --annotate BENCH         print BENCH's source annotated with repetition counts
   --top N                  hot sites listed per profile output (default: 10)
   --cache-dir PATH         memoize analysis results in a cache at PATH
@@ -357,9 +360,28 @@ fn top_without_profile_output_fails_with_message() {
     assert!(!out.status.success());
     let err = stderr_of(&out);
     assert!(
-        err.contains("--top requires --profile-out, --profile-folded, or --annotate"),
+        err.contains(
+            "--top requires --profile-out, --profile-folded, --loops-out, \
+             --loops-folded, or --annotate"
+        ),
         "stderr: {err}"
     );
+    // --top with only a loops output is legitimate (the redundancy
+    // summary is a top-k).
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "compress",
+        "--table",
+        "1",
+        "--top",
+        "3",
+        "--loops-out",
+        std::env::temp_dir().join("instrep-top-loops.json").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    std::fs::remove_file(std::env::temp_dir().join("instrep-top-loops.json")).ok();
 }
 
 #[test]
@@ -542,6 +564,210 @@ fn profiling_is_deterministic_and_leaves_stdout_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn loops_flags_reject_missing_arguments() {
+    for (args, msg) in [
+        (&["--loops-out"] as &[&str], "--loops-out needs a path"),
+        (&["--loops-folded"], "--loops-folded needs a path"),
+    ] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let err = stderr_of(&out);
+        assert!(err.contains(msg), "{args:?} stderr: {err}");
+    }
+}
+
+#[test]
+fn bench_excludes_loops_outputs() {
+    let out = run(&["--bench", "2", "--metrics-out", "m.json", "--loops-out", "l.json"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--bench cannot be combined with --loops-out"), "stderr: {err}");
+}
+
+#[test]
+fn list_includes_the_loop_diversity_families() {
+    let out = run(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["interp", "stencil"] {
+        assert!(stdout.contains(name), "--list missing {name}: {stdout}");
+    }
+}
+
+/// `--loops-out` must emit parseable JSON carrying the documented schema
+/// version, per-loop records with function/line/depth attribution, depth
+/// rollups that conserve the measured total, and a redundancy summary
+/// consistent with the aggregates. The stencil family must show its full
+/// four-deep nest.
+#[test]
+fn loops_out_writes_schema_v1_json() {
+    let dir = std::env::temp_dir().join(format!("instrep-loops-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("loops.json");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "stencil",
+        "--table",
+        "1",
+        "--top",
+        "3",
+        "--loops-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("loops file written");
+    let doc = Json::parse(&text).expect("loops file is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(Json::num), Some(1.0));
+    assert_eq!(doc.get("kind").and_then(Json::str), Some("loops"));
+    assert_eq!(doc.get("scale").and_then(Json::str), Some("tiny"));
+    assert_eq!(doc.get("top").and_then(Json::num), Some(3.0));
+    let workloads = doc.get("workloads").expect("workloads array").items();
+    assert_eq!(workloads.len(), 1);
+    let wl = &workloads[0];
+    assert_eq!(wl.get("name").and_then(Json::str), Some("stencil"));
+    assert_eq!(wl.get("dynamic_total").and_then(Json::num), Some(400_000.0));
+    let repeated = wl.get("dynamic_repeated").and_then(Json::num).unwrap();
+    assert!(repeated > 0.0);
+    assert!(wl.get("max_depth").and_then(Json::num).unwrap() >= 4.0, "stencil nests four deep");
+    assert!(wl.get("back_edges").and_then(Json::num).unwrap() > 0.0);
+
+    let loops = wl.get("loops").expect("loops array").items();
+    assert!(!loops.is_empty());
+    for l in loops {
+        assert!(l.get("header").and_then(Json::str).unwrap().starts_with("0x"));
+        assert!(l.get("function").and_then(Json::str).is_some());
+        assert!(l.get("depth").and_then(Json::num).unwrap() >= 1.0);
+        assert!(l.get("trips").and_then(Json::num).unwrap() > 0.0);
+        let exec = l.get("exec").and_then(Json::num).unwrap();
+        let rep = l.get("repeated").and_then(Json::num).unwrap();
+        assert!(rep <= exec, "repeated {rep} > exec {exec}");
+        let lo = l.get("line_lo").and_then(Json::num).unwrap();
+        let hi = l.get("line_hi").and_then(Json::num).unwrap();
+        assert!(lo <= hi, "line span inverted: {lo}..{hi}");
+    }
+
+    // Depth rollups (depth 0 = outside any loop) tile the measurement.
+    let depths = wl.get("depths").expect("depths array").items();
+    let no_loop = wl.get("no_loop_exec").and_then(Json::num).unwrap();
+    let depth_exec: f64 = depths.iter().map(|d| d.get("exec").and_then(Json::num).unwrap()).sum();
+    assert_eq!(depth_exec, 400_000.0, "depth rollups tile the window");
+
+    // Class rollups cover the loop-attributed share with all six
+    // classes named.
+    let classes = wl.get("classes").expect("classes array").items();
+    assert_eq!(classes.len(), 6);
+    let class_exec: f64 = classes.iter().map(|c| c.get("exec").and_then(Json::num).unwrap()).sum();
+    assert_eq!(class_exec + no_loop, 400_000.0, "class rollups cover the loop share");
+
+    let red = wl.get("redundancy").expect("redundancy object");
+    assert_eq!(red.get("total_repeated").and_then(Json::num), Some(repeated));
+    assert_eq!(red.get("top_k").and_then(Json::num), Some(3.0));
+    let loop_rep = red.get("loop_repeated").and_then(Json::num).unwrap();
+    let top_rep = red.get("top_k_repeated").and_then(Json::num).unwrap();
+    assert!(top_rep <= loop_rep && loop_rep <= repeated);
+    let cov = red.get("top_k_coverage").and_then(Json::num).unwrap();
+    assert!((0.0..=1.0).contains(&cov), "coverage out of range: {cov}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--loops-folded` must emit whitespace-clean collapsed stacks keyed by
+/// loop-nest path whose `executed` counts tile the measurement window.
+#[test]
+fn loops_folded_writes_collapsed_stacks() {
+    let dir = std::env::temp_dir().join(format!("instrep-loops-folded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("loops.folded");
+    let out = run(&[
+        "--scale",
+        "tiny",
+        "--only",
+        "stencil",
+        "--table",
+        "1",
+        "--loops-folded",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("folded file written");
+    assert!(!text.is_empty());
+    let mut exec_sum = 0u64;
+    let mut max_frames = 0;
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!stack.contains(char::is_whitespace), "whitespace in stack: {line}");
+        let n: u64 = count.parse().expect("count is an integer");
+        assert!(n > 0, "zero-weight line: {line}");
+        let frames: Vec<&str> = stack.split(';').collect();
+        assert!(frames.len() >= 3, "workload;weight;nest...: {line}");
+        assert_eq!(frames[0], "stencil");
+        max_frames = max_frames.max(frames.len());
+        if frames[1] == "executed" {
+            exec_sum += n;
+        } else {
+            assert_eq!(frames[1], "repeated", "bad weight frame: {line}");
+        }
+    }
+    assert_eq!(exec_sum, 400_000, "executed stacks tile the measurement window");
+    // The four-deep nest shows as at least workload;weight;l1;l2;l3;l4.
+    assert!(max_frames >= 6, "no deep stacks: max {max_frames} frames");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The loop probe must not change a byte of table stdout, and both loop
+/// outputs must be byte-identical across jobs counts and across the
+/// fused/split analysis tiers.
+#[test]
+fn loop_outputs_are_deterministic_and_leave_stdout_identical() {
+    let dir = std::env::temp_dir().join(format!("instrep-loops-ident-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut baselines: Option<(Vec<u8>, String, String)> = None;
+    for (jobs, tier) in [("1", "fused"), ("4", "fused"), ("1", "split"), ("4", "split")] {
+        let args = [
+            "--scale",
+            "tiny",
+            "--only",
+            "interp",
+            "--table",
+            "1",
+            "--jobs",
+            jobs,
+            "--analysis",
+            tier,
+        ];
+        let plain = run(&args);
+        assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+        let json = dir.join(format!("l{jobs}{tier}.json"));
+        let folded = dir.join(format!("l{jobs}{tier}.folded"));
+        let mut probed_args = args.to_vec();
+        probed_args.extend_from_slice(&[
+            "--loops-out",
+            json.to_str().unwrap(),
+            "--loops-folded",
+            folded.to_str().unwrap(),
+        ]);
+        let probed = run(&probed_args);
+        assert!(probed.status.success(), "stderr: {}", stderr_of(&probed));
+        assert_eq!(
+            plain.stdout, probed.stdout,
+            "loop probe changed stdout at --jobs {jobs} --analysis {tier}"
+        );
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        match &baselines {
+            None => baselines = Some((plain.stdout, json_text, folded_text)),
+            Some((b_plain, b_json, b_folded)) => {
+                assert_eq!(b_plain, &plain.stdout, "stdout differs (jobs {jobs}, tier {tier})");
+                assert_eq!(b_json, &json_text, "loops JSON differs (jobs {jobs}, tier {tier})");
+                assert_eq!(b_folded, &folded_text, "loop stacks differ (jobs {jobs}, tier {tier})");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Every pair of spans on one lane must nest or be disjoint — the
 /// guarantee the LIFO close discipline makes.
 fn assert_strictly_nested(tid: f64, spans: &[(f64, f64)]) {
@@ -605,9 +831,9 @@ fn trace_out_writes_schema_v1_chrome_trace() {
             })
             .count()
     };
-    // One span per pipeline phase per workload (8 workloads at tiny).
+    // One span per pipeline phase per workload (10 workloads at tiny).
     for phase in ["setup", "skip", "measure", "finalize"] {
-        assert_eq!(named("phase", phase), 8, "phase {phase}");
+        assert_eq!(named("phase", phase), 10, "phase {phase}");
     }
     // The driver lane wraps compile + assemble per workload, the
     // analysis fan-out, and table rendering.

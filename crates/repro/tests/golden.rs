@@ -19,6 +19,10 @@ use std::process::Command;
 const CASES: &[(&str, &[&str])] = &[
     ("compress_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "compress"]),
     ("li_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "li"]),
+    // The loop-diversity families: one flat dispatch loop and one
+    // four-deep nest, pinned the same way as the Table-1 workloads.
+    ("interp_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "interp"]),
+    ("stencil_tiny", &["--scale", "tiny", "--seed", "1998", "--jobs", "2", "--only", "stencil"]),
     // The annotated source view: per-line exec/repeat attribution for
     // one pinned workload (--table 1 keeps the snapshot focused).
     (

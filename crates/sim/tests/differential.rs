@@ -4,7 +4,7 @@
 //! byte-identical [`Event`] streams and finish in byte-identical
 //! machine states, including the exact trap.
 //!
-//! The workload-family differential (all eight benchmarks) lives in
+//! The workload-family differential (all ten benchmarks) lives in
 //! `crates/workloads/tests/differential.rs`; this file owns the trap
 //! corpus, which the workloads never reach.
 

@@ -1,5 +1,6 @@
 #![warn(missing_docs)]
-//! Eight MiniC workloads mirroring the SPEC '95 integer benchmarks.
+//! Ten MiniC workloads: eight mirroring the SPEC '95 integer benchmarks
+//! plus two loop-diversity kernels.
 //!
 //! The paper measured SPEC '95 INT; those sources and inputs are
 //! proprietary and would not compile for SRV32, so each workload here
@@ -16,6 +17,14 @@
 //! | [`li_like`]      | li       | lisp interpreter: reader + eval over cons cells |
 //! | [`gcc_like`]     | gcc      | compiler pass: lex, parse, fold, emit |
 //! | [`compress_like`]| compress | LZW compression of byte streams |
+//!
+//! Two further families exercise the extremes of loop structure for the
+//! loop-nest profiler (`instrep-repro --loops-out`), not Table 1:
+//!
+//! | workload     | character |
+//! |--------------|-----------|
+//! | [`interp_like`]  | bytecode VM: one flat, hot dispatch loop |
+//! | [`stencil_like`] | 5-point stencil sweeps: four-deep regular nests |
 //!
 //! Every workload is scale-parameterized through its *input stream* (a
 //! little-endian parameter block followed by payload bytes), so the same
@@ -42,10 +51,12 @@ pub mod gcc_like;
 pub mod go_like;
 pub mod ijpeg_like;
 mod inputs;
+pub mod interp_like;
 pub mod li_like;
 pub mod m88ksim_like;
 pub mod perl_like;
 pub mod rng;
+pub mod stencil_like;
 pub mod vortex_like;
 
 use instrep_asm::Image;
@@ -146,7 +157,8 @@ int rng_next() {
 }
 "#;
 
-/// All eight workloads, in the paper's Table 1 order.
+/// All ten workloads: the paper's Table 1 order, then the two
+/// loop-diversity kernels.
 pub fn all() -> Vec<Workload> {
     vec![
         go_like::workload(),
@@ -157,6 +169,8 @@ pub fn all() -> Vec<Workload> {
         li_like::workload(),
         gcc_like::workload(),
         compress_like::workload(),
+        interp_like::workload(),
+        stencil_like::workload(),
     ]
 }
 
@@ -173,7 +187,13 @@ mod tests {
     #[test]
     fn roster_is_complete_and_ordered() {
         let names: Vec<&str> = all().iter().map(|w| w.name).collect();
-        assert_eq!(names, ["go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc", "compress"]);
+        assert_eq!(
+            names,
+            [
+                "go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc", "compress", "interp",
+                "stencil"
+            ]
+        );
         assert!(by_name("go").is_some());
         assert!(by_name("nope").is_none());
     }

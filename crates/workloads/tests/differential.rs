@@ -1,4 +1,4 @@
-//! Workload-family differential: every one of the eight benchmark
+//! Workload-family differential: every one of the ten benchmark
 //! families must produce a byte-identical [`Event`] stream under the
 //! predecoded interpreter tier and the legacy `step()` oracle, over a
 //! budgeted window covering startup and steady state.

@@ -1,8 +1,8 @@
-//! Analysis-tier differential: every one of the eight benchmark
+//! Analysis-tier differential: every one of the ten benchmark
 //! families must produce byte-identical analysis output under the fused
 //! per-event hot row and the split (oracle) observers — the report, the
-//! rendered tables, the interval JSONL, the profile JSON, and the
-//! occupancy gauges, at one worker thread and several.
+//! rendered tables, the interval JSONL, the profile JSON, the loops
+//! JSON, and the occupancy gauges, at one worker thread and several.
 //!
 //! This is the analysis-layer sibling of `tests/differential.rs` (which
 //! proves the two *interpreter* tiers stream identical events). A
@@ -12,7 +12,7 @@
 
 use instrep_core::report::{self, Named};
 use instrep_core::{
-    interval, AnalysisConfig, AnalysisTier, IntervalWindow, ProfileReport, Session,
+    interval, AnalysisConfig, AnalysisTier, IntervalWindow, LoopsReport, ProfileReport, Session,
 };
 use instrep_workloads::{all, Scale, Workload};
 
@@ -27,6 +27,7 @@ struct TierOutput {
     tables: String,
     interval_jsonl: String,
     profile_json: String,
+    loops_json: String,
     gauges: Vec<(&'static str, u64)>,
 }
 
@@ -44,6 +45,7 @@ fn run_tier(
         .metrics(true)
         .interval(INTERVAL)
         .profile(true)
+        .loops(true)
         .run_one(image, wl.input(Scale::Tiny, seed))
         .expect("workload analyzes");
 
@@ -70,11 +72,18 @@ fn run_tier(
         top: 10,
         workloads: vec![(wl.name.to_string(), ir.profile.expect("profile probe attached"))],
     };
+    let loops = LoopsReport {
+        scale: "tiny".to_string(),
+        seed,
+        top: 10,
+        workloads: vec![(wl.name.to_string(), ir.loops.expect("loop probe attached"))],
+    };
     TierOutput {
         report_debug: format!("{:?}", ir.report),
         tables,
         interval_jsonl: interval::to_jsonl("tiny", seed, 1, INTERVAL, &windows),
         profile_json: profile.to_json(),
+        loops_json: loops.to_json(),
         gauges: ir.metrics.expect("metrics probe attached").gauges,
     }
 }
@@ -87,6 +96,7 @@ fn assert_tiers_identical(wl: &Workload, seed: u64) {
     assert_eq!(fused.tables, split.tables, "{}: rendered tables diverge", wl.name);
     assert_eq!(fused.interval_jsonl, split.interval_jsonl, "{}: interval series", wl.name);
     assert_eq!(fused.profile_json, split.profile_json, "{}: profile JSON", wl.name);
+    assert_eq!(fused.loops_json, split.loops_json, "{}: loops JSON", wl.name);
     assert_eq!(fused.gauges, split.gauges, "{}: occupancy gauges", wl.name);
 }
 
@@ -169,6 +179,71 @@ mod random_programs {
                 let fused = tier_fingerprint(&image, AnalysisTier::Fused, threads);
                 let split = tier_fingerprint(&image, AnalysisTier::Split, threads);
                 prop_assert_eq!(fused, split, "tiers diverge at {} thread(s)", threads);
+            }
+        }
+
+        /// The loop-nest attribution must conserve the per-PC profile on
+        /// randomly parameterized MiniC programs: every loop's exec/
+        /// repeated count is a subset of the tracker's per-PC sums, the
+        /// loop share plus the no-loop remainder tiles them exactly, and
+        /// the whole profile is identical at one worker thread and four.
+        #[test]
+        fn loop_sums_never_exceed_per_pc_sums_on_random_workloads(
+            tab in proptest::collection::vec(0u32..1000, 8),
+            iters in 10u32..400,
+            step in 1u32..9,
+            depth in 1u32..8,
+        ) {
+            let src = format!(
+                "int tab[8] = {{{}}};\n\
+                 int lookup(int i) {{ return tab[i & 7]; }}\n\
+                 int rec(int n) {{ if (n <= 0) return 1; return rec(n - 1) + lookup(n); }}\n\
+                 int main() {{\n\
+                     int s = rec({depth});\n\
+                     int i;\n\
+                     for (i = 0; i < {iters}; i = i + {step}) s = s + lookup(i);\n\
+                     return s & 0xff;\n\
+                 }}",
+                tab.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            );
+            let image = instrep_minicc::build(&src).expect("random program compiles");
+            let cfg = AnalysisConfig { skip: 1_000, window: 50_000, ..AnalysisConfig::default() };
+            let mut baseline = None;
+            for threads in [1usize, 4] {
+                let jobs: Vec<AnalysisJob<'_>> =
+                    (0..4).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "rand" }).collect();
+                let results: Vec<_> = Session::new(cfg)
+                    .jobs(threads)
+                    .profile(true)
+                    .loops(true)
+                    .run(jobs)
+                    .into_iter()
+                    .map(|r| {
+                        let ir = r.expect("random program analyzes");
+                        (ir.loops.expect("loop probe attached"), ir.profile.expect("profile probe attached"))
+                    })
+                    .collect();
+                for (loops, profile) in &results {
+                    let pc_exec: u64 = profile.sites.iter().map(|s| s.exec).sum();
+                    let pc_rep: u64 = profile.sites.iter().map(|s| s.repeated).sum();
+                    let loop_exec: u64 = loops.loops.iter().map(|l| l.exec).sum();
+                    let loop_rep: u64 = loops.loops.iter().map(|l| l.repeated).sum();
+                    prop_assert!(loop_exec <= pc_exec, "loop exec {loop_exec} > per-PC {pc_exec}");
+                    prop_assert!(loop_rep <= pc_rep, "loop repeated {loop_rep} > per-PC {pc_rep}");
+                    prop_assert_eq!(loop_exec + loops.no_loop_exec, pc_exec, "exec does not tile");
+                    prop_assert_eq!(
+                        loop_rep + loops.no_loop_repeated, pc_rep, "repeated does not tile"
+                    );
+                    prop_assert_eq!(loops.total_exec(), pc_exec, "path sums diverge from per-PC");
+                }
+                let fingerprint: Vec<String> =
+                    results.iter().map(|(l, _)| format!("{l:?}")).collect();
+                match &baseline {
+                    None => baseline = Some(fingerprint),
+                    Some(b) => prop_assert_eq!(
+                        b, &fingerprint, "loop profiles diverge at {} thread(s)", threads
+                    ),
+                }
             }
         }
     }

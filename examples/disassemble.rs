@@ -1,6 +1,6 @@
 //! Disassemble a workload's hottest function.
 //!
-//! Compiles one of the eight benchmarks, profiles it briefly, and prints
+//! Compiles one of the ten benchmarks, profiles it briefly, and prints
 //! an annotated listing of the function with the most dynamic
 //! instructions — handy for seeing exactly which generated code the
 //! analyses are classifying.

@@ -12,6 +12,12 @@
 # ns/event each observer costs derived from the deltas. Skip the sweep
 # with OBS_SWEEP=0 when only the trajectory numbers are wanted.
 #
+# A `loops-cost` entry prices the loop-nest profiler the same way: each
+# pass runs the pipeline back to back with the loop probe off and on
+# (plain runs, not --bench — the probe is mutually exclusive with
+# --bench), and the marginal measure-phase ns/event is the same-pass
+# delta, median across RUNS passes. Skip with LOOPS_SWEEP=0.
+#
 # Modes:
 #   scripts/bench.sh            run the benchmark and write BENCH_<date>.json
 #                               (suffixed b, c, ... if the date is taken —
@@ -27,9 +33,10 @@
 #
 # Tunables (env): RUNS (default 3), SCALES ("tiny small"), JOBS (4),
 # SEED (1998), OUT (first free BENCH_$(date +%F)*.json), OBS_SWEEP (1),
-# OBS_SCALE (tiny), SETTLE_MS (500 — repetition-tester settle window for
-# the trajectory runs; the observer sweep always runs with settling off
-# so its same-pass deltas stay back to back).
+# LOOPS_SWEEP (1), OBS_SCALE (tiny — shared by both cost sweeps),
+# SETTLE_MS (500 — repetition-tester settle window for the trajectory
+# runs; the cost sweeps always run back to back so same-pass deltas
+# cancel machine drift).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,6 +91,19 @@ check_trajectories() {
                 status=1
             fi
         fi
+        # Files benched since the loop-nest profiler landed carry a
+        # loops-cost entry; where one is present its fields must be
+        # intact (older files legitimately predate it).
+        if grep -q '"kind": "loops-cost",' "$f"; then
+            if ! grep -q '"probed_ns_per_event":' "$f"; then
+                echo "bench schema drift: loops-cost entry in $f lacks probed_ns_per_event" >&2
+                status=1
+            fi
+            if ! grep -q '"marginal_ns_per_event":' "$f"; then
+                echo "bench schema drift: loops-cost entry in $f lacks marginal_ns_per_event" >&2
+                status=1
+            fi
+        fi
     done
     [ "$status" -eq 0 ] && echo "bench trajectories OK ($(echo "$files" | wc -l) file(s))"
     return "$status"
@@ -132,6 +152,7 @@ SCALES="${SCALES:-tiny small}"
 JOBS="${JOBS:-4}"
 SEED="${SEED:-1998}"
 OBS_SWEEP="${OBS_SWEEP:-1}"
+LOOPS_SWEEP="${LOOPS_SWEEP:-1}"
 OBS_SCALE="${OBS_SCALE:-tiny}"
 SETTLE_MS="${SETTLE_MS:-500}"
 
@@ -241,6 +262,72 @@ print(json.dumps(doc, indent=1))
 EOF
 fi
 
+# Loop-nest profiler cost: the pipeline run back to back with the loop
+# probe off and on, per pass. --bench refuses to combine with the loops
+# exports, so these are single plain runs; the probe-on run writes a
+# real --loops-out so the priced path is the shipping one. The marginal
+# measure-phase ns/event is computed within each pass (same reasoning
+# as the observer sweep: same-pass deltas cancel machine drift) and the
+# median across RUNS passes is reported.
+if [ "$LOOPS_SWEEP" = 1 ]; then
+    echo "==> loops-cost sweep: probe off vs on, scale=$OBS_SCALE passes=$RUNS jobs=$JOBS"
+    for pass in $(seq 1 "$RUNS"); do
+        "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+            --metrics-out "$TMP/loops-off-$pass.json" >/dev/null
+        "$BIN" --scale "$OBS_SCALE" --seed "$SEED" --jobs "$JOBS" --table 1 \
+            --loops-out "$TMP/loops-profile-$pass.json" \
+            --metrics-out "$TMP/loops-on-$pass.json" >/dev/null
+        echo "==> loops-cost sweep: pass $pass/$RUNS done"
+    done
+    python3 - "$TMP" "$OBS_SCALE" "$RUNS" "$JOBS" "$SEED" >"$TMP/loops-costs.json" <<'EOF'
+import json
+import statistics
+import sys
+
+tmp, scale, runs, jobs, seed = sys.argv[1:6]
+
+
+def measure_ns(path):
+    """Per-workload measure-phase ns/event from one plain-run metrics doc."""
+    out = {}
+    for name, wl in ((w["name"], w) for w in json.load(open(path))["workloads"]):
+        for ph in wl["phases"]:
+            if ph["name"] == "measure" and ph["events_per_sec"] > 0:
+                out[name] = 1e9 / ph["events_per_sec"]
+    return out
+
+
+passes = range(1, int(runs) + 1)
+off = [measure_ns(f"{tmp}/loops-off-{p}.json") for p in passes]
+on = [measure_ns(f"{tmp}/loops-on-{p}.json") for p in passes]
+workloads = sorted(off[0], key=list(off[0]).index)
+marginal = {
+    w: round(statistics.median(b[w] - a[w] for a, b in zip(off, on)), 2)
+    for w in workloads
+    if all(w in b for b in on)
+}
+doc = {
+    "schema_version": 1,
+    "kind": "loops-cost",
+    "scale": scale,
+    "runs": int(runs),
+    "jobs": int(jobs),
+    "seed": int(seed),
+    "baseline_ns_per_event": {
+        w: round(statistics.median(a[w] for a in off), 2) for w in workloads
+    },
+    "probed_ns_per_event": {
+        w: round(statistics.median(b[w] for b in on), 2) for w in workloads
+    },
+    "marginal_ns_per_event": marginal,
+    "mean_marginal_ns_per_event": (
+        round(sum(marginal.values()) / len(marginal), 2) if marginal else 0.0
+    ),
+}
+print(json.dumps(doc, indent=1))
+EOF
+fi
+
 {
     printf '{\n'
     printf '  "schema_version": 1,\n'
@@ -256,6 +343,9 @@ fi
     done
     if [ -s "$TMP/obs-costs.json" ]; then
         printf ',\n%s' "$(sed 's/^/    /' "$TMP/obs-costs.json")"
+    fi
+    if [ -s "$TMP/loops-costs.json" ]; then
+        printf ',\n%s' "$(sed 's/^/    /' "$TMP/loops-costs.json")"
     fi
     printf '\n  ]\n'
     printf '}\n'

@@ -103,6 +103,55 @@ grep -q 'source-level repetition profile' "$SMOKE_DIR/annotated.txt" || {
     exit 1
 }
 
+echo "==> loop-profiler smoke run (schema, folded hygiene, jobs/tier identity)"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --loops-out "$SMOKE_DIR/loops.json" \
+    --loops-folded "$SMOKE_DIR/loops.folded" >"$SMOKE_DIR/looped.txt"
+grep -q '"schema_version": 1,' "$SMOKE_DIR/loops.json" || {
+    echo "loops schema drift: expected schema_version 1 in loops.json" >&2
+    exit 1
+}
+grep -q '"kind": "loops",' "$SMOKE_DIR/loops.json" || {
+    echo "loops schema drift: expected kind \"loops\" in loops.json" >&2
+    exit 1
+}
+test -s "$SMOKE_DIR/loops.folded" || {
+    echo "loop-nest folded stacks file is empty" >&2
+    exit 1
+}
+grep -qP '\t| {2}|^ | $' "$SMOKE_DIR/loops.folded" && {
+    echo "loop-nest folded stacks contain stray whitespace" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/looped.txt" || {
+    echo "loop profiling perturbed table stdout (plain vs looped differ)" >&2
+    exit 1
+}
+# The loop profile itself is part of the determinism contract: the JSON
+# must be byte-identical at every --jobs count and under the split
+# analysis tier, and neither run may move the table a byte.
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 1 --loops-out "$SMOKE_DIR/loops-j1.json" >"$SMOKE_DIR/looped-j1.txt"
+target/debug/instrep-repro --scale tiny --only compress --table 1 \
+    --jobs 2 --analysis split --loops-out "$SMOKE_DIR/loops-split.json" \
+    >"$SMOKE_DIR/looped-split.txt"
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/looped-j1.txt" || {
+    echo "loop profiling perturbed table stdout at --jobs 1" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/plain.txt" "$SMOKE_DIR/looped-split.txt" || {
+    echo "loop profiling perturbed table stdout under --analysis split" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/loops.json" "$SMOKE_DIR/loops-j1.json" || {
+    echo "loop profile differs between --jobs 2 and --jobs 1" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/loops.json" "$SMOKE_DIR/loops-split.json" || {
+    echo "loop profile differs between the fused and split analysis tiers" >&2
+    exit 1
+}
+
 echo "==> analysis cache smoke run (cold populate, warm hit, poison catch)"
 CACHE_DIR="$SMOKE_DIR/cache"
 target/debug/instrep-repro --scale tiny --only compress --table 1 \

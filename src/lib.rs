@@ -7,7 +7,7 @@
 //! * [`minicc`] — the MiniC compiler.
 //! * [`sim`] — the functional simulator.
 //! * [`core`] — the repetition analyses (the paper's contribution).
-//! * [`workloads`] — the eight SPEC-'95-like benchmark programs.
+//! * [`workloads`] — the ten MiniC benchmark programs.
 //!
 //! The analysis entry point is [`Session`], re-exported here with its
 //! supporting types.
