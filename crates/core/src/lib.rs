@@ -21,8 +21,8 @@
 //! * [`Session`] — the one entry point: a builder over the one-pass
 //!   pipeline wiring all of the above (the paper's skip-then-measure
 //!   methodology), with every probe and the analysis cache attached
-//!   through builder methods. The old `analyze*` family survives as
-//!   `#[deprecated]` shims for one release.
+//!   through builder methods. The pre-`Session` `analyze*` family is
+//!   gone; `scripts/ci.sh` greps to keep it from reappearing.
 //! * [`AnalysisTier`] — which observer implementation the pipeline
 //!   runs: the fused per-event hot row (default) or the seven
 //!   free-standing observers kept as its differential oracle. Both
@@ -40,6 +40,10 @@
 //!   streaming JSONL (`instrep-repro --heartbeat-out/--heartbeat-ms`),
 //!   Prometheus-style text exposition (`--telemetry-out`), and a live
 //!   TTY progress line (`--progress`).
+//! * [`service`] — the typed wire contract of the `instrep-serve`
+//!   analysis daemon: schema-versioned `Request`/`Response` structs
+//!   with a canonical newline-delimited JSON encoding shared by the
+//!   daemon, the `instrep_client` example, and the stress tests.
 //! * [`trace_span`] — explicit span tracer exporting Chrome trace-event
 //!   JSON (`instrep-repro --trace-out`): one lane per pipeline worker
 //!   thread, one span per phase, Perfetto-loadable.
@@ -93,6 +97,7 @@ mod predict;
 pub mod profile;
 pub mod report;
 mod reuse;
+pub mod service;
 mod session;
 mod shadow;
 pub mod telemetry;
@@ -115,11 +120,9 @@ pub use loops::{
 pub use metrics::{
     BenchSummary, MetricsReport, PhaseMetrics, WorkloadMetrics, METRICS_SCHEMA_VERSION,
 };
-#[allow(deprecated)] // the shims stay exported until they are removed
 pub use pipeline::{
-    analyze, analyze_many, analyze_many_instrumented, analyze_many_with_metrics,
-    analyze_with_metrics, analyze_with_probes, default_parallelism, steady_state_check,
-    AnalysisConfig, AnalysisJob, InstrumentedReport, ProbeConfig, Probes, WorkloadReport,
+    default_parallelism, steady_state_check, AnalysisConfig, AnalysisJob, InstrumentedReport,
+    Probes, WorkloadReport,
 };
 pub use predict::{PredictStats, StrideStats, ValuePredictors};
 pub use profile::{

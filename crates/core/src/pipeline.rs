@@ -7,10 +7,10 @@
 //! measured window has correct provenance for every value it observes.
 //!
 //! The public entry point is [`Session`](crate::Session) in
-//! `core::session`; this module holds the engine (`run_probed`), the
-//! configuration and report types, and six `#[deprecated]` shims kept
-//! for one release so external callers of the old `analyze*` family
-//! migrate at their leisure.
+//! `core::session`; this module holds the engine (`run_probed`) and the
+//! configuration and report types. The pre-`Session` `analyze*` shims
+//! served their one release of deprecation and are gone —
+//! `scripts/ci.sh` greps the tree so they cannot reappear.
 
 use instrep_asm::Image;
 use instrep_sim::{InterpTier, Machine, RunOutcome, SimError};
@@ -31,7 +31,7 @@ use crate::predict::{PredictStats, StrideStats, ValuePredictors};
 use crate::profile::InstructionProfile;
 use crate::reuse::{ReuseBuffer, ReuseConfig, ReuseStats};
 use crate::telemetry::{LanePhase, LiveCount, PipelineTelemetry};
-use crate::trace_span::{SpanLane, SpanTracer};
+use crate::trace_span::SpanLane;
 use crate::tracker::{self, RepetitionTracker, StaticStats, TrackerConfig};
 
 /// Configuration for an analysis run ([`Session`](crate::Session)).
@@ -160,55 +160,6 @@ impl WorkloadReport {
     }
 }
 
-/// Runs every analysis over one program in a single simulation pass.
-///
-/// # Errors
-///
-/// Propagates simulator traps ([`SimError`]); a trap indicates a workload
-/// or compiler bug, not a property of the analyses.
-#[deprecated(note = "use `Session::new(*cfg).run_one(image, input)` instead")]
-pub fn analyze(
-    image: &Image,
-    input: Vec<u8>,
-    cfg: &AnalysisConfig,
-) -> Result<WorkloadReport, SimError> {
-    run_probed(
-        image,
-        input,
-        cfg,
-        InterpTier::default(),
-        AnalysisTier::default(),
-        SplitObservers::all(),
-        Probes::none(),
-    )
-}
-
-/// [`Session::run_one`](crate::Session::run_one) with an optional
-/// [`WorkloadMetrics`] sink, kept for callers of the pre-`Session` API.
-///
-/// # Errors
-///
-/// Propagates simulator traps, exactly as `analyze`.
-#[deprecated(note = "use `Session::new(*cfg).metrics(true).run_one(image, input)` instead")]
-pub fn analyze_with_metrics(
-    image: &Image,
-    input: Vec<u8>,
-    cfg: &AnalysisConfig,
-    metrics: Option<&mut WorkloadMetrics>,
-) -> Result<WorkloadReport, SimError> {
-    let probes =
-        Probes { metrics, spans: None, sampler: None, profile: None, telemetry: None, loops: None };
-    run_probed(
-        image,
-        input,
-        cfg,
-        InterpTier::default(),
-        AnalysisTier::default(),
-        SplitObservers::all(),
-        probes,
-    )
-}
-
 /// The pipeline's optional observability hooks, all riding the same
 /// `Option<&mut …>` pattern: any subset may be attached, none of them
 /// can perturb the [`WorkloadReport`], and an all-`None` bundle is the
@@ -250,34 +201,9 @@ impl Probes<'_> {
     }
 }
 
-/// The engine behind [`Session`](crate::Session): one simulation pass
-/// with any combination of [`Probes`] attached, kept for the old
-/// `analyze_with_probes` signature.
-///
-/// # Errors
-///
-/// Propagates simulator traps, exactly as `analyze`.
-#[deprecated(note = "use `Session` builder methods to attach probes instead")]
-pub fn analyze_with_probes(
-    image: &Image,
-    input: Vec<u8>,
-    cfg: &AnalysisConfig,
-    probes: Probes<'_>,
-) -> Result<WorkloadReport, SimError> {
-    run_probed(
-        image,
-        input,
-        cfg,
-        InterpTier::default(),
-        AnalysisTier::default(),
-        SplitObservers::all(),
-        probes,
-    )
-}
-
 /// One simulation pass with any combination of [`Probes`] attached —
-/// the entry everything else (the `Session` builder, the deprecated
-/// shims, `steady_state_check`) runs on. Dispatches once, before any
+/// the entry everything else (the `Session` builder,
+/// `steady_state_check`) runs on. Dispatches once, before any
 /// event retires, to the per-event engine the analysis tier selects;
 /// the phase scaffolding and the report/gauge assembly are shared, so
 /// the two tiers cannot drift in anything but the per-event hot path.
@@ -793,62 +719,6 @@ pub struct AnalysisJob<'a> {
     pub label: &'a str,
 }
 
-/// Runs many workloads on a pool of scoped threads, kept for callers of
-/// the pre-`Session` API.
-///
-/// # Errors
-///
-/// Each slot carries its own simulator outcome; one trapped workload
-/// does not poison the others.
-#[deprecated(note = "use `Session::new(*cfg).jobs(threads).run(jobs)` instead")]
-pub fn analyze_many(
-    jobs: Vec<AnalysisJob<'_>>,
-    cfg: &AnalysisConfig,
-    threads: usize,
-) -> Vec<Result<WorkloadReport, SimError>> {
-    crate::Session::new(*cfg)
-        .jobs(threads)
-        .run(jobs)
-        .into_iter()
-        .map(|r| r.map(|ir| ir.report))
-        .collect()
-}
-
-/// Batch analysis with a [`WorkloadMetrics`] sink per job, kept for
-/// callers of the pre-`Session` API.
-///
-/// # Errors
-///
-/// Each slot carries its own simulator outcome, as in `analyze_many`.
-#[deprecated(note = "use `Session::new(*cfg).jobs(threads).metrics(true).run(jobs)` instead")]
-pub fn analyze_many_with_metrics(
-    jobs: Vec<AnalysisJob<'_>>,
-    cfg: &AnalysisConfig,
-    threads: usize,
-) -> Vec<Result<(WorkloadReport, WorkloadMetrics), SimError>> {
-    crate::Session::new(*cfg)
-        .jobs(threads)
-        .metrics(true)
-        .run(jobs)
-        .into_iter()
-        .map(|r| r.map(|ir| (ir.report, ir.metrics.expect("metrics were requested"))))
-        .collect()
-}
-
-/// Which per-job telemetry the deprecated `analyze_many_instrumented`
-/// collects. [`Session`](crate::Session) builder flags replace this.
-#[deprecated(note = "use `Session` builder methods (`metrics`, `interval`, `profile`) instead")]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ProbeConfig {
-    /// Collect a [`WorkloadMetrics`] per job.
-    pub metrics: bool,
-    /// Sample an interval time series per job, closing a window every
-    /// this many measured instructions.
-    pub interval: Option<u64>,
-    /// Fill an [`InstructionProfile`] per job (per-PC attribution).
-    pub profile: bool,
-}
-
 /// One job's report plus whatever telemetry the
 /// [`Session`](crate::Session) was configured to collect.
 #[derive(Debug)]
@@ -867,35 +737,9 @@ pub struct InstrumentedReport {
     pub cache: crate::CacheOutcome,
 }
 
-/// Batch analysis with the full observability stack attached, kept for
-/// callers of the pre-`Session` API.
-///
-/// # Errors
-///
-/// Each slot carries its own simulator outcome, as in `analyze_many`;
-/// spans closed before a trap are still merged into the tracer.
-#[deprecated(note = "use `Session` builder methods to attach probes and a tracer instead")]
-#[allow(deprecated)] // the signature keeps the deprecated ProbeConfig
-pub fn analyze_many_instrumented(
-    jobs: Vec<AnalysisJob<'_>>,
-    cfg: &AnalysisConfig,
-    threads: usize,
-    probes: ProbeConfig,
-    tracer: Option<&mut SpanTracer>,
-) -> Vec<Result<InstrumentedReport, SimError>> {
-    let mut session = crate::Session::new(*cfg).jobs(threads).metrics(probes.metrics);
-    if let Some(insns) = probes.interval {
-        session = session.interval(insns);
-    }
-    session = session.profile(probes.profile);
-    if let Some(t) = tracer {
-        session = session.trace(t);
-    }
-    session.run(jobs)
-}
-
-/// The number of worker threads [`analyze_many`] should default to: the
-/// machine's available parallelism, or 1 if that cannot be determined.
+/// The number of worker threads [`Session::jobs`](crate::Session::jobs)
+/// should default to: the machine's available parallelism, or 1 if that
+/// cannot be determined.
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -997,7 +841,7 @@ pub fn steady_state_check(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace_span::Span;
+    use crate::trace_span::{Span, SpanTracer};
     use crate::Session;
     use instrep_minicc::build;
 
@@ -1311,42 +1155,5 @@ mod tests {
             i * i
         });
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    /// The six deprecated shims must stay behaviorally identical to the
-    /// `Session` paths they forward to until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_match_session() {
-        let image = small_image();
-        let cfg = AnalysisConfig { skip: 500, ..AnalysisConfig::default() };
-        let expect = format!("{:?}", quick(&image, &cfg));
-
-        assert_eq!(format!("{:?}", analyze(&image, Vec::new(), &cfg).unwrap()), expect);
-        let mut m = WorkloadMetrics::default();
-        let r = analyze_with_metrics(&image, Vec::new(), &cfg, Some(&mut m)).unwrap();
-        assert_eq!(format!("{r:?}"), expect);
-        assert!(!m.phases.is_empty());
-        let r = analyze_with_probes(&image, Vec::new(), &cfg, Probes::none()).unwrap();
-        assert_eq!(format!("{r:?}"), expect);
-
-        let jobs = |n: usize| -> Vec<AnalysisJob<'_>> {
-            (0..n).map(|_| AnalysisJob { image: &image, input: Vec::new(), label: "" }).collect()
-        };
-        for r in analyze_many(jobs(2), &cfg, 2) {
-            assert_eq!(format!("{:?}", r.unwrap()), expect);
-        }
-        for r in analyze_many_with_metrics(jobs(2), &cfg, 2) {
-            let (report, metrics) = r.unwrap();
-            assert_eq!(format!("{report:?}"), expect);
-            assert!(!metrics.phases.is_empty());
-        }
-        let probes = ProbeConfig { metrics: true, interval: Some(1000), profile: true };
-        for r in analyze_many_instrumented(jobs(2), &cfg, 2, probes, None) {
-            let ir = r.unwrap();
-            assert_eq!(format!("{:?}", ir.report), expect);
-            assert!(ir.metrics.is_some() && ir.intervals.is_some() && ir.profile.is_some());
-            assert_eq!(ir.cache, crate::CacheOutcome::Uncached);
-        }
     }
 }

@@ -6,7 +6,14 @@
 //! through all of them. [`Session`] replaces that surface: configure
 //! once, attach whichever observers you want, then [`Session::run`] a
 //! batch (or [`Session::run_one`] a single workload). The old functions
-//! survive as `#[deprecated]` shims over this type for one release.
+//! served their one release as `#[deprecated]` shims and are gone.
+//!
+//! A configured `Session` is `Send` (pinned by the compile-time
+//! assertions in `tests/send_clean.rs`): every borrowed observer is
+//! either exclusively owned (`&mut SpanTracer`) or `Sync`
+//! ([`AnalysisCache`], [`TelemetryRegistry`]), so a worker pool — the
+//! `instrep-serve` daemon — can move per-request sessions freely
+//! across threads while sharing one cache and one registry.
 //!
 //! ```
 //! use instrep_core::{AnalysisConfig, AnalysisJob, Session, SpanTracer};

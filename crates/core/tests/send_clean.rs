@@ -1,0 +1,60 @@
+//! Compile-time pins for the thread-safety contract the `instrep-serve`
+//! worker pool relies on: a configured `Session` (with any combination
+//! of borrowed observers) moves across threads, and the shared
+//! observers — the analysis cache and the telemetry registry — are safe
+//! to reference from every worker at once. If a future field change
+//! breaks one of these bounds, this file stops compiling, which is the
+//! point: the regression is caught at `cargo test` build time, before
+//! any runtime test runs.
+
+use instrep_core::service::{Request, Response};
+use instrep_core::{
+    AnalysisCache, AnalysisJob, InstrumentedReport, Session, SpanTracer, TelemetryRegistry,
+    WorkloadReport,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn session_and_service_types_are_send_clean() {
+    // A session holding only owned state moves to a worker thread...
+    assert_send::<Session<'static>>();
+    // ...as do jobs and their results.
+    assert_send::<AnalysisJob<'static>>();
+    assert_send::<InstrumentedReport>();
+    assert_send::<WorkloadReport>();
+    assert_send::<SpanTracer>();
+
+    // Shared observers: one instance, many concurrent readers.
+    assert_send::<AnalysisCache>();
+    assert_sync::<AnalysisCache>();
+    assert_send::<TelemetryRegistry>();
+    assert_sync::<TelemetryRegistry>();
+
+    // Wire types cross the connection-thread / worker-thread boundary.
+    assert_send::<Request>();
+    assert_send::<Response>();
+    assert_sync::<Request>();
+    assert_sync::<Response>();
+}
+
+#[test]
+fn a_configured_session_still_moves() {
+    // The bound must hold for sessions with borrowed shared observers
+    // attached, not just the all-owned default. `&AnalysisCache` and
+    // `&TelemetryRegistry` are Send because the referents are Sync.
+    fn configured<'t>(cache: &'t AnalysisCache, registry: &'t TelemetryRegistry) -> impl Send + 't {
+        Session::new(instrep_core::AnalysisConfig::default())
+            .jobs(2)
+            .metrics(true)
+            .cache(cache)
+            .telemetry(registry)
+    }
+    let dir = std::env::temp_dir().join(format!("instrep-send-clean-{}", std::process::id()));
+    let cache = AnalysisCache::open(&dir).unwrap();
+    let registry = TelemetryRegistry::new();
+    let session = configured(&cache, &registry);
+    drop(session);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,121 @@
+//! Many-client stress test: nine concurrent clients hammer one daemon
+//! with a mix of identical keys (cache contention), per-client cold
+//! keys, and warm/cold interleavings, then every response is compared
+//! byte-for-byte against a direct `Session` run of the same
+//! configuration. Afterwards the cache directory is reopened cold and
+//! every entry is re-verified against a fresh recomputation — the
+//! concurrent stores must not have left a corrupt entry behind.
+
+mod util;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use instrep_core::service::{report_json, scale_windows, Request, Response};
+use instrep_core::{AnalysisCache, AnalysisConfig, CacheOutcome, Session, TelemetryRegistry};
+use instrep_serve::{ServeConfig, Server};
+use instrep_workloads::Scale;
+use util::{scratch_dir, socket_path, Client};
+
+const CLIENTS: usize = 9;
+const REQUESTS_PER_CLIENT: usize = 3;
+
+/// The (workload, seed) a given client uses for its j-th request:
+/// clients 0/3/6 all hit the same key, clients 1/4/7 get cold
+/// per-client keys, clients 2/5/8 alternate between two shared keys.
+fn key_for(client: usize, j: usize) -> (&'static str, u64) {
+    match client % 3 {
+        0 => ("compress", 1998),
+        1 => ("li", 2000 + client as u64),
+        _ => ("interp", 1998 + (j % 2) as u64),
+    }
+}
+
+#[test]
+fn many_clients_share_one_cache_byte_identically() {
+    let cache_dir = scratch_dir("stress-cache");
+    let mut cfg = ServeConfig::new(socket_path("stress"));
+    cfg.workers = 4;
+    cfg.queue = 64;
+    cfg.cache_dir = Some(cache_dir.clone());
+    let registry = Arc::new(TelemetryRegistry::new());
+    let server = Server::start(cfg, Arc::clone(&registry)).unwrap();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let socket = server.socket().to_path_buf();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&socket);
+                let mut out = Vec::new();
+                for j in 0..REQUESTS_PER_CLIENT {
+                    let (name, seed) = key_for(client, j);
+                    let id = (client * 10 + j) as u64;
+                    match c.roundtrip(&Request::workload(id, name).seed(seed)) {
+                        Response::Report(p) => {
+                            assert_eq!(p.id, id, "responses answer in request order");
+                            out.push((name, seed, p));
+                        }
+                        Response::Error(e) => panic!("client {client}: unexpected error {e:?}"),
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut by_key: BTreeMap<(&str, u64), Vec<String>> = BTreeMap::new();
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    for h in handles {
+        for (name, seed, p) in h.join().unwrap() {
+            match p.cache {
+                CacheOutcome::Hit => hits += 1,
+                CacheOutcome::Miss => misses += 1,
+                other => panic!("unexpected cache outcome {other:?}"),
+            }
+            by_key.entry((name, seed)).or_default().push(p.report);
+        }
+    }
+    server.shutdown();
+    server.join().unwrap();
+
+    assert_eq!(hits + misses, CLIENTS * REQUESTS_PER_CLIENT);
+    // Every key misses at least once (the cache started empty); repeat
+    // keys must have produced at least some hits across 27 requests.
+    assert!(misses >= by_key.len());
+    assert!(hits > 0, "no request ever hit the shared cache");
+
+    // Byte-identity: each daemon response equals a direct Session run
+    // of the same image/input/config on this thread.
+    let (skip, window) = scale_windows("tiny").unwrap();
+    let cfg = AnalysisConfig { skip, window, ..AnalysisConfig::default() };
+    for ((name, seed), reports) in &by_key {
+        let wl = instrep_workloads::by_name(name).unwrap();
+        let image = wl.build().unwrap();
+        let direct = Session::new(cfg).run_one(&image, wl.input(Scale::Tiny, *seed)).unwrap();
+        let expect = report_json(&direct.report);
+        for report in reports {
+            assert_eq!(report, &expect, "daemon report for {name}/{seed} diverged from direct run");
+        }
+    }
+
+    // Cache integrity: reopen the directory cold and re-verify every
+    // entry against a recomputation. A corrupt or torn entry would
+    // surface as VerifyMismatch (or a miss).
+    let cache = AnalysisCache::open(&cache_dir).unwrap();
+    for (name, seed) in by_key.keys() {
+        let wl = instrep_workloads::by_name(name).unwrap();
+        let image = wl.build().unwrap();
+        let ir = Session::new(cfg)
+            .cache(&cache)
+            .cache_verify(true)
+            .run_one(&image, wl.input(Scale::Tiny, *seed))
+            .unwrap();
+        assert_eq!(
+            ir.cache,
+            CacheOutcome::VerifyOk,
+            "stored entry for {name}/{seed} did not verify"
+        );
+    }
+    std::fs::remove_dir_all(cache_dir).ok();
+}

@@ -1,0 +1,144 @@
+//! A line-protocol client for the `instrep-serve` daemon.
+//!
+//! ```text
+//! instrep-serve --socket /tmp/instrep.sock --cache-dir /tmp/instrep-cache &
+//! cargo run --example instrep_client -- --socket /tmp/instrep.sock --workload compress
+//! ```
+//!
+//! Sends one request built from the flags, prints the daemon's reply.
+//! `--report-only` prints just the canonical report object — two runs
+//! of the same request are byte-identical, which is how `scripts/ci.sh`
+//! checks cold and warm daemon responses against each other.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use instrep::core::service::{cache_outcome_name, Request, Response};
+
+const USAGE: &str = "\
+instrep_client: send one request to an instrep-serve daemon
+
+USAGE:
+    instrep_client --socket PATH (--workload NAME | --source FILE) [OPTIONS]
+
+OPTIONS:
+    --socket PATH       daemon socket (required)
+    --workload NAME     named in-tree workload to analyze
+    --source FILE       MiniC file to upload and analyze instead
+    --scale NAME        tiny | small | full (default tiny)
+    --seed N            input seed (default 1998)
+    --id N              request id echoed by the daemon (default 1)
+    --metrics           also request the phase-metrics payload
+    --profile           also request the per-PC profile payload
+    --loops             also request the loop-nest payload
+    --report-only       print only the canonical report object
+    --help              print this help
+";
+
+struct Args {
+    socket: PathBuf,
+    request: Request,
+    report_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut socket = None;
+    let mut workload = None;
+    let mut source = None;
+    let mut scale = "tiny".to_string();
+    let mut seed = 1998u64;
+    let mut id = 1u64;
+    let (mut metrics, mut profile, mut loops, mut report_only) = (false, false, false, false);
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--workload" => workload = Some(value("--workload")?),
+            "--source" => source = Some(PathBuf::from(value("--source")?)),
+            "--scale" => scale = value("--scale")?,
+            "--seed" => {
+                seed = value("--seed")?.parse().map_err(|_| "--seed expects an integer")?;
+            }
+            "--id" => id = value("--id")?.parse().map_err(|_| "--id expects an integer")?,
+            "--metrics" => metrics = true,
+            "--profile" => profile = true,
+            "--loops" => loops = true,
+            "--report-only" => report_only = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    let socket = socket.ok_or("--socket is required (try --help)")?;
+    let mut request = match (workload, source) {
+        (Some(name), None) => Request::workload(id, &name),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Request::raw_source(id, &text)
+        }
+        _ => return Err("exactly one of --workload or --source is required".to_string()),
+    };
+    request = request.scale(&scale).seed(seed);
+    if metrics {
+        request = request.with_metrics();
+    }
+    if profile {
+        request = request.with_profile();
+    }
+    if loops {
+        request = request.with_loops();
+    }
+    Ok(Args { socket, request, report_only })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("instrep_client: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut stream = UnixStream::connect(&args.socket)?;
+    let mut line = args.request.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err("daemon closed the connection without replying".into());
+    }
+    match Response::decode(reply.trim_end())? {
+        Response::Report(p) => {
+            if args.report_only {
+                println!("{}", p.report);
+                return Ok(());
+            }
+            eprintln!("cache: {}", cache_outcome_name(p.cache));
+            println!("{}", p.report);
+            for (name, payload) in
+                [("metrics", &p.metrics), ("profile", &p.profile), ("loops", &p.loops)]
+            {
+                if let Some(payload) = payload {
+                    eprintln!("--- {name} ---");
+                    println!("{payload}");
+                }
+            }
+            Ok(())
+        }
+        Response::Error(e) => {
+            let retry =
+                e.retry_after_ms.map(|ms| format!(" (retry in {ms}ms)")).unwrap_or_default();
+            eprintln!("instrep_client: {}: {}{retry}", e.kind.name(), e.message);
+            std::process::exit(1);
+        }
+    }
+}

@@ -288,16 +288,125 @@ grep -q '^# TYPE instrep_' "$SMOKE_DIR/telem1.txt" || {
     exit 1
 }
 
-echo "==> legacy entry-point sweep (no in-tree callers of the analyze* shims)"
-LEGACY=$(grep -rn --include='*.rs' -e 'analyze_with_probes' -e 'analyze_with_metrics' \
-    -e 'analyze_many' crates src tests examples benches 2>/dev/null |
-    grep -v '^crates/core/src/pipeline.rs:' |
-    grep -v '^crates/core/src/lib.rs:' || true)
+echo "==> legacy entry-point sweep (deleted analyze* shims must stay deleted)"
+# The pre-Session analyze* entry points and ProbeConfig are gone; this
+# gate keeps them from reappearing anywhere, caller or definition.
+# crates/minicc is excluded: its sema::analyze is an unrelated
+# compiler pass that predates (and outlives) the pipeline shims.
+LEGACY=$(grep -rn --include='*.rs' -P \
+    '\banalyze(_many(_with_metrics|_instrumented)?|_with_(metrics|probes))?\s*\(|\bProbeConfig\b' \
+    crates src tests examples benches 2>/dev/null |
+    grep -v '^crates/minicc/' || true)
 if [ -n "$LEGACY" ]; then
-    echo "deprecated analyze* entry points still referenced outside the shims:" >&2
+    echo "deleted analyze*/ProbeConfig entry points referenced again:" >&2
     echo "$LEGACY" >&2
     exit 1
 fi
+
+echo "==> service smoke (daemon protocol, cache reuse, backpressure, graceful drain)"
+cargo build -q --offline -p instrep-serve
+cargo build -q --offline --example instrep_client
+SERVE_SOCK="$SMOKE_DIR/serve.sock"
+target/debug/instrep-serve --socket "$SERVE_SOCK" \
+    --cache-dir "$SMOKE_DIR/serve-cache" --workers 1 --queue 1 \
+    --max-request-bytes 4096 --telemetry-out "$SMOKE_DIR/serve-telem.txt" \
+    2>"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+for _ in $(seq 50); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || {
+    echo "daemon never bound $SERVE_SOCK" >&2
+    exit 1
+}
+# Cold then warm from separate clients: the second request must hit the
+# shared cache and the canonical report objects must be byte-identical.
+target/debug/examples/instrep_client --socket "$SERVE_SOCK" --workload compress \
+    --report-only >"$SMOKE_DIR/serve-cold.json"
+target/debug/examples/instrep_client --socket "$SERVE_SOCK" --workload compress \
+    >"$SMOKE_DIR/serve-warm.json" 2>"$SMOKE_DIR/serve-warm.err"
+grep -q '^cache: hit$' "$SMOKE_DIR/serve-warm.err" || {
+    echo "warm daemon request did not hit the shared cache" >&2
+    exit 1
+}
+cmp -s "$SMOKE_DIR/serve-cold.json" "$SMOKE_DIR/serve-warm.json" || {
+    echo "cold and warm daemon reports are not byte-identical" >&2
+    exit 1
+}
+# Protocol edges over a raw socket: malformed JSON, an unknown schema
+# version (rejected by name), an oversized line, and a full queue.
+python3 - "$SERVE_SOCK" <<'EOF'
+import json, socket, sys, time
+
+SOCK = sys.argv[1]
+SLOW = ('{"schema_version":1,"id":%d,"source":'
+        '"int main() { int i; int s = 0; '
+        'for (i = 0; i < 100000000; i++) s = s + i; return 0; }",'
+        '"skip":0,"window":5000000}')
+
+def connect():
+    s = socket.socket(socket.AF_UNIX)
+    s.connect(SOCK)
+    return s
+
+def read_reply(s):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            raise SystemExit("daemon closed without replying")
+        buf += chunk
+    return json.loads(buf.decode())
+
+def ask(line):
+    s = connect()
+    s.sendall(line.encode() + b"\n")
+    reply = read_reply(s)
+    s.close()
+    return reply
+
+r = ask("{this is not json")
+assert r["ok"] is False and r["error"] == "bad_request", r
+r = ask(json.dumps({"schema_version": 99, "id": 5, "workload": "compress"}))
+assert r["ok"] is False and r["error"] == "unsupported_version", r
+assert "99" in r["message"] and "1" in r["message"], r
+r = ask(json.dumps({"schema_version": 1, "id": 6, "source": "x" * 8192}))
+assert r["ok"] is False and r["error"] == "oversized", r
+
+# Backpressure: worker busy + the one queue slot taken => reject #3
+# with a retry hint, while the two admitted requests still finish.
+a, b = connect(), connect()
+a.sendall((SLOW % 1).encode() + b"\n")
+time.sleep(0.4)
+b.sendall((SLOW % 2).encode() + b"\n")
+time.sleep(0.2)
+r = ask(SLOW % 3)
+assert r["ok"] is False and r["error"] == "overloaded", r
+assert r.get("retry_after_ms", 0) > 0, r
+for s, rid in ((a, 1), (b, 2)):
+    r = read_reply(s)
+    assert r["ok"] is True and r["id"] == rid, r
+    s.close()
+print("service protocol smoke OK")
+EOF
+# Graceful drain: SIGTERM must exit 0 and leave the exposition behind.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "daemon exited non-zero on SIGTERM (no graceful drain)" >&2
+    exit 1
+}
+SERVE_PID=""
+grep -q '^instrep_serve_requests ' "$SMOKE_DIR/serve-telem.txt" || {
+    echo "daemon exposition is missing serve_* counters" >&2
+    exit 1
+}
+grep -q '^instrep_serve_rejected_overload 1$' "$SMOKE_DIR/serve-telem.txt" || {
+    echo "daemon exposition did not count the overload rejection" >&2
+    exit 1
+}
+grep -q '^instrep_cache_hit ' "$SMOKE_DIR/serve-telem.txt" || {
+    echo "daemon exposition is missing shared-cache counters" >&2
+    exit 1
+}
 
 echo "==> bench trajectory check (scripts/bench.sh --check)"
 scripts/bench.sh --check

@@ -8,7 +8,7 @@ use instrep::minicc::build;
 use instrep::sim::{Machine, RunOutcome};
 
 /// One uninstrumented run through the unified builder.
-fn analyze(image: &instrep::asm::Image, cfg: &AnalysisConfig) -> WorkloadReport {
+fn run_report(image: &instrep::asm::Image, cfg: &AnalysisConfig) -> WorkloadReport {
     Session::new(*cfg).run_one(image, Vec::new()).expect("workload runs").report
 }
 
@@ -51,7 +51,7 @@ fn compile_assemble_run_analyze() {
     assert!(image.is_initialized(image.symbols.get("table").unwrap()));
     assert!(image.is_initialized(image.symbols.get("msg").unwrap()));
 
-    let report = analyze(&image, &AnalysisConfig::default());
+    let report = run_report(&image, &AnalysisConfig::default());
     assert!(matches!(report.outcome, RunOutcome::Exited(_)));
 
     // --- cross-analysis consistency invariants ---
@@ -96,8 +96,8 @@ fn compile_assemble_run_analyze() {
 #[test]
 fn analysis_is_deterministic() {
     let image = build_with_prelude(PROGRAM);
-    let a = analyze(&image, &AnalysisConfig::default());
-    let b = analyze(&image, &AnalysisConfig::default());
+    let a = run_report(&image, &AnalysisConfig::default());
+    let b = run_report(&image, &AnalysisConfig::default());
     assert_eq!(a.dynamic_total, b.dynamic_total);
     assert_eq!(a.dynamic_repeated, b.dynamic_repeated);
     assert_eq!(a.global, b.global);
@@ -133,7 +133,7 @@ fn hand_written_assembly_through_the_stack() {
     let out = m.run(100_000, |_| {}).unwrap();
     assert_eq!(out, RunOutcome::Exited(200));
 
-    let report = analyze(&image, &AnalysisConfig::default());
+    let report = run_report(&image, &AnalysisConfig::default());
     // The loop's lw/addi/sw chain sees a different counter value every
     // iteration, so none of it repeats; only the branch's compare
     // outcome does. The input-AND-output repetition definition separates
@@ -145,9 +145,9 @@ fn hand_written_assembly_through_the_stack() {
 #[test]
 fn skip_and_window_compose() {
     let image = build_with_prelude(PROGRAM);
-    let full = analyze(&image, &AnalysisConfig::default());
+    let full = run_report(&image, &AnalysisConfig::default());
     let cfg = AnalysisConfig { skip: 5_000, window: 10_000, ..AnalysisConfig::default() };
-    let windowed = analyze(&image, &cfg);
+    let windowed = run_report(&image, &cfg);
     assert_eq!(windowed.dynamic_total, 10_000);
     assert!(windowed.dynamic_total < full.dynamic_total);
     // Steady-state loop: windowed repetition is at least as high as the
@@ -159,7 +159,7 @@ fn skip_and_window_compose() {
 fn reports_render_for_real_runs() {
     use instrep::core::report;
     let image = build_with_prelude(PROGRAM);
-    let r = analyze(&image, &AnalysisConfig::default());
+    let r = run_report(&image, &AnalysisConfig::default());
     let named = [("e2e", &r)];
     let blob = [
         report::table1(&named),

@@ -22,7 +22,7 @@ fn spec_analogs() -> impl Iterator<Item = Workload> {
 }
 
 /// One uninstrumented run through the unified builder.
-fn analyze(
+fn run_report(
     image: &instrep::asm::Image,
     input: Vec<u8>,
     cfg: &AnalysisConfig,
@@ -38,7 +38,7 @@ fn reports() -> &'static HashMap<&'static str, WorkloadReport> {
             .map(|wl| {
                 let image = wl.build().expect("workload builds");
                 let input = wl.input(Scale::Tiny, 1998);
-                (wl.name, analyze(&image, input, &cfg).expect("workload analyzes"))
+                (wl.name, run_report(&image, input, &cfg).expect("workload analyzes"))
             })
             .collect()
     })
@@ -294,8 +294,8 @@ fn section3_repetition_is_input_insensitive() {
     let cfg = AnalysisConfig { skip: 20_000, window: 250_000, ..AnalysisConfig::default() };
     for wl in spec_analogs() {
         let image = wl.build().expect("workload builds");
-        let a = analyze(&image, wl.input(Scale::Tiny, 1998), &cfg).expect("seed A analyzes");
-        let b = analyze(&image, wl.input(Scale::Tiny, 424242), &cfg).expect("seed B analyzes");
+        let a = run_report(&image, wl.input(Scale::Tiny, 1998), &cfg).expect("seed A analyzes");
+        let b = run_report(&image, wl.input(Scale::Tiny, 424242), &cfg).expect("seed B analyzes");
         let delta = (a.repetition_rate() - b.repetition_rate()).abs();
         assert!(
             delta < 0.08,
